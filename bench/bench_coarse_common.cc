@@ -1,0 +1,60 @@
+#include "bench/bench_coarse_common.h"
+
+#include <array>
+#include <iostream>
+
+#include "prof/metrics.h"
+#include "runtime/runtime.h"
+#include "util/table.h"
+
+namespace adgraph::bench {
+
+int RunCoarseFigure(int argc, const char* const* argv,
+                    const vgpu::ArchConfig& gpu, const std::string& title,
+                    const std::string& csv_name) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  CellRunner runner(config);
+
+  auto platform = gpu.vendor == "NVIDIA" ? rt::Platform::kCuda
+                                         : rt::Platform::kRocmLike;
+  auto names = prof::CoarseMetricNames(platform);
+  const std::vector<Algo> algos{Algo::kBfs, Algo::kTc, Algo::kEsbv};
+
+  TablePrinter table({"Metric", "BFS", "TC", "ESBV"});
+  std::vector<std::array<double, 3>> sums(4, {0, 0, 0});
+  std::array<int, 3> counts{0, 0, 0};
+  for (size_t a = 0; a < algos.size(); ++a) {
+    for (const auto& spec : config.SelectedDatasets()) {
+      if (spec.name == "twitter-mpi") continue;
+      auto cell = runner.RunProfiled(gpu, spec, algos[a]);
+      if (!cell.ok()) {
+        std::cerr << "profiled cell failed: " << cell.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      sums[0][a] += cell->coarse.warp_utilization;
+      sums[1][a] += cell->coarse.shared_memory;
+      sums[2][a] += cell->coarse.l2_hit;
+      sums[3][a] += cell->coarse.global_memory;
+      counts[a] += 1;
+    }
+  }
+  for (size_t m = 0; m < 4; ++m) {
+    std::vector<std::string> row{names[m]};
+    for (size_t a = 0; a < algos.size(); ++a) {
+      double avg = counts[a] > 0 ? sums[m][a] / counts[a] : 0;
+      row.push_back(FormatFixed(avg * 100, 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::cout << "=== " << title << " ===\n"
+            << "(averaged over the six profiled datasets; "
+            << rt::PlatformName(platform) << " metric view)\n";
+  table.Print(std::cout);
+  auto status = table.WriteCsv(config.out_dir + "/" + csv_name + ".csv");
+  if (!status.ok()) std::cerr << status.ToString() << "\n";
+  return 0;
+}
+
+}  // namespace adgraph::bench

@@ -1,0 +1,19 @@
+#ifndef ADGRAPH_BENCH_BENCH_COARSE_COMMON_H_
+#define ADGRAPH_BENCH_BENCH_COARSE_COMMON_H_
+
+#include "bench/bench_common.h"
+#include "vgpu/arch.h"
+
+namespace adgraph::bench {
+
+/// Shared driver of the Figure 7/8 coarse-grained profiling benches: for
+/// each of the four Table 2 metrics, the per-algorithm utilization on
+/// `gpu` (averaged over the six profiled datasets, as the paper's bar
+/// charts aggregate them).
+int RunCoarseFigure(int argc, const char* const* argv,
+                    const vgpu::ArchConfig& gpu, const std::string& title,
+                    const std::string& csv_name);
+
+}  // namespace adgraph::bench
+
+#endif  // ADGRAPH_BENCH_BENCH_COARSE_COMMON_H_

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 4: "Speed Up of adGRAPH on Z100 relative to
+// nvGRAPH on V100", per algorithm and dataset (group 1).  Paper averages:
+// BFS 1.69x, TC 0.84x, ESBV 0.92x.
+
+#include "bench/bench_common.h"
+#include "vgpu/arch.h"
+
+int main(int argc, char** argv) {
+  return adgraph::bench::RunSpeedupFigure(
+      argc, argv, adgraph::vgpu::Z100Config(), adgraph::vgpu::V100Config(),
+      "Figure 4: Speed Up of adGRAPH on Z100 relative to nvGRAPH on V100",
+      "fig4_speedup_g1");
+}

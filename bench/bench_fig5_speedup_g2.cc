@@ -1,0 +1,13 @@
+// Reproduces paper Figure 5: "Speed Up of adGRAPH on Z100L relative to
+// nvGRAPH on A100", per algorithm and dataset (group 2).  Paper averages:
+// BFS 1.76x, TC 1.01x, ESBV 0.68x.
+
+#include "bench/bench_common.h"
+#include "vgpu/arch.h"
+
+int main(int argc, char** argv) {
+  return adgraph::bench::RunSpeedupFigure(
+      argc, argv, adgraph::vgpu::Z100LConfig(), adgraph::vgpu::A100Config(),
+      "Figure 5: Speed Up of adGRAPH on Z100L relative to nvGRAPH on A100",
+      "fig5_speedup_g2");
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Figure 6: "Speed Up of adGRAPH on Z100L relative to
+// Z100" — generational scaling of the AMD-like architecture (same library
+// on both).  Paper averages: BFS 1.64x, TC 1.59x, ESBV 1.74x; overall
+// ~1.65x, against an FP64 ratio of ~1.71x — the paper's evidence that
+// adGRAPH's parallel efficiency is high.
+
+#include "bench/bench_common.h"
+#include "vgpu/arch.h"
+
+int main(int argc, char** argv) {
+  return adgraph::bench::RunSpeedupFigure(
+      argc, argv, adgraph::vgpu::Z100LConfig(), adgraph::vgpu::Z100Config(),
+      "Figure 6: Speed Up of adGRAPH on Z100L relative to Z100",
+      "fig6_gen_scaling");
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 7: "Coarse-grained Profiling Results of nvGRAPH
+// on A100" — achieved_occupancy, shared_efficiency, l2_tex_hit_rate and
+// gld_efficiency per benchmark algorithm.
+
+#include "bench/bench_coarse_common.h"
+
+int main(int argc, char** argv) {
+  return adgraph::bench::RunCoarseFigure(
+      argc, argv, adgraph::vgpu::A100Config(),
+      "Figure 7: Coarse-grained Profiling Results of nvGRAPH on A100",
+      "fig7_coarse_a100");
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 8: "Coarse-grained Profiling Results of adGRAPH
+// on Z100L" — VALUBusy, 1-ALUStalledByLDS, L2CacheHit and MemUnitBusy per
+// benchmark algorithm.
+
+#include "bench/bench_coarse_common.h"
+
+int main(int argc, char** argv) {
+  return adgraph::bench::RunCoarseFigure(
+      argc, argv, adgraph::vgpu::Z100LConfig(),
+      "Figure 8: Coarse-grained Profiling Results of adGRAPH on Z100L",
+      "fig8_coarse_z100l");
+}

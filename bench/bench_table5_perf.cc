@@ -1,0 +1,71 @@
+// Reproduces paper Table 5: "Performance Result of nvGRAPH and adGRAPH" —
+// runtime (ms) and edge throughput (million edges/s) for BFS, TC, ESBV on
+// the seven proxy datasets, across the two GPU groups:
+//   group 1: Z100 (adGRAPH) vs V100 (nvGRAPH)
+//   group 2: Z100L (adGRAPH) vs A100 (nvGRAPH)
+// The ESBV/twitter-mpi row reports OOM on every GPU, as in the paper.
+//
+// Results are cached in --out-dir so the figure benches (4/5/6) derive
+// their speedups from this sweep instead of re-running it.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+#include "vgpu/arch.h"
+
+namespace adgraph::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  CellRunner runner(config);
+
+  const std::vector<Algo> algos{Algo::kBfs, Algo::kTc, Algo::kEsbv};
+  const std::vector<const vgpu::ArchConfig*> gpus{
+      &vgpu::Z100Config(), &vgpu::V100Config(), &vgpu::Z100LConfig(),
+      &vgpu::A100Config()};
+
+  TablePrinter table({"Task", "Workload", "Z100 ms", "V100 ms",
+                      "Z100 MTEPS", "V100 MTEPS", "Z100L ms", "A100 ms",
+                      "Z100L MTEPS", "A100 MTEPS"});
+  for (Algo algo : algos) {
+    bool first = true;
+    for (const auto& spec : config.SelectedDatasets()) {
+      std::vector<CellResult> cells;
+      for (const auto* gpu : gpus) {
+        auto cell = runner.Run(*gpu, spec, algo);
+        if (!cell.ok()) {
+          std::cerr << "cell failed (" << gpu->name << "/" << spec.name
+                    << "/" << AlgoName(algo)
+                    << "): " << cell.status().ToString() << "\n";
+          return 1;
+        }
+        cells.push_back(*cell);
+      }
+      if (first) table.AddSeparator();
+      std::string workload = spec.name;
+      if (cells[0].sampled) workload += " (sampled)";
+      table.AddRow({first ? AlgoName(algo) : "", workload,
+                    FormatTimeCell(cells[0]), FormatTimeCell(cells[1]),
+                    FormatMtepsCell(cells[0]), FormatMtepsCell(cells[1]),
+                    FormatTimeCell(cells[2]), FormatTimeCell(cells[3]),
+                    FormatMtepsCell(cells[2]), FormatMtepsCell(cells[3])});
+      first = false;
+    }
+  }
+
+  std::cout << "=== Table 5: Performance Result of nvGRAPH and adGRAPH "
+               "(simulated) ===\n"
+            << "(adGRAPH runs on Z100/Z100L, nvGRAPH on V100/A100 — one "
+               "code base, per DESIGN.md)\n";
+  table.Print(std::cout);
+  auto status = table.WriteCsv(config.out_dir + "/table5_perf.csv");
+  if (!status.ok()) std::cerr << status.ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace adgraph::bench
+
+int main(int argc, char** argv) { return adgraph::bench::Main(argc, argv); }

@@ -1,0 +1,285 @@
+#include "capi/adgraph.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bfs.h"
+#include "core/pagerank.h"
+#include "core/sssp.h"
+#include "core/subgraph.h"
+#include "core/triangle_count.h"
+#include "core/widest_path.h"
+#include "graph/csr.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+// Opaque handle definitions.  C linkage callers only see the pointers.
+struct adgraphContext {
+  std::unique_ptr<adgraph::vgpu::Device> device;
+};
+
+struct adgraphGraphDescrStruct {
+  adgraph::graph::CsrGraph graph;
+  bool has_structure = false;
+};
+
+namespace {
+
+using adgraph::Status;
+using adgraph::StatusCode;
+
+adgraphStatus_t ToC(const Status& status) {
+  if (status.ok()) return ADGRAPH_STATUS_SUCCESS;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kNotFound:
+      return ADGRAPH_STATUS_INVALID_VALUE;
+    case StatusCode::kOutOfMemory:
+      return ADGRAPH_STATUS_ALLOC_FAILED;
+    default:
+      return ADGRAPH_STATUS_INTERNAL_ERROR;
+  }
+}
+
+bool Ready(adgraphHandle_t handle) {
+  return handle != nullptr && handle->device != nullptr;
+}
+
+bool HasStructure(adgraphGraphDescr_t descr) {
+  return descr != nullptr && descr->has_structure;
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* adgraphStatusGetString(adgraphStatus_t status) {
+  switch (status) {
+    case ADGRAPH_STATUS_SUCCESS:
+      return "ADGRAPH_STATUS_SUCCESS";
+    case ADGRAPH_STATUS_NOT_INITIALIZED:
+      return "ADGRAPH_STATUS_NOT_INITIALIZED";
+    case ADGRAPH_STATUS_ALLOC_FAILED:
+      return "ADGRAPH_STATUS_ALLOC_FAILED";
+    case ADGRAPH_STATUS_INVALID_VALUE:
+      return "ADGRAPH_STATUS_INVALID_VALUE";
+    case ADGRAPH_STATUS_INTERNAL_ERROR:
+      return "ADGRAPH_STATUS_INTERNAL_ERROR";
+  }
+  return "ADGRAPH_STATUS_UNKNOWN";
+}
+
+adgraphStatus_t adgraphCreate(adgraphHandle_t* handle, const char* gpu_name) {
+  if (handle == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  const adgraph::vgpu::ArchConfig* arch = &adgraph::vgpu::A100Config();
+  if (gpu_name != nullptr) {
+    bool found = false;
+    for (const auto* gpu : adgraph::vgpu::PaperGpus()) {
+      if (gpu->name == gpu_name) {
+        arch = gpu;
+        found = true;
+      }
+    }
+    if (!found) return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  auto* context = new adgraphContext();
+  context->device = std::make_unique<adgraph::vgpu::Device>(*arch);
+  *handle = context;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphDestroy(adgraphHandle_t handle) {
+  if (handle == nullptr) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  delete handle;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphGetDeviceTimeMs(adgraphHandle_t handle,
+                                       double* time_ms) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (time_ms == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  *time_ms = handle->device->elapsed_ms();
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphCreateGraphDescr(adgraphHandle_t handle,
+                                        adgraphGraphDescr_t* descr) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (descr == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  *descr = new adgraphGraphDescrStruct();
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphDestroyGraphDescr(adgraphHandle_t handle,
+                                         adgraphGraphDescr_t descr) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (descr == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  delete descr;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphSetGraphStructure(adgraphHandle_t handle,
+                                         adgraphGraphDescr_t descr,
+                                         uint32_t num_vertices,
+                                         uint64_t num_edges,
+                                         const uint64_t* row_offsets,
+                                         const uint32_t* col_indices) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (descr == nullptr || row_offsets == nullptr ||
+      (col_indices == nullptr && num_edges > 0)) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  std::vector<adgraph::graph::eid_t> rows(row_offsets,
+                                          row_offsets + num_vertices + 1);
+  std::vector<adgraph::graph::vid_t> cols(col_indices,
+                                          col_indices + num_edges);
+  auto graph = adgraph::graph::CsrGraph::FromArrays(
+      num_vertices, std::move(rows), std::move(cols));
+  if (!graph.ok()) return ToC(graph.status());
+  descr->graph = std::move(graph).value();
+  descr->has_structure = true;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphSetEdgeWeights(adgraphHandle_t handle,
+                                      adgraphGraphDescr_t descr,
+                                      const double* weights) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || weights == nullptr) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  std::vector<adgraph::graph::weight_t> w(
+      weights, weights + descr->graph.num_edges());
+  auto rebuilt = adgraph::graph::CsrGraph::FromArrays(
+      descr->graph.num_vertices(), descr->graph.row_offsets(),
+      descr->graph.col_indices(), std::move(w));
+  if (!rebuilt.ok()) return ToC(rebuilt.status());
+  descr->graph = std::move(rebuilt).value();
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
+                                    adgraphGraphDescr_t descr,
+                                    uint32_t source, int assume_symmetric,
+                                    uint32_t* levels_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || levels_out == nullptr) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  adgraph::core::BfsOptions options;
+  options.source = source;
+  options.assume_symmetric = assume_symmetric != 0;
+  auto result =
+      adgraph::core::RunBfs(handle->device.get(), descr->graph, options);
+  if (!result.ok()) return ToC(result.status());
+  std::copy(result->levels.begin(), result->levels.end(), levels_out);
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphTriangleCount(adgraphHandle_t handle,
+                                     adgraphGraphDescr_t descr,
+                                     uint64_t* triangles_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || triangles_out == nullptr) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  auto result =
+      adgraph::core::RunTriangleCount(handle->device.get(), descr->graph, {});
+  if (!result.ok()) return ToC(result.status());
+  *triangles_out = result->triangles;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphPagerank(adgraphHandle_t handle,
+                                adgraphGraphDescr_t descr, double alpha,
+                                uint32_t max_iterations, double* ranks_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || ranks_out == nullptr) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  adgraph::core::PageRankOptions options;
+  options.alpha = alpha;
+  options.max_iterations = max_iterations;
+  auto result =
+      adgraph::core::RunPageRank(handle->device.get(), descr->graph, options);
+  if (!result.ok()) return ToC(result.status());
+  std::copy(result->ranks.begin(), result->ranks.end(), ranks_out);
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphSssp(adgraphHandle_t handle, adgraphGraphDescr_t descr,
+                            uint32_t source, double* distances_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || distances_out == nullptr) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  adgraph::core::SsspOptions options;
+  options.source = source;
+  auto result =
+      adgraph::core::RunSssp(handle->device.get(), descr->graph, options);
+  if (!result.ok()) return ToC(result.status());
+  std::copy(result->distances.begin(), result->distances.end(),
+            distances_out);
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphWidestPath(adgraphHandle_t handle,
+                                  adgraphGraphDescr_t descr, uint32_t source,
+                                  double* widths_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || widths_out == nullptr) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  adgraph::core::WidestPathOptions options;
+  options.source = source;
+  auto result = adgraph::core::RunWidestPath(handle->device.get(),
+                                             descr->graph, options);
+  if (!result.ok()) return ToC(result.status());
+  std::copy(result->widths.begin(), result->widths.end(), widths_out);
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
+                                               adgraphGraphDescr_t descr,
+                                               adgraphGraphDescr_t subgraph,
+                                               const uint32_t* vertices,
+                                               size_t num_vertices) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr) || subgraph == nullptr ||
+      (vertices == nullptr && num_vertices > 0)) {
+    return ADGRAPH_STATUS_INVALID_VALUE;
+  }
+  adgraph::core::EsbvOptions options;
+  options.vertices.assign(vertices, vertices + num_vertices);
+  auto result = adgraph::core::ExtractSubgraphByVertex(
+      handle->device.get(), descr->graph, options);
+  if (!result.ok()) return ToC(result.status());
+  subgraph->graph = std::move(result->subgraph);
+  subgraph->has_structure = true;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,
+                                         adgraphGraphDescr_t descr,
+                                         uint32_t* num_vertices,
+                                         uint64_t* num_edges,
+                                         uint64_t* row_offsets,
+                                         uint32_t* col_indices) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr)) return ADGRAPH_STATUS_INVALID_VALUE;
+  if (num_vertices != nullptr) *num_vertices = descr->graph.num_vertices();
+  if (num_edges != nullptr) *num_edges = descr->graph.num_edges();
+  if (row_offsets != nullptr) {
+    std::copy(descr->graph.row_offsets().begin(),
+              descr->graph.row_offsets().end(), row_offsets);
+  }
+  if (col_indices != nullptr) {
+    std::copy(descr->graph.col_indices().begin(),
+              descr->graph.col_indices().end(), col_indices);
+  }
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+}  // extern "C"

@@ -1,0 +1,128 @@
+#ifndef ADGRAPH_CAPI_ADGRAPH_H_
+#define ADGRAPH_CAPI_ADGRAPH_H_
+
+/// \file
+/// nvGRAPH-compatible C API facade.
+///
+/// The paper's artifact is a C-API library (nvGRAPH and its ROCm-like port
+/// adGRAPH); this header mirrors that surface over the simulated devices,
+/// so code written against the original handle-based style ports with a
+/// rename — the same exercise the paper performed, one level up.
+///
+/// Usage mirrors nvGRAPH:
+///   adgraphHandle_t handle;
+///   adgraphCreate(&handle, "Z100L");
+///   adgraphGraphDescr_t graph;
+///   adgraphCreateGraphDescr(handle, &graph);
+///   adgraphSetGraphStructure(handle, graph, n, nnz, row_offsets, col_idx);
+///   adgraphTraversalBfs(handle, graph, source, levels_out);
+///   ...
+///   adgraphDestroyGraphDescr(handle, graph);
+///   adgraphDestroy(handle);
+///
+/// All functions return adgraphStatus_t; ADGRAPH_STATUS_SUCCESS is 0.
+/// Handles are opaque; every allocation is owned by the library and
+/// released by the matching Destroy call.
+
+#include <stddef.h>  // NOLINT(modernize-deprecated-headers): C API
+#include <stdint.h>  // NOLINT(modernize-deprecated-headers): C API
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum {
+  ADGRAPH_STATUS_SUCCESS = 0,
+  ADGRAPH_STATUS_NOT_INITIALIZED = 1,
+  ADGRAPH_STATUS_ALLOC_FAILED = 2,
+  ADGRAPH_STATUS_INVALID_VALUE = 3,
+  ADGRAPH_STATUS_INTERNAL_ERROR = 4,
+} adgraphStatus_t;
+
+typedef struct adgraphContext* adgraphHandle_t;
+typedef struct adgraphGraphDescrStruct* adgraphGraphDescr_t;
+
+/// Human-readable status name ("ADGRAPH_STATUS_SUCCESS", ...).
+const char* adgraphStatusGetString(adgraphStatus_t status);
+
+/// Creates a library context bound to one simulated GPU ("Z100", "V100",
+/// "Z100L" or "A100"; NULL selects A100).
+adgraphStatus_t adgraphCreate(adgraphHandle_t* handle, const char* gpu_name);
+adgraphStatus_t adgraphDestroy(adgraphHandle_t handle);
+
+/// Modeled device time accumulated on the context's GPU (milliseconds).
+adgraphStatus_t adgraphGetDeviceTimeMs(adgraphHandle_t handle,
+                                       double* time_ms);
+
+adgraphStatus_t adgraphCreateGraphDescr(adgraphHandle_t handle,
+                                        adgraphGraphDescr_t* descr);
+adgraphStatus_t adgraphDestroyGraphDescr(adgraphHandle_t handle,
+                                         adgraphGraphDescr_t descr);
+
+/// Sets CSR topology: row_offsets has num_vertices+1 entries (the last
+/// equals num_edges), col_indices has num_edges entries.  Arrays are
+/// copied.
+adgraphStatus_t adgraphSetGraphStructure(adgraphHandle_t handle,
+                                         adgraphGraphDescr_t descr,
+                                         uint32_t num_vertices,
+                                         uint64_t num_edges,
+                                         const uint64_t* row_offsets,
+                                         const uint32_t* col_indices);
+
+/// Attaches FP64 edge weights (num_edges entries, CSR order); required by
+/// extraction, SSSP and widest path over weighted semantics.
+adgraphStatus_t adgraphSetEdgeWeights(adgraphHandle_t handle,
+                                      adgraphGraphDescr_t descr,
+                                      const double* weights);
+
+/// BFS levels from `source` into `levels_out` (num_vertices entries;
+/// UINT32_MAX marks unreachable).  Pass nonzero `assume_symmetric` to
+/// enable the direction-optimizing path on undirected graphs.
+adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
+                                    adgraphGraphDescr_t descr,
+                                    uint32_t source, int assume_symmetric,
+                                    uint32_t* levels_out);
+
+/// Triangle count of the undirected interpretation.
+adgraphStatus_t adgraphTriangleCount(adgraphHandle_t handle,
+                                     adgraphGraphDescr_t descr,
+                                     uint64_t* triangles_out);
+
+/// PageRank with damping `alpha`, at most `max_iterations` rounds, into
+/// ranks_out (num_vertices entries).
+adgraphStatus_t adgraphPagerank(adgraphHandle_t handle,
+                                adgraphGraphDescr_t descr, double alpha,
+                                uint32_t max_iterations, double* ranks_out);
+
+/// Single-source shortest paths into distances_out (num_vertices entries;
+/// +infinity marks unreachable).
+adgraphStatus_t adgraphSssp(adgraphHandle_t handle, adgraphGraphDescr_t descr,
+                            uint32_t source, double* distances_out);
+
+/// Single-source widest (bottleneck) paths into widths_out.
+adgraphStatus_t adgraphWidestPath(adgraphHandle_t handle,
+                                  adgraphGraphDescr_t descr, uint32_t source,
+                                  double* widths_out);
+
+/// Vertex-induced subgraph extraction (weights required, as in the paper).
+/// The result is written into `subgraph`, which must be a fresh descriptor
+/// from adgraphCreateGraphDescr.
+adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
+                                               adgraphGraphDescr_t descr,
+                                               adgraphGraphDescr_t subgraph,
+                                               const uint32_t* vertices,
+                                               size_t num_vertices);
+
+/// Reads back a descriptor's shape (any pointer may be NULL).
+adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,
+                                         adgraphGraphDescr_t descr,
+                                         uint32_t* num_vertices,
+                                         uint64_t* num_edges,
+                                         uint64_t* row_offsets,
+                                         uint32_t* col_indices);
+
+#ifdef __cplusplus
+}  // extern "C"
+#endif
+
+#endif  // ADGRAPH_CAPI_ADGRAPH_H_

@@ -1,0 +1,308 @@
+#include "core/bfs.h"
+
+#include <algorithm>
+#include <string>
+
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::core {
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::KernelTask;
+using vgpu::LaneMask;
+using vgpu::Lanes;
+using vgpu::SmemPtr;
+
+/// Shared-memory staging queue capacity (entries per block).  Discovered
+/// vertices are staged in shared memory and flushed with one global atomic
+/// per block — the nvGRAPH-style optimization that makes BFS a shared-
+/// memory-heavy, low-branch-divergence workload (paper §4.6/§5.1.1).
+constexpr uint32_t kStageCapacity = 2048;
+
+/// Shared layout: [0] staging counter, [1] flush base, [2..] staged ids.
+constexpr uint32_t kStageHeaderWords = 2;
+
+uint32_t StageSharedBytes() {
+  return (kStageCapacity + kStageHeaderWords) * sizeof(uint32_t);
+}
+
+struct BfsDeviceState {
+  DevPtr<eid_t> row;
+  DevPtr<vid_t> col;
+  DevPtr<uint32_t> levels;
+  DevPtr<vid_t> parents;  ///< null unless compute_parents
+  DevPtr<vid_t> frontier;
+  DevPtr<vid_t> next_frontier;
+  DevPtr<uint32_t> next_size;
+};
+
+/// Top-down frontier expansion with shared-memory staging.
+KernelTask TopDownKernel(Ctx& c, BfsDeviceState s, uint32_t frontier_size,
+                         uint32_t level) {
+  SmemPtr<uint32_t> counter{0};
+  SmemPtr<uint32_t> flush_base{sizeof(uint32_t)};
+  SmemPtr<vid_t> stage{kStageHeaderWords * sizeof(uint32_t)};
+
+  auto local = c.BlockThreadId();
+  auto zero_idx = c.Splat<uint32_t>(0);
+  c.If(c.Eq(local, 0u), [&](Ctx& c) {
+    c.SharedStore(counter, zero_idx, c.Splat<uint32_t>(0));
+  });
+  co_await c.Sync();
+
+  auto tid = c.GlobalThreadId();
+  c.If(c.Lt(tid, frontier_size), [&](Ctx& c) {
+    auto u = c.Load(s.frontier, tid);
+    auto begin = c.Load(s.row, u);
+    auto end = c.Load(s.row, c.Add(u, 1u));
+    c.For(begin, end, [&](Ctx& c, const Lanes<eid_t>& e) {
+      auto v = c.Load(s.col, e);
+      auto old = c.AtomicCas(s.levels, v, c.Splat(kUnreachedLevel),
+                             c.Splat(level));
+      c.If(c.Eq(old, kUnreachedLevel), [&](Ctx& c) {
+        if (!s.parents.is_null()) c.Store(s.parents, v, u);
+        auto pos = c.SharedAtomicAdd(counter, zero_idx, c.Splat<uint32_t>(1));
+        c.IfElse(
+            c.Lt(pos, kStageCapacity),
+            [&](Ctx& c) { c.SharedStore(stage, pos, v); },
+            [&](Ctx& c) {
+              // Staging overflow: write through to the global queue.
+              auto gpos = c.AtomicAdd(s.next_size, zero_idx,
+                                      c.Splat<uint32_t>(1));
+              c.Store(s.next_frontier, gpos, v);
+            });
+      });
+    });
+  });
+  co_await c.Sync();
+
+  // Flush the staged entries: one global atomic for the whole block.
+  auto staged_raw = c.SharedLoad(counter, zero_idx);
+  auto staged = c.Min(staged_raw, kStageCapacity);
+  c.If(c.Eq(local, 0u), [&](Ctx& c) {
+    auto base = c.AtomicAdd(s.next_size, zero_idx, staged);
+    c.SharedStore(flush_base, zero_idx, base);
+  });
+  co_await c.Sync();
+  auto base = c.SharedLoad(flush_base, zero_idx);
+  auto cursor = local;
+  auto block_dim = c.Splat(c.block_dim());
+  c.While(
+      [&](Ctx& c) { return c.Lt(cursor, staged); },
+      [&](Ctx& c) {
+        auto v = c.SharedLoad(stage, cursor);
+        c.Store(s.next_frontier, c.Add(base, cursor), v);
+        c.Assign(&cursor, c.Add(cursor, block_dim));
+      });
+  co_return;
+}
+
+/// Bottom-up sweep: every unvisited vertex scans its adjacency for a
+/// parent on the previous level; early-exits on the first hit.  Uniform
+/// control flow and shared-memory-free — the low-branch-complexity phase
+/// where wavefront-64 issue efficiency shines (paper Hypothesis 1).
+KernelTask BottomUpKernel(Ctx& c, BfsDeviceState s, uint32_t num_vertices,
+                          uint32_t level) {
+  auto tid = c.GlobalThreadId();
+  LaneMask found = 0;
+  c.If(c.Lt(tid, num_vertices), [&](Ctx& c) {
+    auto my_level = c.Load(s.levels, tid);
+    c.If(c.Eq(my_level, kUnreachedLevel), [&](Ctx& c) {
+      auto cursor = c.Load(s.row, tid);
+      auto end = c.Load(s.row, c.Add(tid, 1u));
+      c.While(
+          [&](Ctx& c) {
+            return c.Lt(cursor, end) & ~found;
+          },
+          [&](Ctx& c) {
+            auto v = c.Load(s.col, cursor);
+            auto v_level = c.Load(s.levels, v);
+            LaneMask hit = c.Eq(v_level, level - 1);
+            c.If(hit, [&](Ctx& c) {
+              c.Store(s.levels, tid, c.Splat(level));
+              if (!s.parents.is_null()) c.Store(s.parents, tid, v);
+            });
+            found |= hit;
+            c.Assign(&cursor, c.Add(cursor, eid_t{1}));
+          });
+    });
+  });
+  // Tally newly-visited vertices: warp reduction + one atomic per warp.
+  auto ones = c.Select(found, c.Splat<uint32_t>(1), c.Splat<uint32_t>(0));
+  uint32_t sum = c.ReduceAdd(ones);
+  c.If(c.Eq(c.LaneId(), 0u), [&](Ctx& c) {
+    c.AtomicAdd(s.next_size, c.Splat<uint32_t>(0), c.Splat(sum));
+  });
+  co_return;
+}
+
+/// Rebuilds an explicit frontier queue from the level array (used when the
+/// traversal switches from bottom-up back to top-down).
+KernelTask LevelsToQueueKernel(Ctx& c, BfsDeviceState s, uint32_t num_vertices,
+                               uint32_t level) {
+  auto tid = c.GlobalThreadId();
+  c.If(c.Lt(tid, num_vertices), [&](Ctx& c) {
+    auto my_level = c.Load(s.levels, tid);
+    c.If(c.Eq(my_level, level), [&](Ctx& c) {
+      auto pos =
+          c.AtomicAdd(s.next_size, c.Splat<uint32_t>(0), c.Splat<uint32_t>(1));
+      c.Store(s.next_frontier, pos, tid);
+    });
+  });
+  co_return;
+}
+
+}  // namespace
+
+Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,
+                                 const BfsOptions& options) {
+  const vid_t n = g.num_vertices;
+  if (n == 0) return Status::InvalidArgument("BFS on empty graph");
+  if (options.source >= n) {
+    return Status::InvalidArgument("BFS source " +
+                                   std::to_string(options.source) +
+                                   " out of range");
+  }
+
+  ADGRAPH_ASSIGN_OR_RETURN(auto levels,
+                           rt::DeviceBuffer<uint32_t>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto frontier,
+                           rt::DeviceBuffer<vid_t>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto next_frontier,
+                           rt::DeviceBuffer<vid_t>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto next_size,
+                           rt::DeviceBuffer<uint32_t>::Create(device, 1));
+  rt::DeviceBuffer<vid_t> parents;
+  if (options.compute_parents) {
+    ADGRAPH_ASSIGN_OR_RETURN(parents,
+                             rt::DeviceBuffer<vid_t>::Create(device, n));
+  }
+
+  rt::DeviceTimer timer(device);
+
+  ADGRAPH_RETURN_NOT_OK(
+      primitives::Fill<uint32_t>(device, levels.ptr(), n, kUnreachedLevel));
+  ADGRAPH_RETURN_NOT_OK(
+      primitives::SetElement<uint32_t>(device, levels.ptr(), options.source, 0));
+  ADGRAPH_RETURN_NOT_OK(primitives::SetElement<uint32_t>(
+      device, frontier.ptr().Cast<uint32_t>(), 0, options.source));
+
+  if (options.compute_parents) {
+    ADGRAPH_RETURN_NOT_OK(primitives::Fill<vid_t>(
+        device, parents.ptr(), n, graph::kInvalidVertex));
+  }
+
+  BfsDeviceState state;
+  state.row = g.row_offsets.ptr();
+  state.col = g.col_indices.ptr();
+  state.levels = levels.ptr();
+  state.parents = options.compute_parents ? parents.ptr() : DevPtr<vid_t>{};
+  state.frontier = frontier.ptr();
+  state.next_frontier = next_frontier.ptr();
+  state.next_size = next_size.ptr();
+
+  BfsResult result;
+  uint32_t frontier_size = 1;
+  bool frontier_is_queue = true;  // else implicit in levels (bottom-up mode)
+  uint32_t level = 1;
+
+  while (frontier_size > 0) {
+    ADGRAPH_RETURN_NOT_OK(
+        primitives::SetElement<uint32_t>(device, next_size.ptr(), 0, 0));
+    const bool use_bottom_up =
+        options.direction_optimizing && options.assume_symmetric &&
+        frontier_size > 64 &&
+        static_cast<double>(frontier_size) > n / options.alpha;
+
+    if (use_bottom_up) {
+      ADGRAPH_RETURN_NOT_OK(
+          device
+              ->Launch("bfs_bottom_up",
+                       rt::CoverThreads(n, options.block_size),
+                       [&](Ctx& c) {
+                         return BottomUpKernel(c, state, n, level);
+                       })
+              .status());
+      result.bottom_up_iterations += 1;
+      frontier_is_queue = false;
+    } else {
+      if (!frontier_is_queue) {
+        // Returning from bottom-up: rebuild the queue for level-1.
+        ADGRAPH_RETURN_NOT_OK(
+            primitives::SetElement<uint32_t>(device, next_size.ptr(), 0, 0));
+        BfsDeviceState rebuild = state;
+        rebuild.next_frontier = state.frontier;
+        ADGRAPH_RETURN_NOT_OK(
+            device
+                ->Launch("bfs_levels_to_queue",
+                         rt::CoverThreads(n, options.block_size),
+                         [&](Ctx& c) {
+                           return LevelsToQueueKernel(c, rebuild, n, level - 1);
+                         })
+                .status());
+        ADGRAPH_ASSIGN_OR_RETURN(
+            frontier_size,
+            primitives::GetElement<uint32_t>(device, next_size.ptr(), 0));
+        ADGRAPH_RETURN_NOT_OK(
+            primitives::SetElement<uint32_t>(device, next_size.ptr(), 0, 0));
+        frontier_is_queue = true;
+        if (frontier_size == 0) break;
+      }
+      ADGRAPH_RETURN_NOT_OK(
+          device
+              ->Launch("bfs_top_down",
+                       rt::CoverThreads(frontier_size, options.block_size,
+                                        StageSharedBytes()),
+                       [&](Ctx& c) {
+                         return TopDownKernel(c, state, frontier_size, level);
+                       })
+              .status());
+      result.top_down_iterations += 1;
+    }
+
+    ADGRAPH_ASSIGN_OR_RETURN(
+        uint32_t produced,
+        primitives::GetElement<uint32_t>(device, next_size.ptr(), 0));
+    if (use_bottom_up) {
+      // Stay implicit; `produced` counts newly visited vertices.
+      frontier_size = produced;
+      if (produced > 0 &&
+          static_cast<double>(produced) < n / options.beta &&
+          options.direction_optimizing) {
+        // Next iteration's top-down branch will rebuild the queue.
+      }
+    } else {
+      std::swap(state.frontier, state.next_frontier);
+      frontier_size = produced;
+      frontier_is_queue = true;
+    }
+    if (produced > 0) {
+      result.depth = level;
+    }
+    ++level;
+  }
+
+  result.time_ms = timer.ElapsedMs();
+
+  ADGRAPH_ASSIGN_OR_RETURN(result.levels, levels.ToHost());
+  if (options.compute_parents) {
+    ADGRAPH_ASSIGN_OR_RETURN(result.parents, parents.ToHost());
+  }
+  for (uint32_t lvl : result.levels) {
+    if (lvl != kUnreachedLevel) result.vertices_visited += 1;
+  }
+  return result;
+}
+
+Result<BfsResult> RunBfs(vgpu::Device* device, const graph::CsrGraph& g,
+                         const BfsOptions& options) {
+  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
+  return RunBfsOnDevice(device, d, options);
+}
+
+}  // namespace adgraph::core

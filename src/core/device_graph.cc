@@ -1,0 +1,211 @@
+#include "core/device_graph.h"
+
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::core {
+
+using graph::eid_t;
+using graph::vid_t;
+using graph::weight_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::KernelTask;
+
+Result<DeviceCsr> DeviceCsr::Upload(vgpu::Device* device,
+                                    const graph::CsrGraph& g) {
+  DeviceCsr d;
+  d.num_vertices = g.num_vertices();
+  d.num_edges = g.num_edges();
+  ADGRAPH_ASSIGN_OR_RETURN(
+      d.row_offsets, rt::DeviceBuffer<eid_t>::FromHost(device, g.row_offsets()));
+  ADGRAPH_ASSIGN_OR_RETURN(
+      d.col_indices, rt::DeviceBuffer<vid_t>::FromHost(device, g.col_indices()));
+  if (g.has_weights()) {
+    ADGRAPH_ASSIGN_OR_RETURN(
+        d.weights, rt::DeviceBuffer<weight_t>::FromHost(device, g.weights()));
+  }
+  return d;
+}
+
+namespace primitives {
+
+namespace {
+
+template <typename T>
+KernelTask FillKernel(Ctx& c, DevPtr<T> array, uint64_t count, T value) {
+  auto tid = c.Cast<uint64_t>(c.GlobalThreadId());
+  c.If(c.Lt(tid, count), [&](Ctx& c) {
+    c.Store(array, tid, c.Splat(value));
+  });
+  co_return;
+}
+
+// One block scans kBlockSpan elements through shared memory and emits its
+// block total.  A Hillis-Steele scan: log2(span) rounds of shared
+// load/add/store separated by block barriers.
+constexpr uint32_t kScanBlockThreads = 256;
+
+KernelTask ScanBlockKernel(Ctx& c, DevPtr<uint32_t> in, DevPtr<uint32_t> out,
+                           DevPtr<uint32_t> block_sums, uint64_t count) {
+  vgpu::SmemPtr<uint32_t> stage{0};
+  auto tid = c.Cast<uint64_t>(c.GlobalThreadId());
+  auto local = c.BlockThreadId();
+  auto in_range = c.Lt(tid, count);
+  // Load input (zero-pad the tail).
+  auto value = c.Splat<uint32_t>(0);
+  c.If(in_range, [&](Ctx& c) { c.Assign(&value, c.Load(in, tid)); });
+  c.SharedStore(stage, local, value);
+  co_await c.Sync();
+  // Inclusive Hillis-Steele scan in shared memory.
+  for (uint32_t offset = 1; offset < kScanBlockThreads; offset <<= 1) {
+    auto take = c.Ge(local, offset);
+    auto partner = c.Sub(local, c.Splat(offset));
+    auto addend = c.Splat<uint32_t>(0);
+    c.If(take, [&](Ctx& c) { c.Assign(&addend, c.SharedLoad(stage, partner)); });
+    co_await c.Sync();
+    auto current = c.SharedLoad(stage, local);
+    c.SharedStore(stage, local, c.Add(current, addend));
+    co_await c.Sync();
+  }
+  // Convert to exclusive: out[i] = inclusive[i] - value[i].
+  auto inclusive = c.SharedLoad(stage, local);
+  c.If(in_range, [&](Ctx& c) {
+    c.Store(out, tid, c.Sub(inclusive, value));
+  });
+  // Last thread of the block records the block total.
+  c.If(c.Eq(local, kScanBlockThreads - 1), [&](Ctx& c) {
+    auto block = c.Splat<uint32_t>(c.block_id());
+    c.Store(block_sums, block, inclusive);
+  });
+  co_return;
+}
+
+KernelTask AddOffsetsKernel(Ctx& c, DevPtr<uint32_t> data,
+                            DevPtr<uint32_t> offsets, uint64_t count) {
+  auto tid = c.Cast<uint64_t>(c.GlobalThreadId());
+  c.If(c.Lt(tid, count), [&](Ctx& c) {
+    auto block = c.Splat<uint32_t>(c.block_id());
+    auto offset = c.Load(offsets, block);
+    auto value = c.Load(data, tid);
+    c.Store(data, tid, c.Add(value, offset));
+  });
+  co_return;
+}
+
+}  // namespace
+
+template <typename T>
+Status Fill(vgpu::Device* device, DevPtr<T> array, uint64_t count, T value) {
+  if (count == 0) return Status::OK();
+  auto stats = device->Launch("fill", rt::CoverThreads(count), [&](Ctx& c) {
+    return FillKernel<T>(c, array, count, value);
+  });
+  return stats.ok() ? Status::OK() : stats.status();
+}
+
+template <typename T>
+Status SetElement(vgpu::Device* device, DevPtr<T> array, uint64_t index,
+                  T value) {
+  return device->CopyToDevice(array + index, &value, 1);
+}
+
+template <typename T>
+Result<T> GetElement(vgpu::Device* device, DevPtr<T> array, uint64_t index) {
+  T value;
+  ADGRAPH_RETURN_NOT_OK(device->CopyToHost(&value, array + index, 1));
+  return value;
+}
+
+Result<uint64_t> ExclusiveScanU32(vgpu::Device* device, DevPtr<uint32_t> in,
+                                  DevPtr<uint32_t> out, uint64_t count) {
+  if (count == 0) return uint64_t{0};
+  const uint32_t blocks = static_cast<uint32_t>(
+      (count + kScanBlockThreads - 1) / kScanBlockThreads);
+  ADGRAPH_ASSIGN_OR_RETURN(
+      auto block_sums, rt::DeviceBuffer<uint32_t>::Create(device, blocks));
+  vgpu::LaunchDims dims;
+  dims.grid = blocks;
+  dims.block = kScanBlockThreads;
+  dims.shared_bytes = kScanBlockThreads * sizeof(uint32_t);
+  {
+    auto stats = device->Launch("scan_block", dims, [&](Ctx& c) {
+      return ScanBlockKernel(c, in, out, block_sums.ptr(), count);
+    });
+    ADGRAPH_RETURN_NOT_OK(stats.status());
+  }
+  // Host combine of block sums (the classic small sequential step; real
+  // libraries recurse, which for our block counts is never needed).
+  ADGRAPH_ASSIGN_OR_RETURN(std::vector<uint32_t> sums, block_sums.ToHost());
+  uint64_t total = 0;
+  for (uint32_t& s : sums) {
+    uint32_t this_block = s;
+    s = static_cast<uint32_t>(total);
+    total += this_block;
+  }
+  ADGRAPH_RETURN_NOT_OK(block_sums.Upload(sums.data(), sums.size()));
+  {
+    auto stats = device->Launch("scan_add_offsets", dims, [&](Ctx& c) {
+      return AddOffsetsKernel(c, out, block_sums.ptr(), count);
+    });
+    ADGRAPH_RETURN_NOT_OK(stats.status());
+  }
+  return total;
+}
+
+
+namespace {
+
+KernelTask ReduceSumKernel(Ctx& c, DevPtr<double> in, DevPtr<double> out,
+                           uint64_t count) {
+  auto tid = c.Cast<uint64_t>(c.GlobalThreadId());
+  auto value = c.Splat(0.0);
+  c.If(c.Lt(tid, count), [&](Ctx& c) { c.Assign(&value, c.Load(in, tid)); });
+  double warp_sum = c.ReduceAdd(value);
+  c.If(c.Eq(c.LaneId(), 0u), [&](Ctx& c) {
+    c.AtomicAdd(out, c.Splat<uint32_t>(0), c.Splat(warp_sum));
+  });
+  co_return;
+}
+
+}  // namespace
+
+Result<double> ReduceSumF64(vgpu::Device* device, DevPtr<double> in,
+                            uint64_t count) {
+  ADGRAPH_ASSIGN_OR_RETURN(auto out,
+                           rt::DeviceBuffer<double>::CreateZeroed(device, 1));
+  if (count > 0) {
+    auto stats = device->Launch("reduce_sum", rt::CoverThreads(count),
+                                [&](Ctx& c) {
+                                  return ReduceSumKernel(c, in, out.ptr(),
+                                                         count);
+                                });
+    ADGRAPH_RETURN_NOT_OK(stats.status());
+  }
+  return GetElement<double>(device, out.ptr(), 0);
+}
+
+// Explicit instantiations for the types the library uses.
+template Status Fill<uint32_t>(vgpu::Device*, DevPtr<uint32_t>, uint64_t,
+                               uint32_t);
+template Status Fill<uint64_t>(vgpu::Device*, DevPtr<uint64_t>, uint64_t,
+                               uint64_t);
+template Status Fill<int32_t>(vgpu::Device*, DevPtr<int32_t>, uint64_t,
+                              int32_t);
+template Status Fill<double>(vgpu::Device*, DevPtr<double>, uint64_t, double);
+template Status SetElement<uint32_t>(vgpu::Device*, DevPtr<uint32_t>, uint64_t,
+                                     uint32_t);
+template Status SetElement<uint64_t>(vgpu::Device*, DevPtr<uint64_t>, uint64_t,
+                                     uint64_t);
+template Status SetElement<double>(vgpu::Device*, DevPtr<double>, uint64_t,
+                                   double);
+template Result<uint32_t> GetElement<uint32_t>(vgpu::Device*,
+                                               DevPtr<uint32_t>, uint64_t);
+template Result<uint64_t> GetElement<uint64_t>(vgpu::Device*,
+                                               DevPtr<uint64_t>, uint64_t);
+template Result<double> GetElement<double>(vgpu::Device*, DevPtr<double>,
+                                           uint64_t);
+
+}  // namespace primitives
+
+}  // namespace adgraph::core

@@ -1,0 +1,69 @@
+#ifndef ADGRAPH_CORE_DEVICE_GRAPH_H_
+#define ADGRAPH_CORE_DEVICE_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "runtime/runtime.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::core {
+
+/// \brief A CSR graph resident in simulated device memory.
+///
+/// Move-only; owns its device buffers.  The eid_t row-offset array is
+/// uploaded as 64-bit (paper-scale twitter-mpi exceeds 32-bit edge counts,
+/// and the library keeps one code path).
+struct DeviceCsr {
+  graph::vid_t num_vertices = 0;
+  graph::eid_t num_edges = 0;
+  rt::DeviceBuffer<graph::eid_t> row_offsets;   ///< n+1 entries
+  rt::DeviceBuffer<graph::vid_t> col_indices;   ///< m entries
+  rt::DeviceBuffer<graph::weight_t> weights;    ///< 0 or m entries
+
+  bool has_weights() const { return weights.size() > 0; }
+
+  /// Uploads `g` (and its weights, if any).  Fails with kOutOfMemory when
+  /// the graph does not fit the device's (scaled) RAM.
+  static Result<DeviceCsr> Upload(vgpu::Device* device,
+                                  const graph::CsrGraph& g);
+};
+
+/// \brief Common single-purpose kernels shared by the algorithm
+/// implementations.
+namespace primitives {
+
+/// Fills device_array[0..count) with `value` (one kernel launch).
+template <typename T>
+Status Fill(vgpu::Device* device, vgpu::DevPtr<T> array, uint64_t count,
+            T value);
+
+/// Writes a single element (device equivalent of `arr[index] = value`).
+template <typename T>
+Status SetElement(vgpu::Device* device, vgpu::DevPtr<T> array, uint64_t index,
+                  T value);
+
+/// Reads a single element back to the host.
+template <typename T>
+Result<T> GetElement(vgpu::Device* device, vgpu::DevPtr<T> array,
+                     uint64_t index);
+
+/// Device-side exclusive prefix sum over `count` uint32 values into `out`
+/// (out may alias in).  Three phases: per-block shared-memory Blelloch scan
+/// (barriers + LDS traffic), host combine of the (small) block sums, and an
+/// offset-add kernel.  Returns the total sum.
+Result<uint64_t> ExclusiveScanU32(vgpu::Device* device,
+                                  vgpu::DevPtr<uint32_t> in,
+                                  vgpu::DevPtr<uint32_t> out, uint64_t count);
+
+/// Device-side sum reduction of `count` doubles (warp reductions + one
+/// atomic per warp).
+Result<double> ReduceSumF64(vgpu::Device* device, vgpu::DevPtr<double> in,
+                            uint64_t count);
+
+}  // namespace primitives
+
+}  // namespace adgraph::core
+
+#endif  // ADGRAPH_CORE_DEVICE_GRAPH_H_

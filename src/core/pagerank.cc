@@ -1,0 +1,154 @@
+#include "core/pagerank.h"
+
+#include <cmath>
+
+#include "core/device_graph.h"
+#include "core/spmv.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::core {
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::KernelTask;
+
+/// ranks_next = base + alpha * ranks_next (after the SpMV), and
+/// accumulates |next - prev| into delta.
+KernelTask ApplyDampingKernel(Ctx& c, DevPtr<double> next, DevPtr<double> prev,
+                              DevPtr<double> delta, double base, double alpha,
+                              uint32_t n) {
+  auto v = c.GlobalThreadId();
+  c.If(c.Lt(v, n), [&](Ctx& c) {
+    auto spmv_value = c.Load(next, v);
+    auto updated = c.Add(c.Mul(spmv_value, alpha), base);
+    c.Store(next, v, updated);
+    auto old_value = c.Load(prev, v);
+    auto diff = c.Sub(updated, old_value);
+    // |diff| via select.
+    auto neg = c.Lt(diff, 0.0);
+    auto absdiff = c.Select(neg, c.Sub(c.Splat(0.0), diff), diff);
+    double warp_sum = c.ReduceAdd(absdiff);
+    c.If(c.Eq(c.LaneId(), 0u), [&](Ctx& c) {
+      c.AtomicAdd(delta, c.Splat<uint32_t>(0), c.Splat(warp_sum));
+    });
+  });
+  co_return;
+}
+
+/// Sums the rank mass parked on dangling (out-degree 0) vertices.
+KernelTask DanglingSumKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<double> ranks,
+                             DevPtr<double> out, uint32_t n) {
+  auto v = c.GlobalThreadId();
+  auto mass = c.Splat(0.0);
+  c.If(c.Lt(v, n), [&](Ctx& c) {
+    auto begin = c.Load(row, v);
+    auto end = c.Load(row, c.Add(v, 1u));
+    c.If(c.Eq(begin, end), [&](Ctx& c) {
+      c.Assign(&mass, c.Load(ranks, v));
+    });
+  });
+  double warp_sum = c.ReduceAdd(mass);
+  c.If(c.Eq(c.LaneId(), 0u), [&](Ctx& c) {
+    c.AtomicAdd(out, c.Splat<uint32_t>(0), c.Splat(warp_sum));
+  });
+  co_return;
+}
+
+}  // namespace
+
+Result<PageRankResult> RunPageRank(vgpu::Device* device,
+                                   const graph::CsrGraph& g,
+                                   const PageRankOptions& options) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("PageRank on empty graph");
+  if (options.alpha <= 0 || options.alpha >= 1) {
+    return Status::InvalidArgument("damping factor must be in (0,1)");
+  }
+
+  // Pull formulation: next = A_norm^T * ranks where the edge (v <- u)
+  // carries 1/outdeg(u).  Build that weighted transpose on the host.
+  graph::CsrGraph gt = g.Transpose();
+  {
+    std::vector<graph::weight_t> w(gt.num_edges());
+    const auto& cols = gt.col_indices();
+    for (eid_t e = 0; e < gt.num_edges(); ++e) {
+      w[e] = 1.0 / static_cast<double>(g.degree(cols[e]));
+    }
+    auto rebuilt = graph::CsrGraph::FromArrays(
+        gt.num_vertices(), gt.row_offsets(), gt.col_indices(), std::move(w));
+    gt = std::move(rebuilt).value();
+  }
+
+  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d_gt, DeviceCsr::Upload(device, gt));
+  // Original row offsets, for the dangling-mass pass.
+  ADGRAPH_ASSIGN_OR_RETURN(
+      auto d_row, rt::DeviceBuffer<eid_t>::FromHost(device, g.row_offsets()));
+  ADGRAPH_ASSIGN_OR_RETURN(auto ranks,
+                           rt::DeviceBuffer<double>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto next,
+                           rt::DeviceBuffer<double>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto scalars,
+                           rt::DeviceBuffer<double>::Create(device, 2));
+
+  rt::DeviceTimer timer(device);
+  ADGRAPH_RETURN_NOT_OK(
+      primitives::Fill<double>(device, ranks.ptr(), n, 1.0 / n));
+
+  PageRankResult result;
+  SpmvOptions spmv_options;
+  spmv_options.semiring = Semiring::kPlusTimes;
+  spmv_options.block_size = options.block_size;
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Dangling mass of the current ranks.
+    ADGRAPH_RETURN_NOT_OK(
+        primitives::SetElement<double>(device, scalars.ptr(), 0, 0.0));
+    ADGRAPH_RETURN_NOT_OK(
+        device
+            ->Launch("pagerank_dangling",
+                     rt::CoverThreads(n, options.block_size),
+                     [&](Ctx& c) {
+                       return DanglingSumKernel(c, d_row.ptr(), ranks.ptr(),
+                                                scalars.ptr(), n);
+                     })
+            .status());
+    ADGRAPH_ASSIGN_OR_RETURN(
+        double dangling,
+        primitives::GetElement<double>(device, scalars.ptr(), 0));
+
+    ADGRAPH_RETURN_NOT_OK(RunSpmvOnDevice(device, d_gt, ranks.ptr(),
+                                          next.ptr(), spmv_options));
+
+    double base = (1.0 - options.alpha) / n +
+                  options.alpha * dangling / static_cast<double>(n);
+    ADGRAPH_RETURN_NOT_OK(
+        primitives::SetElement<double>(device, scalars.ptr(), 1, 0.0));
+    ADGRAPH_RETURN_NOT_OK(
+        device
+            ->Launch("pagerank_damping",
+                     rt::CoverThreads(n, options.block_size),
+                     [&](Ctx& c) {
+                       return ApplyDampingKernel(c, next.ptr(), ranks.ptr(),
+                                                 scalars.ptr() + 1, base,
+                                                 options.alpha, n);
+                     })
+            .status());
+    ADGRAPH_ASSIGN_OR_RETURN(
+        result.l1_delta,
+        primitives::GetElement<double>(device, scalars.ptr(), 1));
+
+    std::swap(ranks, next);
+    result.iterations = iter + 1;
+    if (options.tolerance > 0 && result.l1_delta < options.tolerance) break;
+  }
+
+  result.time_ms = timer.ElapsedMs();
+  ADGRAPH_ASSIGN_OR_RETURN(result.ranks, ranks.ToHost());
+  return result;
+}
+
+}  // namespace adgraph::core

@@ -1,0 +1,41 @@
+#ifndef ADGRAPH_CORE_SPMV_H_
+#define ADGRAPH_CORE_SPMV_H_
+
+#include <vector>
+
+#include "core/device_graph.h"
+#include "graph/csr.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::core {
+
+/// Algebraic semiring of the SpMV (nvGRAPH's "semiring Sparse
+/// Matrix-Vector Product", paper §3.2.1).
+enum class Semiring {
+  kPlusTimes,  ///< classic (+, *, identity 0): PageRank, random walks
+  kMinPlus,    ///< tropical (min, +, identity +inf): shortest paths
+  kOrAnd,      ///< boolean (or, and, identity 0): one reachability step
+};
+
+struct SpmvOptions {
+  Semiring semiring = Semiring::kPlusTimes;
+  uint32_t block_size = 256;
+};
+
+/// y = A (semiring-) * x on the device.  A is `g` (CSR); missing weights
+/// act as 1.0.  x and y are device vectors of length num_vertices; y may
+/// not alias x.
+Status RunSpmvOnDevice(vgpu::Device* device, const DeviceCsr& g,
+                       vgpu::DevPtr<double> x, vgpu::DevPtr<double> y,
+                       const SpmvOptions& options);
+
+/// Convenience host-to-host wrapper (uploads g and x, downloads y).
+Result<std::vector<double>> RunSpmv(vgpu::Device* device,
+                                    const graph::CsrGraph& g,
+                                    const std::vector<double>& x,
+                                    const SpmvOptions& options);
+
+}  // namespace adgraph::core
+
+#endif  // ADGRAPH_CORE_SPMV_H_

@@ -1,0 +1,143 @@
+#include "core/sssp.h"
+
+#include <limits>
+#include <string>
+
+#include "core/device_graph.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::core {
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::KernelTask;
+using vgpu::LaneMask;
+using vgpu::Lanes;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One push-style relaxation sweep; sets *changed when any distance drops.
+/// With non-null active flags, only vertices marked active relax, and
+/// improved destinations are marked for the next round (frontier mode).
+KernelTask RelaxKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
+                       DevPtr<double> weights, DevPtr<double> dist,
+                       DevPtr<uint32_t> changed, uint32_t n,
+                       DevPtr<uint32_t> active, DevPtr<uint32_t> next_active) {
+  const bool weighted = !weights.is_null();
+  const bool frontier = !active.is_null();
+  auto u = c.GlobalThreadId();
+  c.If(c.Lt(u, n), [&](Ctx& c) {
+    LaneMask eligible;
+    if (frontier) {
+      eligible = c.Eq(c.Load(active, u), 1u);
+    } else {
+      eligible = c.ActiveMask();
+    }
+    c.If(eligible, [&](Ctx& c) {
+      auto du = c.Load(dist, u);
+      c.If(c.Lt(du, kInf), [&](Ctx& c) {
+        auto begin = c.Load(row, u);
+        auto end = c.Load(row, c.Add(u, 1u));
+        c.For(begin, end, [&](Ctx& c, const Lanes<eid_t>& e) {
+          auto v = c.Load(col, e);
+          auto w = weighted ? c.Load(weights, e) : c.Splat(1.0);
+          auto candidate = c.Add(du, w);
+          auto old = c.AtomicMin(dist, v, candidate);
+          c.If(c.Gt(old, candidate), [&](Ctx& c) {
+            c.Store(changed, c.Splat<uint32_t>(0), c.Splat<uint32_t>(1));
+            if (frontier) c.Store(next_active, v, c.Splat<uint32_t>(1));
+          });
+        });
+      });
+    });
+  });
+  co_return;
+}
+
+}  // namespace
+
+Result<SsspResult> RunSssp(vgpu::Device* device, const graph::CsrGraph& g,
+                           const SsspOptions& options) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("SSSP on empty graph");
+  if (options.source >= n) {
+    return Status::InvalidArgument("SSSP source out of range");
+  }
+  if (g.has_weights()) {
+    for (double w : g.weights()) {
+      if (w < 0) {
+        return Status::InvalidArgument(
+            "SSSP requires non-negative weights (got " + std::to_string(w) +
+            ")");
+      }
+    }
+  }
+
+  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
+  ADGRAPH_ASSIGN_OR_RETURN(auto dist,
+                           rt::DeviceBuffer<double>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto changed,
+                           rt::DeviceBuffer<uint32_t>::Create(device, 1));
+  rt::DeviceBuffer<uint32_t> active;
+  rt::DeviceBuffer<uint32_t> next_active;
+  if (options.use_frontier) {
+    ADGRAPH_ASSIGN_OR_RETURN(active,
+                             rt::DeviceBuffer<uint32_t>::Create(device, n));
+    ADGRAPH_ASSIGN_OR_RETURN(next_active,
+                             rt::DeviceBuffer<uint32_t>::Create(device, n));
+  }
+
+  rt::DeviceTimer timer(device);
+  ADGRAPH_RETURN_NOT_OK(primitives::Fill<double>(device, dist.ptr(), n, kInf));
+  ADGRAPH_RETURN_NOT_OK(
+      primitives::SetElement<double>(device, dist.ptr(), options.source, 0.0));
+  if (options.use_frontier) {
+    ADGRAPH_RETURN_NOT_OK(
+        primitives::Fill<uint32_t>(device, active.ptr(), n, 0));
+    ADGRAPH_RETURN_NOT_OK(primitives::SetElement<uint32_t>(
+        device, active.ptr(), options.source, 1));
+  }
+
+  SsspResult result;
+  const uint32_t max_rounds =
+      options.max_rounds > 0 ? options.max_rounds : (n > 1 ? n - 1 : 1);
+  for (uint32_t round = 0; round < max_rounds; ++round) {
+    ADGRAPH_RETURN_NOT_OK(
+        primitives::SetElement<uint32_t>(device, changed.ptr(), 0, 0));
+    if (options.use_frontier) {
+      ADGRAPH_RETURN_NOT_OK(
+          primitives::Fill<uint32_t>(device, next_active.ptr(), n, 0));
+    }
+    ADGRAPH_RETURN_NOT_OK(
+        device
+            ->Launch("sssp_relax", rt::CoverThreads(n, options.block_size),
+                     [&](Ctx& c) {
+                       return RelaxKernel(
+                           c, d.row_offsets.ptr(), d.col_indices.ptr(),
+                           d.has_weights() ? d.weights.ptr()
+                                           : DevPtr<double>{},
+                           dist.ptr(), changed.ptr(), n,
+                           options.use_frontier ? active.ptr()
+                                                : DevPtr<uint32_t>{},
+                           options.use_frontier ? next_active.ptr()
+                                                : DevPtr<uint32_t>{});
+                     })
+            .status());
+    result.rounds = round + 1;
+    ADGRAPH_ASSIGN_OR_RETURN(
+        uint32_t any,
+        primitives::GetElement<uint32_t>(device, changed.ptr(), 0));
+    if (any == 0) break;
+    if (options.use_frontier) std::swap(active, next_active);
+  }
+
+  result.time_ms = timer.ElapsedMs();
+  ADGRAPH_ASSIGN_OR_RETURN(result.distances, dist.ToHost());
+  return result;
+}
+
+}  // namespace adgraph::core

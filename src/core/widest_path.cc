@@ -1,0 +1,109 @@
+#include "core/widest_path.h"
+
+#include <limits>
+#include <string>
+
+#include "core/device_graph.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::core {
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::KernelTask;
+using vgpu::Lanes;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One (max, min) relaxation sweep: width(v) <- max(width(v),
+/// min(width(u), w(u,v))) over edges (u,v); sets *changed on improvement.
+KernelTask WidenKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
+                       DevPtr<double> weights, DevPtr<double> width,
+                       DevPtr<uint32_t> changed, uint32_t n) {
+  const bool weighted = !weights.is_null();
+  auto u = c.GlobalThreadId();
+  c.If(c.Lt(u, n), [&](Ctx& c) {
+    auto wu = c.Load(width, u);
+    c.If(c.Gt(wu, 0.0), [&](Ctx& c) {
+      auto begin = c.Load(row, u);
+      auto end = c.Load(row, c.Add(u, 1u));
+      c.For(begin, end, [&](Ctx& c, const Lanes<eid_t>& e) {
+        auto v = c.Load(col, e);
+        auto w = weighted ? c.Load(weights, e) : c.Splat(1.0);
+        auto candidate = c.Min(wu, w);
+        auto old = c.AtomicMax(width, v, candidate);
+        c.If(c.Lt(old, candidate), [&](Ctx& c) {
+          c.Store(changed, c.Splat<uint32_t>(0), c.Splat<uint32_t>(1));
+        });
+      });
+    });
+  });
+  co_return;
+}
+
+}  // namespace
+
+Result<WidestPathResult> RunWidestPath(vgpu::Device* device,
+                                       const graph::CsrGraph& g,
+                                       const WidestPathOptions& options) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("widest path on empty graph");
+  if (options.source >= n) {
+    return Status::InvalidArgument("widest-path source out of range");
+  }
+  if (g.has_weights()) {
+    for (double w : g.weights()) {
+      if (w < 0) {
+        return Status::InvalidArgument(
+            "widest path requires non-negative capacities (got " +
+            std::to_string(w) + ")");
+      }
+    }
+  }
+
+  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
+  ADGRAPH_ASSIGN_OR_RETURN(auto width,
+                           rt::DeviceBuffer<double>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(auto changed,
+                           rt::DeviceBuffer<uint32_t>::Create(device, 1));
+
+  rt::DeviceTimer timer(device);
+  ADGRAPH_RETURN_NOT_OK(primitives::Fill<double>(device, width.ptr(), n, 0.0));
+  ADGRAPH_RETURN_NOT_OK(
+      primitives::SetElement<double>(device, width.ptr(), options.source,
+                                     kInf));
+
+  WidestPathResult result;
+  const uint32_t max_rounds =
+      options.max_rounds > 0 ? options.max_rounds : (n > 1 ? n - 1 : 1);
+  for (uint32_t round = 0; round < max_rounds; ++round) {
+    ADGRAPH_RETURN_NOT_OK(
+        primitives::SetElement<uint32_t>(device, changed.ptr(), 0, 0));
+    ADGRAPH_RETURN_NOT_OK(
+        device
+            ->Launch("widest_relax", rt::CoverThreads(n, options.block_size),
+                     [&](Ctx& c) {
+                       return WidenKernel(c, d.row_offsets.ptr(),
+                                          d.col_indices.ptr(),
+                                          d.has_weights() ? d.weights.ptr()
+                                                          : DevPtr<double>{},
+                                          width.ptr(), changed.ptr(), n);
+                     })
+            .status());
+    result.rounds = round + 1;
+    ADGRAPH_ASSIGN_OR_RETURN(
+        uint32_t any,
+        primitives::GetElement<uint32_t>(device, changed.ptr(), 0));
+    if (any == 0) break;
+  }
+
+  result.time_ms = timer.ElapsedMs();
+  ADGRAPH_ASSIGN_OR_RETURN(result.widths, width.ToHost());
+  return result;
+}
+
+}  // namespace adgraph::core

@@ -1,0 +1,4 @@
+#include "graph/builder.h"
+
+// GraphBuilder is header-only today; this TU anchors the library target and
+// reserves space for future out-of-line growth (e.g. streaming builders).

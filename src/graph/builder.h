@@ -1,0 +1,62 @@
+#ifndef ADGRAPH_GRAPH_BUILDER_H_
+#define ADGRAPH_GRAPH_BUILDER_H_
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace adgraph::graph {
+
+/// \brief Incremental graph construction front end.
+///
+/// Collects edges (auto-growing the vertex count), then finalizes into a
+/// CsrGraph.  Convenient for examples and tests; bulk paths (generators,
+/// file readers) build CooGraph directly.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares the vertex count (ids >= count still grow it).
+  explicit GraphBuilder(vid_t num_vertices) {
+    coo_.num_vertices = num_vertices;
+  }
+
+  GraphBuilder& AddEdge(vid_t u, vid_t v) {
+    Grow(u, v);
+    coo_.AddEdge(u, v);
+    if (!coo_.weights.empty()) coo_.weights.push_back(weight_t{1});
+    return *this;
+  }
+
+  GraphBuilder& AddEdge(vid_t u, vid_t v, weight_t w) {
+    Grow(u, v);
+    // Backfill default weights if earlier edges were unweighted.
+    if (coo_.weights.size() < coo_.src.size()) {
+      coo_.weights.resize(coo_.src.size(), weight_t{1});
+    }
+    coo_.AddEdge(u, v, w);
+    return *this;
+  }
+
+  vid_t num_vertices() const { return coo_.num_vertices; }
+  eid_t num_edges() const { return coo_.num_edges(); }
+  const CooGraph& coo() const { return coo_; }
+
+  /// Finalizes into CSR.  The builder remains usable afterwards.
+  Result<CsrGraph> Build(const CsrBuildOptions& options = {}) const {
+    return CsrGraph::FromCoo(coo_, options);
+  }
+
+ private:
+  void Grow(vid_t u, vid_t v) {
+    vid_t needed = std::max(u, v) + 1;
+    if (needed > coo_.num_vertices) coo_.num_vertices = needed;
+  }
+
+  CooGraph coo_;
+};
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_BUILDER_H_

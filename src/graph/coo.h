@@ -1,0 +1,38 @@
+#ifndef ADGRAPH_GRAPH_COO_H_
+#define ADGRAPH_GRAPH_COO_H_
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace adgraph::graph {
+
+/// \brief Edge-list (coordinate) representation: the interchange format
+/// produced by generators and file readers and consumed by the CSR builder.
+///
+/// Plain data carrier; invariants (src/dst < num_vertices, parallel array
+/// lengths) are validated by consumers, not enforced here.
+struct CooGraph {
+  vid_t num_vertices = 0;
+  std::vector<vid_t> src;
+  std::vector<vid_t> dst;
+  /// Empty, or one weight per edge.
+  std::vector<weight_t> weights;
+
+  eid_t num_edges() const { return static_cast<eid_t>(src.size()); }
+  bool has_weights() const { return !weights.empty(); }
+
+  void AddEdge(vid_t u, vid_t v) {
+    src.push_back(u);
+    dst.push_back(v);
+  }
+  void AddEdge(vid_t u, vid_t v, weight_t w) {
+    src.push_back(u);
+    dst.push_back(v);
+    weights.push_back(w);
+  }
+};
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_COO_H_

@@ -1,0 +1,147 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace adgraph::graph {
+
+Result<CsrGraph> CsrGraph::FromCoo(const CooGraph& coo,
+                                   const CsrBuildOptions& options) {
+  const eid_t m_in = coo.num_edges();
+  if (coo.dst.size() != coo.src.size()) {
+    return Status::InvalidArgument("COO src/dst length mismatch");
+  }
+  if (coo.has_weights() && coo.weights.size() != coo.src.size()) {
+    return Status::InvalidArgument("COO weights length mismatch");
+  }
+  for (eid_t e = 0; e < m_in; ++e) {
+    if (coo.src[e] >= coo.num_vertices || coo.dst[e] >= coo.num_vertices) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(e) + " references vertex out of range");
+    }
+  }
+
+  // Materialize the working edge set (optionally symmetrized, minus loops).
+  struct Edge {
+    vid_t u, v;
+    weight_t w;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(options.make_undirected ? 2 * m_in : m_in);
+  for (eid_t e = 0; e < m_in; ++e) {
+    vid_t u = coo.src[e];
+    vid_t v = coo.dst[e];
+    if (options.remove_self_loops && u == v) continue;
+    weight_t w = coo.has_weights() ? coo.weights[e] : weight_t{1};
+    edges.push_back({u, v, w});
+    if (options.make_undirected && u != v) edges.push_back({v, u, w});
+  }
+
+  if (options.sort_neighbors) {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.u != b.u ? a.u < b.u : a.v < b.v;
+                     });
+  } else {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge& a, const Edge& b) { return a.u < b.u; });
+  }
+  if (options.remove_duplicates) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.u == b.u && a.v == b.v;
+                            }),
+                edges.end());
+  }
+
+  CsrGraph g;
+  g.num_vertices_ = coo.num_vertices;
+  g.row_offsets_.assign(static_cast<size_t>(coo.num_vertices) + 1, 0);
+  g.col_indices_.resize(edges.size());
+  if (coo.has_weights()) g.weights_.resize(edges.size());
+  for (const Edge& e : edges) g.row_offsets_[e.u + 1] += 1;
+  std::partial_sum(g.row_offsets_.begin(), g.row_offsets_.end(),
+                   g.row_offsets_.begin());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    g.col_indices_[i] = edges[i].v;
+    if (!g.weights_.empty()) g.weights_[i] = edges[i].w;
+  }
+  return g;
+}
+
+Result<CsrGraph> CsrGraph::FromArrays(vid_t num_vertices,
+                                      std::vector<eid_t> row_offsets,
+                                      std::vector<vid_t> col_indices,
+                                      std::vector<weight_t> weights) {
+  if (row_offsets.size() != static_cast<size_t>(num_vertices) + 1) {
+    return Status::InvalidArgument("row_offsets must have n+1 entries");
+  }
+  if (row_offsets.front() != 0 || row_offsets.back() != col_indices.size()) {
+    return Status::InvalidArgument("row_offsets endpoints inconsistent");
+  }
+  for (size_t i = 1; i < row_offsets.size(); ++i) {
+    if (row_offsets[i] < row_offsets[i - 1]) {
+      return Status::InvalidArgument("row_offsets not monotone");
+    }
+  }
+  for (vid_t v : col_indices) {
+    if (v >= num_vertices) {
+      return Status::InvalidArgument("col index out of range");
+    }
+  }
+  if (!weights.empty() && weights.size() != col_indices.size()) {
+    return Status::InvalidArgument("weights length mismatch");
+  }
+  CsrGraph g;
+  g.num_vertices_ = num_vertices;
+  g.row_offsets_ = std::move(row_offsets);
+  g.col_indices_ = std::move(col_indices);
+  g.weights_ = std::move(weights);
+  return g;
+}
+
+CsrGraph CsrGraph::Transpose() const {
+  CsrGraph t;
+  t.num_vertices_ = num_vertices_;
+  t.row_offsets_.assign(row_offsets_.size(), 0);
+  t.col_indices_.resize(col_indices_.size());
+  if (has_weights()) t.weights_.resize(weights_.size());
+  for (vid_t v : col_indices_) t.row_offsets_[v + 1] += 1;
+  std::partial_sum(t.row_offsets_.begin(), t.row_offsets_.end(),
+                   t.row_offsets_.begin());
+  std::vector<eid_t> cursor(t.row_offsets_.begin(), t.row_offsets_.end() - 1);
+  for (vid_t u = 0; u < num_vertices_; ++u) {
+    for (eid_t e = row_offsets_[u]; e < row_offsets_[u + 1]; ++e) {
+      vid_t v = col_indices_[e];
+      eid_t pos = cursor[v]++;
+      t.col_indices_[pos] = u;
+      if (has_weights()) t.weights_[pos] = weights_[e];
+    }
+  }
+  return t;
+}
+
+CsrGraph CsrGraph::WithUniformWeights(weight_t w) const {
+  CsrGraph g = *this;
+  g.weights_.assign(col_indices_.size(), w);
+  return g;
+}
+
+CooGraph CsrGraph::ToCoo() const {
+  CooGraph coo;
+  coo.num_vertices = num_vertices_;
+  coo.src.reserve(col_indices_.size());
+  coo.dst.reserve(col_indices_.size());
+  if (has_weights()) coo.weights.reserve(weights_.size());
+  for (vid_t u = 0; u < num_vertices_; ++u) {
+    for (eid_t e = row_offsets_[u]; e < row_offsets_[u + 1]; ++e) {
+      coo.src.push_back(u);
+      coo.dst.push_back(col_indices_[e]);
+      if (has_weights()) coo.weights.push_back(weights_[e]);
+    }
+  }
+  return coo;
+}
+
+}  // namespace adgraph::graph

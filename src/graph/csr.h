@@ -1,0 +1,96 @@
+#ifndef ADGRAPH_GRAPH_CSR_H_
+#define ADGRAPH_GRAPH_CSR_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace adgraph::graph {
+
+/// Options controlling COO -> CSR conversion.
+struct CsrBuildOptions {
+  /// Sort each adjacency list ascending (required by set-intersection
+  /// triangle counting and binary-search lookups).
+  bool sort_neighbors = true;
+  /// Drop duplicate (u,v) pairs after sorting (keeps the first weight).
+  bool remove_duplicates = false;
+  /// Drop u==u self loops.
+  bool remove_self_loops = false;
+  /// Also insert (v,u) for every (u,v) — symmetrize a directed input.
+  bool make_undirected = false;
+};
+
+/// \brief Compressed Sparse Row adjacency structure — the storage format of
+/// nvGRAPH/adGRAPH (paper §5.3 notes CSR/CSC is what such libraries use).
+///
+/// Immutable after construction.  `row_offsets` has num_vertices()+1
+/// entries; neighbors of v are col_indices[row_offsets[v] ..
+/// row_offsets[v+1]).  Weights are optional and parallel to col_indices.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list.  Validates vertex bounds and (if present)
+  /// the weights array length.
+  static Result<CsrGraph> FromCoo(const CooGraph& coo,
+                                  const CsrBuildOptions& options = {});
+
+  /// Direct constructor from pre-built arrays (trusted callers: tests,
+  /// file readers of the binary format).  Validates shape invariants.
+  static Result<CsrGraph> FromArrays(vid_t num_vertices,
+                                     std::vector<eid_t> row_offsets,
+                                     std::vector<vid_t> col_indices,
+                                     std::vector<weight_t> weights = {});
+
+  vid_t num_vertices() const { return num_vertices_; }
+  eid_t num_edges() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.back();
+  }
+  bool has_weights() const { return !weights_.empty(); }
+
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(row_offsets_[v + 1] - row_offsets_[v]);
+  }
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {col_indices_.data() + row_offsets_[v],
+            col_indices_.data() + row_offsets_[v + 1]};
+  }
+  std::span<const weight_t> edge_weights(vid_t v) const {
+    return {weights_.data() + row_offsets_[v],
+            weights_.data() + row_offsets_[v + 1]};
+  }
+
+  const std::vector<eid_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<vid_t>& col_indices() const { return col_indices_; }
+  const std::vector<weight_t>& weights() const { return weights_; }
+
+  /// Reversed-edge graph (CSC of this one).  Weights follow their edge.
+  CsrGraph Transpose() const;
+
+  /// Returns a copy with uniform weights attached (used by ESBV, which the
+  /// paper notes *requires* edge weight data).
+  CsrGraph WithUniformWeights(weight_t w) const;
+
+  /// Converts back to an edge list (testing / round-trips).
+  CooGraph ToCoo() const;
+
+  /// Device-memory footprint of this graph's arrays if uploaded as-is.
+  uint64_t DeviceFootprintBytes() const {
+    return row_offsets_.size() * sizeof(eid_t) +
+           col_indices_.size() * sizeof(vid_t) +
+           weights_.size() * sizeof(weight_t);
+  }
+
+ private:
+  vid_t num_vertices_ = 0;
+  std::vector<eid_t> row_offsets_{0};
+  std::vector<vid_t> col_indices_;
+  std::vector<weight_t> weights_;
+};
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_CSR_H_

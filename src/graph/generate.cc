@@ -1,0 +1,164 @@
+#include "graph/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace adgraph::graph {
+
+Result<CooGraph> GenerateRmat(const RmatParams& params) {
+  if (params.scale == 0 || params.scale > 30) {
+    return Status::InvalidArgument("R-MAT scale must be in [1, 30]");
+  }
+  double sum = params.a + params.b + params.c + params.d;
+  if (params.a <= 0 || params.b <= 0 || params.c <= 0 || params.d <= 0 ||
+      std::abs(sum - 1.0) > 0.01) {
+    return Status::InvalidArgument(
+        "R-MAT probabilities must be positive and sum to 1 (got " +
+        std::to_string(sum) + ")");
+  }
+  const vid_t n = static_cast<vid_t>(1u) << params.scale;
+  const eid_t m = static_cast<eid_t>(params.edge_factor * n);
+  Rng rng(params.seed);
+
+  CooGraph coo;
+  coo.num_vertices = n;
+  coo.src.reserve(m);
+  coo.dst.reserve(m);
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t u = 0;
+    vid_t v = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    coo.AddEdge(u, v);
+  }
+
+  if (params.permute_vertices) {
+    std::vector<vid_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (vid_t i = n - 1; i > 0; --i) {
+      vid_t j = static_cast<vid_t>(rng.Uniform(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    for (eid_t e = 0; e < m; ++e) {
+      coo.src[e] = perm[coo.src[e]];
+      coo.dst[e] = perm[coo.dst[e]];
+    }
+  }
+  return coo;
+}
+
+Result<CooGraph> GenerateErdosRenyi(vid_t num_vertices, eid_t num_edges,
+                                    uint64_t seed) {
+  if (num_vertices == 0) {
+    return Status::InvalidArgument("Erdos-Renyi needs at least one vertex");
+  }
+  Rng rng(seed);
+  CooGraph coo;
+  coo.num_vertices = num_vertices;
+  coo.src.reserve(num_edges);
+  coo.dst.reserve(num_edges);
+  for (eid_t e = 0; e < num_edges; ++e) {
+    coo.AddEdge(static_cast<vid_t>(rng.Uniform(num_vertices)),
+                static_cast<vid_t>(rng.Uniform(num_vertices)));
+  }
+  return coo;
+}
+
+Result<CooGraph> GenerateWattsStrogatz(vid_t num_vertices, uint32_t k,
+                                       double beta, uint64_t seed) {
+  if (num_vertices < 3) {
+    return Status::InvalidArgument("Watts-Strogatz needs >= 3 vertices");
+  }
+  if (k % 2 != 0 || k == 0 || k >= num_vertices) {
+    return Status::InvalidArgument(
+        "Watts-Strogatz degree k must be even, positive and < n");
+  }
+  if (beta < 0 || beta > 1) {
+    return Status::InvalidArgument("rewire probability must be in [0,1]");
+  }
+  Rng rng(seed);
+  CooGraph coo;
+  coo.num_vertices = num_vertices;
+  for (vid_t u = 0; u < num_vertices; ++u) {
+    for (uint32_t hop = 1; hop <= k / 2; ++hop) {
+      vid_t v = static_cast<vid_t>((u + hop) % num_vertices);
+      if (rng.Bernoulli(beta)) {
+        // Rewire to a uniform random target (avoiding self loops).
+        vid_t w = u;
+        while (w == u) w = static_cast<vid_t>(rng.Uniform(num_vertices));
+        v = w;
+      }
+      coo.AddEdge(u, v);
+      coo.AddEdge(v, u);
+    }
+  }
+  return coo;
+}
+
+Result<CooGraph> GenerateBarabasiAlbert(vid_t num_vertices,
+                                        uint32_t edges_per_vertex,
+                                        uint64_t seed) {
+  if (edges_per_vertex == 0 || num_vertices <= edges_per_vertex) {
+    return Status::InvalidArgument(
+        "Barabasi-Albert needs 0 < m < num_vertices");
+  }
+  Rng rng(seed);
+  CooGraph coo;
+  coo.num_vertices = num_vertices;
+  // Target multiset: picking a uniform element of `targets` is proportional
+  // to degree (each endpoint appearance is one entry).
+  std::vector<vid_t> targets;
+  targets.reserve(2ull * num_vertices * edges_per_vertex);
+  // Seed clique over the first m+1 vertices.
+  for (vid_t u = 0; u <= edges_per_vertex; ++u) {
+    for (vid_t v = u + 1; v <= edges_per_vertex; ++v) {
+      coo.AddEdge(u, v);
+      coo.AddEdge(v, u);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (vid_t u = edges_per_vertex + 1; u < num_vertices; ++u) {
+    std::vector<vid_t> chosen;
+    while (chosen.size() < edges_per_vertex) {
+      vid_t v = targets[rng.Uniform(targets.size())];
+      if (v != u &&
+          std::find(chosen.begin(), chosen.end(), v) == chosen.end()) {
+        chosen.push_back(v);
+      }
+    }
+    for (vid_t v : chosen) {
+      coo.AddEdge(u, v);
+      coo.AddEdge(v, u);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return coo;
+}
+
+void AttachRandomWeights(CooGraph* coo, double lo, double hi, uint64_t seed) {
+  Rng rng(seed);
+  coo->weights.resize(coo->src.size());
+  for (auto& w : coo->weights) w = lo + (hi - lo) * rng.NextDouble();
+}
+
+}  // namespace adgraph::graph

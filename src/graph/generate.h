@@ -1,0 +1,53 @@
+#ifndef ADGRAPH_GRAPH_GENERATE_H_
+#define ADGRAPH_GRAPH_GENERATE_H_
+
+#include <cstdint>
+
+#include "graph/coo.h"
+#include "util/status.h"
+
+namespace adgraph::graph {
+
+/// Parameters of the R-MAT recursive generator (Chakrabarti et al.), the
+/// standard synthetic source of power-law graphs (Graph500 uses it).
+/// Probabilities must be positive and sum to ~1; a >> d yields the heavy
+/// degree skew of social graphs.
+struct RmatParams {
+  uint32_t scale = 16;       ///< num_vertices = 2^scale
+  double edge_factor = 16;   ///< num_edges = edge_factor * num_vertices
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 1;
+  /// Shuffle vertex ids to break the generator's id-locality (real SNAP
+  /// graphs have little of it).  Off for web-like graphs, which DO exhibit
+  /// strong id-locality from crawl order.
+  bool permute_vertices = true;
+};
+
+/// Generates a directed R-MAT edge list (may contain duplicates and self
+/// loops, like raw crawls; pass through CsrBuildOptions to clean).
+Result<CooGraph> GenerateRmat(const RmatParams& params);
+
+/// G(n, m) Erdős–Rényi: m directed edges sampled uniformly.
+Result<CooGraph> GenerateErdosRenyi(vid_t num_vertices, eid_t num_edges,
+                                    uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice of degree k, rewired with
+/// probability beta.  Undirected edges emitted in both directions.
+Result<CooGraph> GenerateWattsStrogatz(vid_t num_vertices, uint32_t k,
+                                       double beta, uint64_t seed);
+
+/// Barabási–Albert preferential attachment with m edges per new vertex.
+/// Undirected edges emitted in both directions.
+Result<CooGraph> GenerateBarabasiAlbert(vid_t num_vertices,
+                                        uint32_t edges_per_vertex,
+                                        uint64_t seed);
+
+/// Uniform-random weights in [lo, hi) attached in place.
+void AttachRandomWeights(CooGraph* coo, double lo, double hi, uint64_t seed);
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_GENERATE_H_

@@ -1,0 +1,202 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace adgraph::graph {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x4852474441ull;  // "ADGRH"
+constexpr uint32_t kBinaryVersion = 1;
+
+}  // namespace
+
+Result<CooGraph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  CooGraph coo;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    uint64_t u, v;
+    if (!(ss >> u >> v)) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": malformed edge line");
+    }
+    double w;
+    bool has_w = static_cast<bool>(ss >> w);
+    if (has_w && coo.weights.size() < coo.src.size()) {
+      // Earlier lines were unweighted: backfill.
+      coo.weights.resize(coo.src.size(), 1.0);
+    }
+    coo.src.push_back(static_cast<vid_t>(u));
+    coo.dst.push_back(static_cast<vid_t>(v));
+    if (!coo.weights.empty() || has_w) {
+      coo.weights.push_back(has_w ? w : 1.0);
+    }
+    vid_t needed = static_cast<vid_t>(std::max(u, v)) + 1;
+    if (needed > coo.num_vertices) coo.num_vertices = needed;
+  }
+  return coo;
+}
+
+Status WriteEdgeList(const CooGraph& coo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# adgraph edge list: " << coo.num_vertices << " vertices, "
+      << coo.num_edges() << " edges\n";
+  for (eid_t e = 0; e < coo.num_edges(); ++e) {
+    out << coo.src[e] << ' ' << coo.dst[e];
+    if (coo.has_weights()) out << ' ' << coo.weights[e];
+    out << '\n';
+  }
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<CooGraph> ReadMatrixMarket(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("%%MatrixMarket", 0) != 0) {
+    return Status::IOError(path + ": missing MatrixMarket banner");
+  }
+  bool pattern = header.find("pattern") != std::string::npos;
+  bool symmetric = header.find("symmetric") != std::string::npos;
+  if (header.find("coordinate") == std::string::npos) {
+    return Status::Unimplemented("only coordinate MatrixMarket supported");
+  }
+  std::string line;
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  uint64_t rows, cols, nnz;
+  if (!(dims >> rows >> cols >> nnz)) {
+    return Status::IOError(path + ": malformed size line");
+  }
+  CooGraph coo;
+  coo.num_vertices = static_cast<vid_t>(std::max(rows, cols));
+  coo.src.reserve(nnz);
+  coo.dst.reserve(nnz);
+  if (!pattern) coo.weights.reserve(nnz);
+  for (uint64_t i = 0; i < nnz; ++i) {
+    uint64_t r, c;
+    double w = 1.0;
+    if (!(in >> r >> c)) {
+      return Status::IOError(path + ": truncated entry list");
+    }
+    if (!pattern && !(in >> w)) {
+      return Status::IOError(path + ": missing value in real matrix");
+    }
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      return Status::IOError(path + ": index out of bounds");
+    }
+    coo.src.push_back(static_cast<vid_t>(r - 1));
+    coo.dst.push_back(static_cast<vid_t>(c - 1));
+    if (!pattern) coo.weights.push_back(w);
+    if (symmetric && r != c) {
+      coo.src.push_back(static_cast<vid_t>(c - 1));
+      coo.dst.push_back(static_cast<vid_t>(r - 1));
+      if (!pattern) coo.weights.push_back(w);
+    }
+  }
+  return coo;
+}
+
+Status WriteMatrixMarket(const CooGraph& coo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  bool pattern = !coo.has_weights();
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << " general\n";
+  out << coo.num_vertices << ' ' << coo.num_vertices << ' '
+      << coo.num_edges() << '\n';
+  for (eid_t e = 0; e < coo.num_edges(); ++e) {
+    out << (coo.src[e] + 1) << ' ' << (coo.dst[e] + 1);
+    if (!pattern) out << ' ' << coo.weights[e];
+    out << '\n';
+  }
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& vec) {
+  uint64_t count = vec.size();
+  WritePod(out, count);
+  out.write(reinterpret_cast<const char*>(vec.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* vec) {
+  uint64_t count;
+  if (!ReadPod(in, &count)) return false;
+  vec->resize(count);
+  in.read(reinterpret_cast<char*>(vec->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteBinaryCsr(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  WritePod(out, kBinaryMagic);
+  WritePod(out, kBinaryVersion);
+  WritePod(out, graph.num_vertices());
+  WriteVec(out, graph.row_offsets());
+  WriteVec(out, graph.col_indices());
+  WriteVec(out, graph.weights());
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<CsrGraph> ReadBinaryCsr(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  uint64_t magic;
+  uint32_t version;
+  vid_t n;
+  if (!ReadPod(in, &magic) || magic != kBinaryMagic) {
+    return Status::IOError(path + ": not an adgraph binary CSR file");
+  }
+  if (!ReadPod(in, &version) || version != kBinaryVersion) {
+    return Status::IOError(path + ": unsupported version");
+  }
+  if (!ReadPod(in, &n)) return Status::IOError(path + ": truncated");
+  std::vector<eid_t> row_offsets;
+  std::vector<vid_t> col_indices;
+  std::vector<weight_t> weights;
+  if (!ReadVec(in, &row_offsets) || !ReadVec(in, &col_indices) ||
+      !ReadVec(in, &weights)) {
+    return Status::IOError(path + ": truncated arrays");
+  }
+  return CsrGraph::FromArrays(n, std::move(row_offsets),
+                              std::move(col_indices), std::move(weights));
+}
+
+}  // namespace adgraph::graph

@@ -1,0 +1,87 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace adgraph::graph {
+
+Permutation DegreeOrder(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](vid_t a, vid_t b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  Permutation perm(n);
+  for (vid_t rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+Permutation BfsOrder(const CsrGraph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  Permutation perm(n, kInvalidVertex);
+  vid_t next = 0;
+  if (n == 0) return perm;
+  std::deque<vid_t> queue;
+  auto visit = [&](vid_t v) {
+    if (perm[v] == kInvalidVertex) {
+      perm[v] = next++;
+      queue.push_back(v);
+    }
+  };
+  visit(source % n);
+  while (!queue.empty()) {
+    vid_t u = queue.front();
+    queue.pop_front();
+    for (vid_t v : g.neighbors(u)) visit(v);
+  }
+  // Unreachable vertices keep their relative order after the reached ones.
+  for (vid_t v = 0; v < n; ++v) {
+    if (perm[v] == kInvalidVertex) perm[v] = next++;
+  }
+  return perm;
+}
+
+Result<CsrGraph> ApplyPermutation(const CsrGraph& g, const Permutation& perm) {
+  const vid_t n = g.num_vertices();
+  if (perm.size() != n) {
+    return Status::InvalidArgument("permutation size mismatch");
+  }
+  std::vector<uint8_t> seen(n, 0);
+  for (vid_t p : perm) {
+    if (p >= n || seen[p]) {
+      return Status::InvalidArgument("permutation is not a bijection");
+    }
+    seen[p] = 1;
+  }
+  CooGraph coo;
+  coo.num_vertices = n;
+  coo.src.reserve(g.num_edges());
+  coo.dst.reserve(g.num_edges());
+  if (g.has_weights()) coo.weights.reserve(g.num_edges());
+  for (vid_t u = 0; u < n; ++u) {
+    auto adj = g.neighbors(u);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (g.has_weights()) {
+        coo.AddEdge(perm[u], perm[adj[i]], g.edge_weights(u)[i]);
+      } else {
+        coo.AddEdge(perm[u], perm[adj[i]]);
+      }
+    }
+  }
+  CsrBuildOptions options;
+  options.sort_neighbors = true;
+  return CsrGraph::FromCoo(coo, options);
+}
+
+Permutation InvertPermutation(const Permutation& perm) {
+  Permutation inverse(perm.size());
+  for (vid_t old_id = 0; old_id < perm.size(); ++old_id) {
+    inverse[perm[old_id]] = old_id;
+  }
+  return inverse;
+}
+
+}  // namespace adgraph::graph

@@ -1,0 +1,41 @@
+#ifndef ADGRAPH_GRAPH_REORDER_H_
+#define ADGRAPH_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace adgraph::graph {
+
+/// \brief Vertex-relabeling (data layout) optimizations.
+///
+/// The paper's §5.3 notes that optimized data layouts (RealGraphGPU-style)
+/// could reduce the irregular-access penalty its conclusions rest on; this
+/// module implements the classic relabelings so the effect can be measured
+/// in the simulator (bench_ext_reordering).
+
+/// A permutation: `perm[old_id] = new_id`.  Always a bijection over
+/// [0, num_vertices).
+using Permutation = std::vector<vid_t>;
+
+/// Relabels by descending out-degree (hubs first): clusters the hot
+/// vertices' metadata, improving cache behaviour on skewed graphs.
+Permutation DegreeOrder(const CsrGraph& g);
+
+/// Relabels in BFS discovery order from `source` (Cuthill-McKee flavor):
+/// neighbors get nearby ids, improving locality of neighbor gathers.
+/// Vertices unreachable from `source` keep relative order at the end.
+Permutation BfsOrder(const CsrGraph& g, vid_t source);
+
+/// Applies `perm` to `g`: vertex v becomes perm[v]; adjacency (and weights)
+/// follow.  Fails if perm is not a bijection of the right size.
+Result<CsrGraph> ApplyPermutation(const CsrGraph& g, const Permutation& perm);
+
+/// Inverse permutation (new_id -> old_id).
+Permutation InvertPermutation(const Permutation& perm);
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_REORDER_H_

@@ -1,0 +1,72 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace adgraph::graph {
+
+DegreeStats ComputeDegreeStats(const CsrGraph& g) {
+  DegreeStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_edges = g.num_edges();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    vid_t d = g.degree(v);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) stats.isolated_vertices += 1;
+  }
+  stats.avg_degree = stats.num_vertices > 0
+                         ? static_cast<double>(stats.num_edges) /
+                               static_cast<double>(stats.num_vertices)
+                         : 0;
+  return stats;
+}
+
+
+DegreeDistribution ComputeDegreeDistribution(const CsrGraph& g) {
+  DegreeDistribution dist;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return dist;
+  std::vector<vid_t> degrees(n);
+  for (vid_t v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  auto pct = [&](double p) {
+    size_t idx = static_cast<size_t>(p * (n - 1));
+    return degrees[idx];
+  };
+  dist.p0 = pct(0.0);
+  dist.p50 = pct(0.5);
+  dist.p90 = pct(0.9);
+  dist.p99 = pct(0.99);
+  dist.p100 = degrees.back();
+  // Log2 histogram.
+  uint32_t max_bin = 0;
+  for (vid_t d : degrees) {
+    uint32_t bin = d <= 1 ? 0 : static_cast<uint32_t>(std::log2(d));
+    max_bin = std::max(max_bin, bin);
+  }
+  dist.log2_bins.assign(max_bin + 1, 0);
+  for (vid_t d : degrees) {
+    uint32_t bin = d <= 1 ? 0 : static_cast<uint32_t>(std::log2(d));
+    dist.log2_bins[bin] += 1;
+  }
+  // Hill estimator over the top decile of nonzero degrees.
+  size_t tail = n / 10;
+  if (tail >= 8) {
+    double threshold = std::max<double>(degrees[n - tail - 1], 1);
+    double sum = 0;
+    size_t used = 0;
+    for (size_t i = n - tail; i < n; ++i) {
+      if (degrees[i] > threshold) {
+        sum += std::log(static_cast<double>(degrees[i]) / threshold);
+        ++used;
+      }
+    }
+    if (used >= 8 && sum > 0) {
+      dist.powerlaw_alpha = 1.0 + static_cast<double>(used) / sum;
+    }
+  }
+  return dist;
+}
+
+}  // namespace adgraph::graph

@@ -1,0 +1,44 @@
+#ifndef ADGRAPH_GRAPH_STATS_H_
+#define ADGRAPH_GRAPH_STATS_H_
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace adgraph::graph {
+
+/// Degree-distribution summary of a graph (paper Table 4 columns plus the
+/// skew indicators the paper's "sensitivity to graph properties" discussion
+/// relies on).
+struct DegreeStats {
+  vid_t num_vertices = 0;
+  eid_t num_edges = 0;
+  vid_t max_degree = 0;
+  double avg_degree = 0;
+  vid_t isolated_vertices = 0;  ///< out-degree 0
+  /// Max degree / average degree: the intra-warp load-imbalance driver.
+  double skew() const {
+    return avg_degree > 0 ? max_degree / avg_degree : 0;
+  }
+};
+
+/// Out-degree statistics of `g`.
+DegreeStats ComputeDegreeStats(const CsrGraph& g);
+
+/// Degree-distribution detail: percentiles and a log-binned histogram —
+/// the power-law evidence Table 4's dataset selection is based on.
+struct DegreeDistribution {
+  /// degree value at the given out-degree percentile (0, 50, 90, 99, 100).
+  vid_t p0 = 0, p50 = 0, p90 = 0, p99 = 0, p100 = 0;
+  /// histogram over power-of-two degree bins: bins[i] counts vertices with
+  /// degree in [2^i, 2^(i+1)); bins[0] also includes degree 0 and 1.
+  std::vector<uint64_t> log2_bins;
+  /// Hill estimator of the power-law tail exponent alpha over the top 10%
+  /// of degrees (0 when the graph is too small to estimate).
+  double powerlaw_alpha = 0;
+};
+
+DegreeDistribution ComputeDegreeDistribution(const CsrGraph& g);
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_STATS_H_

@@ -1,0 +1,24 @@
+#ifndef ADGRAPH_GRAPH_TYPES_H_
+#define ADGRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace adgraph::graph {
+
+/// Vertex id.  32 bits covers every proxy dataset (largest has < 2^31
+/// vertices); the paper-scale twitter-mpi would need the same width.
+using vid_t = uint32_t;
+
+/// Edge id / CSR offset.  64 bits: edge counts exceed 2^32 at paper scale.
+using eid_t = uint64_t;
+
+/// Edge weight type.  The paper runs everything in FP64 ("all graph data
+/// was presented in double-precision floating-point format").
+using weight_t = double;
+
+/// Sentinel for "no vertex" (e.g. unvisited BFS parent).
+inline constexpr vid_t kInvalidVertex = static_cast<vid_t>(-1);
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_TYPES_H_

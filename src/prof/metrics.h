@@ -1,0 +1,79 @@
+#ifndef ADGRAPH_PROF_METRICS_H_
+#define ADGRAPH_PROF_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "vgpu/counters.h"
+
+namespace adgraph::prof {
+
+/// \brief Aggregated profile of one algorithm run: all kernel launches
+/// merged, with the timing-component breakdown preserved.
+struct AlgoProfile {
+  vgpu::KernelCounters counters;
+  double total_ms = 0;
+  double total_cycles = 0;
+  uint64_t num_kernels = 0;
+  // Time-weighted component sums (cycles).
+  double issue_cycles = 0;
+  double valu_cycles = 0;
+  double dram_cycles = 0;
+  double l2_cycles = 0;
+  double smem_cycles = 0;
+  double exposed_cycles = 0;
+  // Time-weighted achieved occupancy.
+  double occupancy_weighted = 0;
+
+  void Add(const vgpu::KernelStats& stats);
+  double achieved_occupancy() const {
+    return total_cycles > 0 ? occupancy_weighted / total_cycles : 0;
+  }
+};
+
+/// The four fine-grained metric rows of paper Table 6 ("Type 1..4").
+/// Values are instruction counts; the Table 6 bench divides by runtime to
+/// print rates, as the paper does.
+struct FineGrainedCounts {
+  /// Type 1: inst_issued (CUDA) / SQ_INSTS_VALU (ROCm-like).
+  uint64_t type1 = 0;
+  /// Type 2: inst_executed_shared_stores (CUDA) / SQ_INSTS_LDS (ROCm-like).
+  uint64_t type2 = 0;
+  /// Type 3: inst_executed_global_loads (CUDA) / SQ_INSTS_VMEM_RD.
+  uint64_t type3 = 0;
+  /// Type 4: inst_executed_global_stores (CUDA) / SQ_INSTS_VMEM_WR.
+  uint64_t type4 = 0;
+};
+
+/// Extracts the Table 1 (CUDA) or Table 1-right (ROCm) fine-grained
+/// counters from an aggregated profile.  Both views read the same simulated
+/// ground truth — the two profiling "tools" differ only in which events a
+/// metric name selects, mirroring ncu vs. hiprof.
+FineGrainedCounts ComputeFineGrained(const AlgoProfile& profile,
+                                     rt::Platform platform);
+
+/// The four coarse-grained metrics of paper Table 2 / Figures 7-8, as
+/// fractions in [0,1].
+struct CoarseMetrics {
+  /// achieved_occupancy (CUDA) / VALUBusy (ROCm-like).
+  double warp_utilization = 0;
+  /// shared_efficiency (CUDA) / 1-ALUStalledByLDS (ROCm-like).
+  double shared_memory = 0;
+  /// l2_tex_hit_rate (CUDA) / L2CacheHit (ROCm-like).
+  double l2_hit = 0;
+  /// gld_efficiency (CUDA) / MemUnitBusy (ROCm-like).
+  double global_memory = 0;
+};
+
+CoarseMetrics ComputeCoarse(const AlgoProfile& profile, rt::Platform platform,
+                            const vgpu::ArchConfig& arch,
+                            const vgpu::TimingParams& params);
+
+/// Paper Tables 1-2 metric names per platform, in row order.
+std::vector<std::string> FineGrainedMetricNames(rt::Platform platform);
+std::vector<std::string> CoarseMetricNames(rt::Platform platform);
+
+}  // namespace adgraph::prof
+
+#endif  // ADGRAPH_PROF_METRICS_H_

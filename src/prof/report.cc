@@ -1,0 +1,107 @@
+#include "prof/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace adgraph::prof {
+
+namespace {
+
+struct KernelGroup {
+  uint64_t launches = 0;
+  uint32_t grid = 0;
+  uint32_t block = 0;
+  double time_ms = 0;
+  vgpu::KernelCounters counters;
+};
+
+}  // namespace
+
+std::string FormatKernelLog(const vgpu::Device& device, size_t start_index) {
+  const auto& log = device.kernel_log();
+  // Fold by kernel name, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, KernelGroup> groups;
+  double total_ms = 0;
+  for (size_t i = start_index; i < log.size(); ++i) {
+    const auto& stats = log[i];
+    auto [it, inserted] = groups.try_emplace(stats.kernel_name);
+    if (inserted) order.push_back(stats.kernel_name);
+    it->second.launches += 1;
+    it->second.grid = stats.grid;
+    it->second.block = stats.block;
+    it->second.time_ms += stats.time_ms;
+    it->second.counters.Merge(stats.counters);
+    total_ms += stats.time_ms;
+  }
+
+  TablePrinter table({"kernel", "launches", "grid x block", "time (ms)",
+                      "share", "warp inst", "gld trans", "L2 hit",
+                      "smem acc", "div branches"});
+  for (const auto& name : order) {
+    const KernelGroup& g = groups.at(name);
+    table.AddRow({name, std::to_string(g.launches),
+                  std::to_string(g.grid) + " x " + std::to_string(g.block),
+                  FormatFixed(g.time_ms, 4),
+                  FormatFixed(total_ms > 0 ? 100 * g.time_ms / total_ms : 0, 1)
+                      + "%",
+                  FormatWithCommas(g.counters.warp_inst_issued),
+                  FormatWithCommas(g.counters.global_ld_transactions),
+                  FormatFixed(100 * g.counters.l2_hit_rate(), 1) + "%",
+                  FormatWithCommas(g.counters.smem_accesses),
+                  FormatWithCommas(g.counters.divergent_branches)});
+  }
+  table.AddSeparator();
+  table.AddRow({"total", std::to_string(log.size() - start_index), "",
+                FormatFixed(total_ms, 4), "100%"});
+
+  std::ostringstream out;
+  out << "Kernel log of " << device.name() << " ("
+      << device.arch().vendor << ")\n";
+  table.Print(out);
+  return out.str();
+}
+
+Status WriteKernelLogCsv(const vgpu::Device& device, const std::string& path,
+                         size_t start_index) {
+  TablePrinter table(
+      {"kernel", "grid", "block", "time_ms", "cycles", "warp_inst_issued",
+       "valu_warp_inst", "lane_ops", "scalar_inst", "shared_load_inst",
+       "shared_store_inst", "global_load_inst", "global_store_inst",
+       "atomic_inst", "branches", "divergent_branches", "barriers",
+       "gld_transactions", "gst_transactions", "l1_hits", "l1_misses",
+       "l2_hits", "l2_misses", "dram_read_bytes", "dram_write_bytes",
+       "smem_accesses", "smem_conflict_extra", "achieved_occupancy"});
+  const auto& log = device.kernel_log();
+  for (size_t i = start_index; i < log.size(); ++i) {
+    const auto& s = log[i];
+    const auto& c = s.counters;
+    table.AddRow({s.kernel_name, std::to_string(s.grid),
+                  std::to_string(s.block), FormatFixed(s.time_ms, 6),
+                  FormatFixed(s.cycles, 0),
+                  std::to_string(c.warp_inst_issued),
+                  std::to_string(c.valu_warp_inst), std::to_string(c.lane_ops),
+                  std::to_string(c.scalar_inst),
+                  std::to_string(c.shared_load_inst),
+                  std::to_string(c.shared_store_inst),
+                  std::to_string(c.global_load_inst),
+                  std::to_string(c.global_store_inst),
+                  std::to_string(c.atomic_inst), std::to_string(c.branches),
+                  std::to_string(c.divergent_branches),
+                  std::to_string(c.barriers),
+                  std::to_string(c.global_ld_transactions),
+                  std::to_string(c.global_st_transactions),
+                  std::to_string(c.l1_hits), std::to_string(c.l1_misses),
+                  std::to_string(c.l2_hits), std::to_string(c.l2_misses),
+                  std::to_string(c.dram_read_bytes),
+                  std::to_string(c.dram_write_bytes),
+                  std::to_string(c.smem_accesses),
+                  std::to_string(c.smem_bank_conflict_extra),
+                  FormatFixed(s.achieved_occupancy, 4)});
+  }
+  return table.WriteCsv(path);
+}
+
+}  // namespace adgraph::prof

@@ -1,0 +1,29 @@
+#ifndef ADGRAPH_PROF_REPORT_H_
+#define ADGRAPH_PROF_REPORT_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::prof {
+
+/// \brief Human-readable per-kernel report of a device's launch history —
+/// the simulator's equivalent of an `ncu --print-summary` / `rocprof`
+/// session dump.
+///
+/// Columns: kernel name, launches (consecutive same-name launches are
+/// folded), grid x block, total modeled time, share of device time, and
+/// the headline counters (instructions, global transactions, L2 hit rate,
+/// shared accesses, divergent branches).
+std::string FormatKernelLog(const vgpu::Device& device,
+                            size_t start_index = 0);
+
+/// Raw per-launch CSV (one row per kernel launch, all counters) for
+/// offline analysis.
+Status WriteKernelLogCsv(const vgpu::Device& device, const std::string& path,
+                         size_t start_index = 0);
+
+}  // namespace adgraph::prof
+
+#endif  // ADGRAPH_PROF_REPORT_H_

@@ -1,0 +1,42 @@
+#ifndef ADGRAPH_PROF_SESSION_H_
+#define ADGRAPH_PROF_SESSION_H_
+
+#include <cstddef>
+
+#include "prof/metrics.h"
+#include "vgpu/device.h"
+
+namespace adgraph::prof {
+
+/// \brief Scoped profiling window over a device's kernel log: the
+/// simulator's stand-in for attaching ncu / hiprof to an application run.
+///
+/// \code
+///   prof::Session session(&device);
+///   RunAlgorithm(&device, ...);
+///   AlgoProfile p = session.Finish();
+/// \endcode
+class Session {
+ public:
+  explicit Session(const vgpu::Device* device)
+      : device_(device), start_index_(device->kernel_log().size()) {}
+
+  /// Aggregates every kernel launched since construction.  May be called
+  /// repeatedly; each call re-aggregates the window so far.
+  AlgoProfile Finish() const {
+    AlgoProfile profile;
+    const auto& log = device_->kernel_log();
+    for (size_t i = start_index_; i < log.size(); ++i) {
+      profile.Add(log[i]);
+    }
+    return profile;
+  }
+
+ private:
+  const vgpu::Device* device_;
+  size_t start_index_;
+};
+
+}  // namespace adgraph::prof
+
+#endif  // ADGRAPH_PROF_SESSION_H_

@@ -1,0 +1,32 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+
+namespace adgraph::rt {
+
+Platform PlatformOf(const vgpu::Device& device) {
+  return device.arch().vendor == "NVIDIA" ? Platform::kCuda
+                                          : Platform::kRocmLike;
+}
+
+std::string PlatformName(Platform platform) {
+  return platform == Platform::kCuda ? "CUDA" : "ROCm-like";
+}
+
+std::string LibraryNameOn(Platform platform) {
+  return platform == Platform::kCuda ? "nvGRAPH" : "adGRAPH";
+}
+
+vgpu::LaunchDims CoverThreads(uint64_t threads, uint32_t block_size,
+                              uint32_t shared_bytes) {
+  vgpu::LaunchDims dims;
+  dims.block = block_size;
+  dims.shared_bytes = shared_bytes;
+  uint64_t grid = (std::max<uint64_t>(threads, 1) + block_size - 1) / block_size;
+  // Grids are clamped to a sane maximum; kernels use grid-stride loops when
+  // the problem exceeds it.
+  dims.grid = static_cast<uint32_t>(std::min<uint64_t>(grid, 1u << 20));
+  return dims;
+}
+
+}  // namespace adgraph::rt

@@ -1,0 +1,12 @@
+#include "runtime/stream.h"
+
+namespace adgraph::rt {
+
+Result<double> ElapsedTime(const Event& start, const Event& stop) {
+  if (!start.recorded() || !stop.recorded()) {
+    return Status::InvalidArgument("ElapsedTime on unrecorded event");
+  }
+  return stop.timestamp_ms() - start.timestamp_ms();
+}
+
+}  // namespace adgraph::rt

@@ -1,0 +1,87 @@
+#ifndef ADGRAPH_RUNTIME_STREAM_H_
+#define ADGRAPH_RUNTIME_STREAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::rt {
+
+/// \brief Timestamp marker on a device timeline (the cudaEvent/hipEvent
+/// idiom): records the device's modeled time when recorded; pairs of
+/// events measure intervals.
+class Event {
+ public:
+  Event() = default;
+
+  bool recorded() const { return recorded_; }
+  double timestamp_ms() const { return timestamp_ms_; }
+
+ private:
+  friend class Stream;
+  bool recorded_ = false;
+  double timestamp_ms_ = 0;
+};
+
+/// Modeled milliseconds between two recorded events (negative if `stop`
+/// precedes `start`); fails if either is unrecorded.
+Result<double> ElapsedTime(const Event& start, const Event& stop);
+
+/// \brief Ordered work queue on one device (the cudaStream/hipStream
+/// idiom).
+///
+/// The simulator executes synchronously, so a Stream's role is API parity
+/// and bookkeeping: it scopes launches, names them for the kernel log,
+/// counts them, and records events on the device timeline.  Multiple
+/// streams on one device interleave their modeled times on the single
+/// device clock, as launches on a real single-queue GPU ultimately do.
+class Stream {
+ public:
+  explicit Stream(vgpu::Device* device, std::string name = "stream")
+      : device_(device), name_(std::move(name)) {}
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  vgpu::Device* device() const { return device_; }
+  const std::string& name() const { return name_; }
+  uint64_t launches() const { return launches_; }
+
+  /// Enqueues (and, in the simulator, immediately executes) a kernel.
+  Result<vgpu::KernelStats> Launch(std::string_view kernel_name,
+                                   vgpu::LaunchDims dims,
+                                   const vgpu::Device::KernelFn& kernel) {
+    ADGRAPH_ASSIGN_OR_RETURN(
+        vgpu::KernelStats stats,
+        device_->Launch(std::string(name_) + "/" + std::string(kernel_name),
+                        dims, kernel));
+    launches_ += 1;
+    return stats;
+  }
+
+  /// Records `event` at the stream's current position (device time now).
+  Status Record(Event* event) {
+    if (event == nullptr) {
+      return Status::InvalidArgument("Record on null event");
+    }
+    event->recorded_ = true;
+    event->timestamp_ms_ = device_->elapsed_ms();
+    return Status::OK();
+  }
+
+  /// Blocks until all enqueued work completed.  The simulator executes
+  /// eagerly, so this is a (checked) no-op kept for API parity.
+  Status Synchronize() { return Status::OK(); }
+
+ private:
+  vgpu::Device* device_;
+  std::string name_;
+  uint64_t launches_ = 0;
+};
+
+}  // namespace adgraph::rt
+
+#endif  // ADGRAPH_RUNTIME_STREAM_H_

@@ -1,0 +1,64 @@
+#ifndef ADGRAPH_UTIL_LOGGING_H_
+#define ADGRAPH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace adgraph {
+
+/// Severity of a log record.  kFatal aborts the process after logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Minimal streaming logger used across the library.
+///
+/// Example: `ADGRAPH_LOG(INFO) << "launched " << n << " blocks";`
+/// The global minimum level defaults to kInfo and can be changed at runtime
+/// (tests silence kInfo noise with SetMinLogLevel(LogLevel::kWarning)).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+  static void SetMinLogLevel(LogLevel level);
+  static LogLevel min_log_level();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define ADGRAPH_LOG(severity)                                               \
+  ::adgraph::LogMessage(::adgraph::LogLevel::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+/// Internal-invariant check: logs and aborts when `condition` is false.
+/// Use for programmer errors only; expected failures go through Status.
+#define ADGRAPH_CHECK(condition)                                   \
+  if (!(condition))                                                \
+  ::adgraph::LogMessage(::adgraph::LogLevel::kFatal, __FILE__, __LINE__) \
+          .stream()                                                \
+      << "Check failed: " #condition " "
+
+#define ADGRAPH_CHECK_OK(expr)                                     \
+  if (::adgraph::Status _st = (expr); !_st.ok())                   \
+  ::adgraph::LogMessage(::adgraph::LogLevel::kFatal, __FILE__, __LINE__) \
+          .stream()                                                \
+      << "Status not OK: " << _st.ToString() << " "
+
+#ifndef NDEBUG
+#define ADGRAPH_DCHECK(condition) ADGRAPH_CHECK(condition)
+#else
+#define ADGRAPH_DCHECK(condition) \
+  if (false) ADGRAPH_LOG(Fatal) << ""
+#endif
+
+}  // namespace adgraph
+
+#endif  // ADGRAPH_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace adgraph {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfMemory:
+      return "Out of memory";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(state_->code));
+  result += ": ";
+  result += state_->message;
+  return result;
+}
+
+}  // namespace adgraph

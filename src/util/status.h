@@ -1,0 +1,186 @@
+#ifndef ADGRAPH_UTIL_STATUS_H_
+#define ADGRAPH_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adgraph {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,      ///< Simulated device memory exhausted (paper: "OOM").
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+  kDeadlock = 9,         ///< Kernel barrier deadlock detected by the scheduler.
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "Out of memory").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Arrow/RocksDB-style operation outcome.
+///
+/// The library does not throw exceptions on expected failure paths (bad
+/// input, device OOM, I/O problems); fallible operations return a Status or
+/// a Result<T>.  An OK Status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// The error message, or "" for an OK status.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr means OK.
+};
+
+/// \brief A value-or-Status union: the return type of fallible producers.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error Status: `return Status::InvalidArgument(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    // A Result constructed from a Status must not be OK; that would mean
+    // "success with no value", which callers cannot handle.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok() — violated preconditions abort with the carried
+  /// status instead of silently yielding a default-constructed value.
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  /// Returns by value (not T&&): binding the result of value() on a
+  /// temporary Result in a range-for must not dangle.
+  T value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(value_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status to the caller.
+#define ADGRAPH_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::adgraph::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result expression; assigns the value or propagates the error.
+#define ADGRAPH_ASSIGN_OR_RETURN(lhs, expr)              \
+  ADGRAPH_ASSIGN_OR_RETURN_IMPL(                         \
+      ADGRAPH_CONCAT_NAME(_adgraph_result_, __LINE__), lhs, expr)
+
+#define ADGRAPH_CONCAT_NAME_INNER(x, y) x##y
+#define ADGRAPH_CONCAT_NAME(x, y) ADGRAPH_CONCAT_NAME_INNER(x, y)
+#define ADGRAPH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+}  // namespace adgraph
+
+#endif  // ADGRAPH_UTIL_STATUS_H_

@@ -1,0 +1,137 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace adgraph {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  ADGRAPH_CHECK(cells.size() <= headers_.size())
+      << "row has " << cells.size() << " cells, table has "
+      << headers_.size() << " columns";
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { separator_before_.push_back(rows_.size()); }
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&]() {
+    out << '+';
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c];
+      for (size_t i = row[c].size(); i < widths[c] + 1; ++i) out << ' ';
+      out << '|';
+    }
+    out << '\n';
+  };
+  rule();
+  emit(headers_);
+  rule();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separator_before_.begin(), separator_before_.end(), r) !=
+        separator_before_.end()) {
+      rule();
+    }
+    emit(rows_[r]);
+  }
+  rule();
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << ToCsv();
+  if (!file) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string FormatRate(double per_ms) {
+  char buf[64];
+  if (per_ms >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM/ms", per_ms / 1e6);
+  } else if (per_ms >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fK/ms", per_ms / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f/ms", per_ms);
+  }
+  return buf;
+}
+
+std::string FormatWithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace adgraph

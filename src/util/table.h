@@ -1,0 +1,59 @@
+#ifndef ADGRAPH_UTIL_TABLE_H_
+#define ADGRAPH_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adgraph {
+
+/// \brief Column-aligned ASCII table builder used by the paper-reproduction
+/// benchmark harnesses to print Table 3/4/5/6-style output, plus CSV export
+/// so results can be diffed and plotted.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row.  Rows shorter than the header are padded with "";
+  /// longer rows are a programmer error (checked).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next added row.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the aligned table (with +---+ borders) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Renders the table as RFC-4180-ish CSV (quotes cells containing
+  /// commas/quotes/newlines).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separator_before_;  // row indices with a rule above
+};
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("12.34", "0.5", "7").
+std::string FormatFixed(double value, int digits);
+
+/// Human-style count with K/M suffix ("5.18K", "18.57M", "773.22") used by
+/// the Table 6 reproduction to match the paper's notation.
+std::string FormatRate(double per_ms);
+
+/// Thousands-separated integer ("1,963,263,821").
+std::string FormatWithCommas(uint64_t value);
+
+}  // namespace adgraph
+
+#endif  // ADGRAPH_UTIL_TABLE_H_

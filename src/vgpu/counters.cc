@@ -1,0 +1,77 @@
+#include "vgpu/counters.h"
+
+namespace adgraph::vgpu {
+
+void KernelCounters::Merge(const KernelCounters& other) {
+  warp_inst_issued += other.warp_inst_issued;
+  valu_warp_inst += other.valu_warp_inst;
+  lane_ops += other.lane_ops;
+  scalar_inst += other.scalar_inst;
+  shared_load_inst += other.shared_load_inst;
+  shared_store_inst += other.shared_store_inst;
+  global_load_inst += other.global_load_inst;
+  global_store_inst += other.global_store_inst;
+  atomic_inst += other.atomic_inst;
+  branches += other.branches;
+  divergent_branches += other.divergent_branches;
+  barriers += other.barriers;
+  global_ld_transactions += other.global_ld_transactions;
+  global_st_transactions += other.global_st_transactions;
+  global_ld_bytes_requested += other.global_ld_bytes_requested;
+  global_ld_bytes_transferred += other.global_ld_bytes_transferred;
+  global_st_bytes_requested += other.global_st_bytes_requested;
+  global_st_bytes_transferred += other.global_st_bytes_transferred;
+  l1_hits += other.l1_hits;
+  l1_misses += other.l1_misses;
+  l2_hits += other.l2_hits;
+  l2_misses += other.l2_misses;
+  dram_read_bytes += other.dram_read_bytes;
+  dram_write_bytes += other.dram_write_bytes;
+  smem_accesses += other.smem_accesses;
+  smem_bank_conflict_extra += other.smem_bank_conflict_extra;
+  smem_bytes += other.smem_bytes;
+  memory_latency_cycles += other.memory_latency_cycles;
+  simt_overlap_saved_cycles += other.simt_overlap_saved_cycles;
+  loop_lane_iters_possible += other.loop_lane_iters_possible;
+  loop_lane_iters_useful += other.loop_lane_iters_useful;
+  blocks_launched += other.blocks_launched;
+  warps_launched += other.warps_launched;
+}
+
+void KernelCounters::Scale(uint64_t factor) {
+  warp_inst_issued *= factor;
+  valu_warp_inst *= factor;
+  lane_ops *= factor;
+  scalar_inst *= factor;
+  shared_load_inst *= factor;
+  shared_store_inst *= factor;
+  global_load_inst *= factor;
+  global_store_inst *= factor;
+  atomic_inst *= factor;
+  branches *= factor;
+  divergent_branches *= factor;
+  barriers *= factor;
+  global_ld_transactions *= factor;
+  global_st_transactions *= factor;
+  global_ld_bytes_requested *= factor;
+  global_ld_bytes_transferred *= factor;
+  global_st_bytes_requested *= factor;
+  global_st_bytes_transferred *= factor;
+  l1_hits *= factor;
+  l1_misses *= factor;
+  l2_hits *= factor;
+  l2_misses *= factor;
+  dram_read_bytes *= factor;
+  dram_write_bytes *= factor;
+  smem_accesses *= factor;
+  smem_bank_conflict_extra *= factor;
+  smem_bytes *= factor;
+  memory_latency_cycles *= static_cast<double>(factor);
+  simt_overlap_saved_cycles *= static_cast<double>(factor);
+  loop_lane_iters_possible *= factor;
+  loop_lane_iters_useful *= factor;
+  blocks_launched *= factor;
+  warps_launched *= factor;
+}
+
+}  // namespace adgraph::vgpu

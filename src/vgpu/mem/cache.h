@@ -1,0 +1,51 @@
+#ifndef ADGRAPH_VGPU_MEM_CACHE_H_
+#define ADGRAPH_VGPU_MEM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adgraph::vgpu {
+
+/// \brief Set-associative LRU cache model (tags only — data lives in the
+/// AddressSpace; the cache decides hit/miss and eviction).
+///
+/// Used for the per-SM L1 and the device-wide L2.  Deterministic: hit/miss
+/// outcomes depend only on the access sequence, which the simulator replays
+/// in a fixed order.
+class CacheModel {
+ public:
+  /// `size_bytes` is rounded down to a whole number of sets; a zero-sized
+  /// cache never hits.
+  CacheModel(uint64_t size_bytes, uint32_t line_bytes, uint32_t associativity);
+
+  /// Touches the line containing `addr`; returns true on hit.  On miss the
+  /// line is filled (evicting LRU).  Writes are write-allocate.
+  bool Access(uint64_t addr);
+
+  /// Invalidates all lines (between kernels if desired; graph kernels keep
+  /// caches warm across launches of the same algorithm, as hardware does).
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Way {
+    uint64_t tag = ~0ull;
+    uint64_t lru = 0;  // last-access stamp
+    bool valid = false;
+  };
+
+  uint32_t line_bytes_;
+  uint32_t assoc_;
+  uint64_t num_sets_;
+  uint64_t stamp_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::vector<Way> ways_;  // num_sets_ x assoc_
+};
+
+}  // namespace adgraph::vgpu
+
+#endif  // ADGRAPH_VGPU_MEM_CACHE_H_

@@ -1,0 +1,72 @@
+#ifndef ADGRAPH_VGPU_TIMING_H_
+#define ADGRAPH_VGPU_TIMING_H_
+
+#include "vgpu/arch.h"
+#include "vgpu/counters.h"
+
+namespace adgraph::vgpu {
+
+/// \brief Calibration constants of the analytic timing model.
+///
+/// These are shared by ALL architecture configs — only ArchConfig (which
+/// carries the paper's Table 3 parameters plus the paradigm/shared-path
+/// flags) differs between simulated GPUs.  Keeping the fudge factors
+/// vendor-agnostic is what makes the cross-architecture comparisons
+/// meaningful: a result cannot be an artifact of per-vendor tuning.
+/// EXPERIMENTS.md documents the one-time calibration procedure.
+struct TimingParams {
+  /// Default per-kernel launch/driver overhead (microseconds) when an
+  /// ArchConfig does not override it.  Dominates tiny launches, which is
+  /// why small-graph runtimes stay in the paper's millisecond range.
+  double kernel_launch_overhead_us = 3.0;
+
+  /// Fraction of a divergent region's memory latency that SIMT independent
+  /// thread scheduling overlaps across the serialized paths (Volta+).
+  /// SIMD gets no overlap — the Hypothesis 3 mechanism.
+  double simt_divergent_overlap = 0.55;
+
+  /// Extra fraction of divergent-region memory latency a SIMD wavefront
+  /// pays: serialized exec-mask paths drain (s_waitcnt) before
+  /// reconvergence, so their stalls cannot interleave at all.
+  double simd_divergent_stall = 0.35;
+
+  /// Memory-level parallelism per resident warp: outstanding misses whose
+  /// latencies overlap.
+  double mlp_per_warp = 4.0;
+
+  /// Strength of shared-memory <-> L1 data-path contention on unified
+  /// designs (NVIDIA): effective shared throughput divides by
+  /// (1 + alpha * miss_traffic_share) — the Hypothesis 2/4 mechanism.
+  double smem_l1_contention_alpha = 2.2;
+
+  /// Cycles to release one block barrier (amortized: co-resident blocks
+  /// hide most of the raw ~30-cycle latency).
+  double barrier_cycles = 8;
+
+  /// Serialization cycles per extra same-address atomic conflict.
+  double atomic_conflict_cycles = 24;
+
+  /// Scalar (SALU) instructions charged per divergent branch for exec-mask
+  /// save/invert/restore on SIMD architectures.
+  uint32_t simd_mask_scalar_ops = 2;
+};
+
+/// Library-wide default parameters (never mutated; ablation benches pass
+/// custom instances to Device).
+const TimingParams& DefaultTimingParams();
+
+/// \brief Rolls raw kernel counters into cycles and milliseconds using an
+/// interval/roofline model:
+///
+///   cycles = max(issue, valu, dram, l2, smem) + exposed_latency + fixed
+///
+/// where exposed_latency divides accumulated miss latency by the latency
+/// hiding capacity (resident warps x MLP), and the smem term is inflated by
+/// L1-path contention on unified designs.  Fills the timing fields of
+/// `stats` in place (counters and launch shape must already be set).
+void ComputeKernelTiming(const ArchConfig& arch, const TimingParams& params,
+                         KernelStats* stats);
+
+}  // namespace adgraph::vgpu
+
+#endif  // ADGRAPH_VGPU_TIMING_H_

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/stats.h"
+
+namespace adgraph::graph {
+namespace {
+
+TEST(DatasetsTest, SevenPaperDatasetsInTableOrder) {
+  const auto& list = PaperDatasets();
+  ASSERT_EQ(list.size(), 7u);
+  EXPECT_EQ(list[0].name, "web-Stanford");
+  EXPECT_EQ(list[1].name, "web-Google");
+  EXPECT_EQ(list[2].name, "cit-Patents");
+  EXPECT_EQ(list[3].name, "soc-liveJournal1");
+  EXPECT_EQ(list[4].name, "soc-sinaweibo");
+  EXPECT_EQ(list[5].name, "web-uk-2002-all");
+  EXPECT_EQ(list[6].name, "twitter-mpi");
+}
+
+TEST(DatasetsTest, PaperStatsMatchTable4) {
+  auto spec = FindDataset("twitter-mpi").value();
+  EXPECT_EQ(spec.paper_vertices, 52579682u);
+  EXPECT_EQ(spec.paper_edges, 1963263821u);
+  EXPECT_EQ(spec.paper_max_degree, 3691240u);
+  auto stanford = FindDataset("web-Stanford").value();
+  EXPECT_EQ(stanford.paper_vertices, 281903u);
+  EXPECT_EQ(stanford.paper_edges, 2312497u);
+  EXPECT_EQ(stanford.paper_max_degree, 38626u);
+}
+
+TEST(DatasetsTest, FindRejectsUnknown) {
+  EXPECT_FALSE(FindDataset("no-such-graph").ok());
+}
+
+TEST(DatasetsTest, ProxyEdgeOrderingMatchesPaperOrdering) {
+  const auto& list = PaperDatasets();
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LT(list[i - 1].proxy_edges(), list[i].proxy_edges())
+        << list[i - 1].name << " vs " << list[i].name;
+    EXPECT_LT(list[i - 1].paper_edges, list[i].paper_edges);
+  }
+}
+
+TEST(DatasetsTest, LargestThreeShareOneDivisor) {
+  // Required so capacity ratios survive scaling (DESIGN.md / OOM story).
+  const auto& list = PaperDatasets();
+  EXPECT_EQ(list[4].scale_divisor, list[5].scale_divisor);
+  EXPECT_EQ(list[5].scale_divisor, list[6].scale_divisor);
+}
+
+TEST(DatasetsTest, MaterializeIsDeterministic) {
+  auto spec = FindDataset("web-Stanford").value();
+  auto a = Materialize(spec, /*extra_divisor=*/8).value();
+  auto b = Materialize(spec, /*extra_divisor=*/8).value();
+  EXPECT_EQ(a.row_offsets(), b.row_offsets());
+  EXPECT_EQ(a.col_indices(), b.col_indices());
+}
+
+TEST(DatasetsTest, MaterializedProxyHasExpectedShape) {
+  auto spec = FindDataset("web-Google").value();
+  auto g = Materialize(spec).value();
+  auto stats = ComputeDegreeStats(g);
+  // Vertex count is the nearest power of two of paper/divisor.
+  EXPECT_EQ(g.num_vertices(), spec.proxy_vertices());
+  // Generation overshoots ~6% to compensate dedup losses; the result
+  // should land near the target either way.
+  double target = static_cast<double>(spec.proxy_edges());
+  EXPECT_GT(stats.num_edges, 0.8 * target);
+  EXPECT_LT(stats.num_edges, 1.15 * target);
+  // Power-law character: max degree far above average.
+  EXPECT_GT(stats.skew(), 8.0);
+}
+
+TEST(DatasetsTest, SocialProxiesMoreSkewedThanCitation) {
+  auto patents =
+      Materialize(FindDataset("cit-Patents").value(), 4).value();
+  auto weibo =
+      Materialize(FindDataset("soc-sinaweibo").value(), 4).value();
+  auto s1 = ComputeDegreeStats(patents);
+  auto s2 = ComputeDegreeStats(weibo);
+  EXPECT_GT(s2.skew(), 2.0 * s1.skew());
+}
+
+}  // namespace
+}  // namespace adgraph::graph

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/device_graph.h"
+#include "graph/generate.h"
+#include "util/random.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+namespace adgraph::core {
+namespace {
+
+using primitives::ExclusiveScanU32;
+using primitives::Fill;
+using primitives::GetElement;
+using primitives::SetElement;
+using vgpu::A100Config;
+using vgpu::Device;
+
+TEST(FillTest, FillsEveryElement) {
+  Device dev(A100Config());
+  auto buf = rt::DeviceBuffer<uint32_t>::Create(&dev, 1000).value();
+  ASSERT_TRUE(Fill<uint32_t>(&dev, buf.ptr(), 1000, 0xABCD).ok());
+  for (uint32_t v : buf.ToHost().value()) EXPECT_EQ(v, 0xABCDu);
+}
+
+TEST(FillTest, DoubleAndZeroCount) {
+  Device dev(A100Config());
+  auto buf = rt::DeviceBuffer<double>::Create(&dev, 10).value();
+  ASSERT_TRUE(Fill<double>(&dev, buf.ptr(), 10, 3.25).ok());
+  EXPECT_EQ(buf.ToHost().value()[9], 3.25);
+  ASSERT_TRUE(Fill<double>(&dev, buf.ptr(), 0, 9.0).ok());  // no-op
+  EXPECT_EQ(buf.ToHost().value()[0], 3.25);
+}
+
+TEST(ElementTest, SetAndGet) {
+  Device dev(A100Config());
+  auto buf = rt::DeviceBuffer<uint32_t>::CreateZeroed(&dev, 8).value();
+  ASSERT_TRUE(SetElement<uint32_t>(&dev, buf.ptr(), 5, 77).ok());
+  EXPECT_EQ(GetElement<uint32_t>(&dev, buf.ptr(), 5).value(), 77u);
+  EXPECT_EQ(GetElement<uint32_t>(&dev, buf.ptr(), 4).value(), 0u);
+}
+
+void CheckScan(const std::vector<uint32_t>& input) {
+  Device dev(A100Config());
+  auto in = rt::DeviceBuffer<uint32_t>::FromHost(&dev, input).value();
+  auto out = rt::DeviceBuffer<uint32_t>::Create(&dev, input.size()).value();
+  auto total =
+      ExclusiveScanU32(&dev, in.ptr(), out.ptr(), input.size()).value();
+  std::vector<uint32_t> expected(input.size());
+  uint64_t acc = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    expected[i] = static_cast<uint32_t>(acc);
+    acc += input[i];
+  }
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(out.ToHost().value(), expected);
+}
+
+TEST(ScanTest, SmallExact) { CheckScan({3, 1, 4, 1, 5, 9, 2, 6}); }
+
+TEST(ScanTest, SingleElement) { CheckScan({42}); }
+
+TEST(ScanTest, AllZeros) { CheckScan(std::vector<uint32_t>(100, 0)); }
+
+TEST(ScanTest, ExactlyOneBlock) { CheckScan(std::vector<uint32_t>(256, 2)); }
+
+TEST(ScanTest, MultiBlockUnevenTail) {
+  std::vector<uint32_t> input(256 * 3 + 77);
+  Rng rng(5);
+  for (auto& v : input) v = static_cast<uint32_t>(rng.Uniform(10));
+  CheckScan(input);
+}
+
+TEST(ScanTest, LargeRandom) {
+  std::vector<uint32_t> input(10000);
+  Rng rng(6);
+  for (auto& v : input) v = static_cast<uint32_t>(rng.Uniform(100));
+  CheckScan(input);
+}
+
+TEST(ScanTest, InPlaceAliasing) {
+  Device dev(A100Config());
+  std::vector<uint32_t> input{1, 2, 3, 4, 5};
+  auto buf = rt::DeviceBuffer<uint32_t>::FromHost(&dev, input).value();
+  auto total = ExclusiveScanU32(&dev, buf.ptr(), buf.ptr(), 5).value();
+  EXPECT_EQ(total, 15u);
+  auto host = buf.ToHost().value();
+  EXPECT_EQ(host, (std::vector<uint32_t>{0, 1, 3, 6, 10}));
+}
+
+TEST(ScanTest, UsesBarriersAndSharedMemory) {
+  Device dev(A100Config());
+  std::vector<uint32_t> input(512, 1);
+  auto in = rt::DeviceBuffer<uint32_t>::FromHost(&dev, input).value();
+  auto out = rt::DeviceBuffer<uint32_t>::Create(&dev, 512).value();
+  size_t log_before = dev.kernel_log().size();
+  ASSERT_TRUE(ExclusiveScanU32(&dev, in.ptr(), out.ptr(), 512).ok());
+  vgpu::KernelCounters merged;
+  for (size_t i = log_before; i < dev.kernel_log().size(); ++i) {
+    merged.Merge(dev.kernel_log()[i].counters);
+  }
+  EXPECT_GT(merged.barriers, 0u);
+  EXPECT_GT(merged.shared_store_inst, 0u);
+  EXPECT_GT(merged.shared_load_inst, 0u);
+}
+
+
+TEST(ReduceTest, SumsExactly) {
+  Device dev(A100Config());
+  std::vector<double> values(1000);
+  double expected = 0;
+  Rng rng(9);
+  for (auto& v : values) {
+    v = rng.NextDouble();
+    expected += v;
+  }
+  auto buf = rt::DeviceBuffer<double>::FromHost(&dev, values).value();
+  auto sum =
+      primitives::ReduceSumF64(&dev, buf.ptr(), values.size()).value();
+  EXPECT_NEAR(sum, expected, 1e-9);
+}
+
+TEST(ReduceTest, EmptyAndSingle) {
+  Device dev(A100Config());
+  auto buf = rt::DeviceBuffer<double>::FromHost(&dev, {42.5}).value();
+  EXPECT_DOUBLE_EQ(primitives::ReduceSumF64(&dev, buf.ptr(), 0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(primitives::ReduceSumF64(&dev, buf.ptr(), 1).value(),
+                   42.5);
+}
+
+TEST(DeviceCsrTest, UploadCarriesShapeAndWeights) {
+  Device dev(A100Config());
+  auto coo = graph::GenerateErdosRenyi(100, 500, 4).value();
+  graph::AttachRandomWeights(&coo, 0.5, 1.5, 5);
+  auto g = graph::CsrGraph::FromCoo(coo).value();
+  auto d = DeviceCsr::Upload(&dev, g).value();
+  EXPECT_EQ(d.num_vertices, 100u);
+  EXPECT_EQ(d.num_edges, 500u);
+  EXPECT_TRUE(d.has_weights());
+  auto row = d.row_offsets.ToHost().value();
+  EXPECT_EQ(row, g.row_offsets());
+  auto w = d.weights.ToHost().value();
+  EXPECT_EQ(w, g.weights());
+}
+
+TEST(DeviceCsrTest, UploadFailsWhenTooLarge) {
+  vgpu::Device::Options options;
+  options.memory_scale = 1e6;
+  Device dev(A100Config(), options);
+  auto coo = graph::GenerateErdosRenyi(1 << 12, 1 << 16, 4).value();
+  auto g = graph::CsrGraph::FromCoo(coo).value();
+  auto d = DeviceCsr::Upload(&dev, g);
+  ASSERT_FALSE(d.ok());
+  EXPECT_TRUE(d.status().IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace adgraph::core

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "prof/metrics.h"
+#include "prof/report.h"
+#include "prof/session.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+namespace adgraph::prof {
+namespace {
+
+using vgpu::A100Config;
+using vgpu::Ctx;
+using vgpu::Device;
+using vgpu::KernelStats;
+using vgpu::KernelTask;
+using vgpu::Z100LConfig;
+
+KernelStats MakeStats(double ms, double cycles) {
+  KernelStats stats;
+  stats.time_ms = ms;
+  stats.cycles = cycles;
+  stats.counters.warp_inst_issued = 100;
+  stats.counters.valu_warp_inst = 60;
+  stats.counters.shared_load_inst = 5;
+  stats.counters.shared_store_inst = 10;
+  stats.counters.global_load_inst = 20;
+  stats.counters.global_store_inst = 7;
+  stats.counters.atomic_inst = 3;
+  return stats;
+}
+
+TEST(AlgoProfileTest, AddAccumulates) {
+  AlgoProfile p;
+  p.Add(MakeStats(1.0, 1000));
+  p.Add(MakeStats(2.0, 3000));
+  EXPECT_EQ(p.num_kernels, 2u);
+  EXPECT_DOUBLE_EQ(p.total_ms, 3.0);
+  EXPECT_DOUBLE_EQ(p.total_cycles, 4000.0);
+  EXPECT_EQ(p.counters.warp_inst_issued, 200u);
+}
+
+TEST(FineGrainedTest, CudaViewSelectsNcuCounters) {
+  AlgoProfile p;
+  p.Add(MakeStats(1.0, 1000));
+  auto fine = ComputeFineGrained(p, rt::Platform::kCuda);
+  EXPECT_EQ(fine.type1, 100u);  // inst_issued: all classes
+  EXPECT_EQ(fine.type2, 10u);   // shared stores only
+  EXPECT_EQ(fine.type3, 20u);
+  EXPECT_EQ(fine.type4, 7u);    // stores only, atomics separate
+}
+
+TEST(FineGrainedTest, RocmViewSelectsHiprofCounters) {
+  AlgoProfile p;
+  p.Add(MakeStats(1.0, 1000));
+  auto fine = ComputeFineGrained(p, rt::Platform::kRocmLike);
+  EXPECT_EQ(fine.type1, 240u);  // SQ_INSTS_VALU: 4 SIMD16 passes per op
+  EXPECT_EQ(fine.type2, 15u);   // SQ_INSTS_LDS: loads + stores
+  EXPECT_EQ(fine.type3, 20u);
+  EXPECT_EQ(fine.type4, 10u);   // VMEM_WR includes atomics
+}
+
+TEST(MetricNamesTest, MatchPaperTables1And2) {
+  auto cuda_fine = FineGrainedMetricNames(rt::Platform::kCuda);
+  ASSERT_EQ(cuda_fine.size(), 4u);
+  EXPECT_EQ(cuda_fine[0], "inst_issued");
+  EXPECT_EQ(cuda_fine[1], "inst_executed_shared_stores");
+  auto rocm_fine = FineGrainedMetricNames(rt::Platform::kRocmLike);
+  EXPECT_EQ(rocm_fine[0], "SQ_INSTS_VALU");
+  EXPECT_EQ(rocm_fine[3], "SQ_INSTS_VMEM_WR");
+  auto cuda_coarse = CoarseMetricNames(rt::Platform::kCuda);
+  EXPECT_EQ(cuda_coarse[0], "achieved_occupancy");
+  EXPECT_EQ(cuda_coarse[3], "gld_efficiency");
+  auto rocm_coarse = CoarseMetricNames(rt::Platform::kRocmLike);
+  EXPECT_EQ(rocm_coarse[0], "VALUBusy");
+  EXPECT_EQ(rocm_coarse[1], "1-ALUStalledByLDS");
+}
+
+TEST(CoarseTest, BankConflictsLowerCudaSharedEfficiency) {
+  AlgoProfile clean;
+  clean.total_cycles = 1000;
+  clean.counters.smem_accesses = 100;
+  clean.counters.smem_bank_conflict_extra = 0;
+  AlgoProfile conflicted = clean;
+  conflicted.counters.smem_bank_conflict_extra = 300;
+  auto arch = A100Config();
+  const auto& params = vgpu::DefaultTimingParams();
+  auto a = ComputeCoarse(clean, rt::Platform::kCuda, arch, params);
+  auto b = ComputeCoarse(conflicted, rt::Platform::kCuda, arch, params);
+  EXPECT_DOUBLE_EQ(a.shared_memory, 1.0);
+  EXPECT_DOUBLE_EQ(b.shared_memory, 0.25);
+}
+
+TEST(CoarseTest, L1TrafficLowersUnifiedSharedEfficiencyOnly) {
+  AlgoProfile p;
+  p.total_cycles = 1000;
+  p.counters.smem_accesses = 100;
+  p.counters.smem_bytes = 1000;
+  p.counters.l1_misses = 10000;  // miss_bytes >> smem_bytes
+  const auto& params = vgpu::DefaultTimingParams();
+  auto cuda = ComputeCoarse(p, rt::Platform::kCuda, A100Config(), params);
+  EXPECT_LT(cuda.shared_memory, 0.5)
+      << "contention must depress shared_efficiency on the unified path";
+  auto rocm =
+      ComputeCoarse(p, rt::Platform::kRocmLike, Z100LConfig(), params);
+  EXPECT_GT(rocm.shared_memory, 0.9)
+      << "independent LDS is immune to L1 traffic";
+}
+
+TEST(CoarseTest, RocmUtilizationRatiosFromCycleShares) {
+  AlgoProfile p;
+  p.total_cycles = 1000;
+  p.valu_cycles = 250;
+  p.smem_cycles = 100;
+  p.dram_cycles = 400;
+  p.counters.l2_hits = 3;
+  p.counters.l2_misses = 1;
+  const auto& params = vgpu::DefaultTimingParams();
+  auto m = ComputeCoarse(p, rt::Platform::kRocmLike, Z100LConfig(), params);
+  EXPECT_DOUBLE_EQ(m.warp_utilization, 0.25);   // VALUBusy
+  EXPECT_DOUBLE_EQ(m.shared_memory, 0.9);       // 1 - ALUStalledByLDS
+  EXPECT_DOUBLE_EQ(m.l2_hit, 0.75);
+  EXPECT_DOUBLE_EQ(m.global_memory, 0.4);       // MemUnitBusy
+}
+
+
+TEST(ReportTest, FormatKernelLogFoldsByName) {
+  Device dev(A100Config());
+  auto noop = [](Ctx& c) -> KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  ASSERT_TRUE(dev.Launch("alpha", {1, 32}, noop).ok());
+  ASSERT_TRUE(dev.Launch("alpha", {1, 32}, noop).ok());
+  ASSERT_TRUE(dev.Launch("beta", {2, 64}, noop).ok());
+  std::string report = FormatKernelLog(dev);
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_NE(report.find("| 2 "), std::string::npos) << "alpha folded to 2";
+  EXPECT_NE(report.find("100%"), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasOneRowPerLaunch) {
+  Device dev(A100Config());
+  auto noop = [](Ctx& c) -> KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dev.Launch("k", {1, 32}, noop).ok());
+  }
+  std::string path = testing::TempDir() + "/adgraph_report_test.csv";
+  ASSERT_TRUE(WriteKernelLogCsv(dev, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // header + 3 launches
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, StartIndexWindowsTheLog) {
+  Device dev(A100Config());
+  auto noop = [](Ctx& c) -> KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  ASSERT_TRUE(dev.Launch("early", {1, 32}, noop).ok());
+  size_t mark = dev.kernel_log().size();
+  ASSERT_TRUE(dev.Launch("late", {1, 32}, noop).ok());
+  std::string report = FormatKernelLog(dev, mark);
+  EXPECT_EQ(report.find("early"), std::string::npos);
+  EXPECT_NE(report.find("late"), std::string::npos);
+}
+
+TEST(SessionTest, WindowsTheKernelLog) {
+  Device dev(A100Config());
+  auto noop = [](Ctx& c) -> KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  ASSERT_TRUE(dev.Launch("before", {1, 32}, noop).ok());
+  Session session(&dev);
+  ASSERT_TRUE(dev.Launch("inside1", {1, 32}, noop).ok());
+  ASSERT_TRUE(dev.Launch("inside2", {2, 64}, noop).ok());
+  AlgoProfile p = session.Finish();
+  EXPECT_EQ(p.num_kernels, 2u);
+  // The pre-session kernel is excluded.
+  EXPECT_EQ(dev.kernel_log().size(), 3u);
+}
+
+}  // namespace
+}  // namespace adgraph::prof

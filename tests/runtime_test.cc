@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.h"
+#include "runtime/stream.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+namespace adgraph::rt {
+namespace {
+
+using vgpu::A100Config;
+using vgpu::Device;
+using vgpu::Z100LConfig;
+
+TEST(PlatformTest, VendorsMapToPlatforms) {
+  Device a100(A100Config());
+  Device z100l(Z100LConfig());
+  EXPECT_EQ(PlatformOf(a100), Platform::kCuda);
+  EXPECT_EQ(PlatformOf(z100l), Platform::kRocmLike);
+  EXPECT_EQ(PlatformName(Platform::kCuda), "CUDA");
+  EXPECT_EQ(PlatformName(Platform::kRocmLike), "ROCm-like");
+  EXPECT_EQ(LibraryNameOn(Platform::kCuda), "nvGRAPH");
+  EXPECT_EQ(LibraryNameOn(Platform::kRocmLike), "adGRAPH");
+}
+
+TEST(DeviceBufferTest, UploadDownloadRoundTrip) {
+  Device dev(A100Config());
+  std::vector<double> host{1.5, 2.5, 3.5};
+  auto buf = DeviceBuffer<double>::FromHost(&dev, host).value();
+  EXPECT_EQ(buf.size(), 3u);
+  auto back = buf.ToHost().value();
+  EXPECT_EQ(back, host);
+}
+
+TEST(DeviceBufferTest, CreateZeroed) {
+  Device dev(A100Config());
+  auto buf = DeviceBuffer<uint32_t>::CreateZeroed(&dev, 16).value();
+  for (uint32_t v : buf.ToHost().value()) EXPECT_EQ(v, 0u);
+}
+
+TEST(DeviceBufferTest, PartialUploadWithOffset) {
+  Device dev(A100Config());
+  auto buf = DeviceBuffer<uint32_t>::CreateZeroed(&dev, 8).value();
+  uint32_t vals[2] = {7, 9};
+  ASSERT_TRUE(buf.Upload(vals, 2, /*dst_offset=*/3).ok());
+  auto host = buf.ToHost().value();
+  EXPECT_EQ(host[3], 7u);
+  EXPECT_EQ(host[4], 9u);
+  EXPECT_EQ(host[0], 0u);
+}
+
+TEST(DeviceBufferTest, BoundsChecked) {
+  Device dev(A100Config());
+  auto buf = DeviceBuffer<uint32_t>::CreateZeroed(&dev, 4).value();
+  uint32_t vals[4] = {};
+  EXPECT_FALSE(buf.Upload(vals, 4, 1).ok());
+  EXPECT_FALSE(buf.Download(vals, 3, 2).ok());
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  Device dev(A100Config());
+  uint64_t before = dev.memory_used_bytes();
+  {
+    auto a = DeviceBuffer<uint32_t>::CreateZeroed(&dev, 1024).value();
+    EXPECT_GT(dev.memory_used_bytes(), before);
+    DeviceBuffer<uint32_t> b = std::move(a);
+    EXPECT_EQ(b.size(), 1024u);
+    EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  }
+  EXPECT_EQ(dev.memory_used_bytes(), before) << "destructor freed memory";
+}
+
+TEST(DeviceBufferTest, AllocationFailurePropagatesOom) {
+  vgpu::Device::Options options;
+  options.memory_scale = 1e6;  // shrink the A100 to ~84 KB
+  Device dev(A100Config(), options);
+  auto result = DeviceBuffer<double>::Create(&dev, 1 << 20);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory());
+}
+
+
+TEST(StreamTest, LaunchesPrefixKernelNames) {
+  Device dev(A100Config());
+  Stream stream(&dev, "upload");
+  auto st = stream.Launch("fill", {1, 32}, [](vgpu::Ctx& c) -> vgpu::KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(stream.launches(), 1u);
+  EXPECT_EQ(dev.kernel_log().back().kernel_name, "upload/fill");
+}
+
+TEST(StreamTest, EventsMeasureIntervals) {
+  Device dev(A100Config());
+  Stream stream(&dev);
+  Event start, stop;
+  ASSERT_TRUE(stream.Record(&start).ok());
+  auto work = [](vgpu::Ctx& c) -> vgpu::KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  ASSERT_TRUE(stream.Launch("work", {32, 256}, work).ok());
+  ASSERT_TRUE(stream.Record(&stop).ok());
+  auto elapsed = ElapsedTime(start, stop);
+  ASSERT_TRUE(elapsed.ok());
+  EXPECT_GT(*elapsed, 0.0);
+  EXPECT_NEAR(*elapsed, dev.elapsed_ms() - start.timestamp_ms(), 1e-12);
+}
+
+TEST(StreamTest, UnrecordedEventsRejected) {
+  Event a, b;
+  EXPECT_FALSE(ElapsedTime(a, b).ok());
+  Device dev(A100Config());
+  Stream stream(&dev);
+  ASSERT_TRUE(stream.Record(&a).ok());
+  EXPECT_FALSE(ElapsedTime(a, b).ok());
+  EXPECT_FALSE(stream.Record(nullptr).ok());
+  EXPECT_TRUE(stream.Synchronize().ok());
+}
+
+TEST(CoverThreadsTest, CeilDivGrid) {
+  auto dims = CoverThreads(1000, 256);
+  EXPECT_EQ(dims.grid, 4u);
+  EXPECT_EQ(dims.block, 256u);
+  EXPECT_EQ(CoverThreads(1024, 256).grid, 4u);
+  EXPECT_EQ(CoverThreads(1025, 256).grid, 5u);
+  EXPECT_EQ(CoverThreads(0, 256).grid, 1u);
+  EXPECT_EQ(CoverThreads(10, 128, 64).shared_bytes, 64u);
+}
+
+TEST(DeviceTimerTest, MeasuresKernelTimeOnly) {
+  Device dev(A100Config());
+  DeviceTimer outer(&dev);
+  EXPECT_EQ(outer.ElapsedMs(), 0.0);
+  auto st = dev.Launch("nop", {64, 256}, [](vgpu::Ctx& c) -> vgpu::KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(outer.ElapsedMs(), 0.0);
+  DeviceTimer after(&dev);
+  EXPECT_EQ(after.ElapsedMs(), 0.0);
+}
+
+TEST(DeviceTest, TransferTimeTracked) {
+  Device dev(A100Config());
+  std::vector<double> host(1 << 16, 1.0);
+  double before = dev.transfer_ms();
+  auto buf = DeviceBuffer<double>::FromHost(&dev, host).value();
+  EXPECT_GT(dev.transfer_ms(), before);
+  EXPECT_EQ(dev.elapsed_ms(), 0.0) << "transfers are not kernel time";
+}
+
+TEST(DeviceTest, MemoryScaleShrinksCapacity) {
+  vgpu::Device::Options options;
+  options.memory_scale = 192;
+  Device dev(vgpu::Z100Config(), options);
+  EXPECT_EQ(dev.memory_capacity_bytes(), (16ull << 30) / 192);
+}
+
+}  // namespace
+}  // namespace adgraph::rt

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/host_ref.h"
+#include "core/triangle_count.h"
+#include "graph/builder.h"
+#include "graph/generate.h"
+#include "graph/stats.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+namespace adgraph::core {
+namespace {
+
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using vgpu::A100Config;
+using vgpu::Device;
+using vgpu::Z100LConfig;
+
+CsrGraph Triangle() {
+  GraphBuilder b;
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 0);
+  return b.Build().value();
+}
+
+TEST(OrientTest, ProducesDagWithHalfTheEdges) {
+  auto coo = graph::GenerateRmat({.scale = 9, .edge_factor = 8, .seed = 31})
+                 .value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  auto dag = OrientByDegree(g).value();
+  // Every undirected edge appears exactly once.
+  graph::CsrBuildOptions sym;
+  sym.make_undirected = true;
+  sym.remove_duplicates = true;
+  sym.remove_self_loops = true;
+  auto und = CsrGraph::FromCoo(g.ToCoo(), sym).value();
+  EXPECT_EQ(dag.num_edges() * 2, und.num_edges());
+  // Orientation bounds out-degree: no vertex keeps more than its
+  // undirected degree, and hubs shed most edges.
+  auto dag_stats = graph::ComputeDegreeStats(dag);
+  auto und_stats = graph::ComputeDegreeStats(und);
+  EXPECT_LT(dag_stats.max_degree, und_stats.max_degree);
+}
+
+TEST(TcTest, SingleTriangle) {
+  Device dev(A100Config());
+  auto result = RunTriangleCount(&dev, Triangle(), {}).value();
+  EXPECT_EQ(result.triangles, 1u);
+}
+
+TEST(TcTest, TriangleFreeGraphCountsZero) {
+  GraphBuilder b;
+  // Bipartite: no triangles.
+  for (graph::vid_t u = 0; u < 8; ++u) {
+    for (graph::vid_t v = 8; v < 16; ++v) b.AddEdge(u, v);
+  }
+  Device dev(A100Config());
+  auto result = RunTriangleCount(&dev, b.Build().value(), {}).value();
+  EXPECT_EQ(result.triangles, 0u);
+}
+
+TEST(TcTest, CompleteGraphBinomial) {
+  GraphBuilder b;
+  const graph::vid_t n = 12;
+  for (graph::vid_t u = 0; u < n; ++u) {
+    for (graph::vid_t v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  }
+  Device dev(A100Config());
+  auto result = RunTriangleCount(&dev, b.Build().value(), {}).value();
+  EXPECT_EQ(result.triangles, 220u);  // C(12,3)
+}
+
+TEST(TcTest, DuplicateAndReverseEdgesDoNotInflate) {
+  GraphBuilder b;
+  b.AddEdge(0, 1).AddEdge(1, 0).AddEdge(1, 2).AddEdge(2, 1)
+      .AddEdge(2, 0).AddEdge(0, 2).AddEdge(0, 1);
+  Device dev(A100Config());
+  auto result = RunTriangleCount(&dev, b.Build().value(), {}).value();
+  EXPECT_EQ(result.triangles, 1u);
+}
+
+TEST(TcTest, MatchesReferenceOnRmat) {
+  Device dev(A100Config());
+  auto coo = graph::GenerateRmat({.scale = 9, .edge_factor = 10, .seed = 33})
+                 .value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  uint64_t expected = host_ref::TriangleCount(g);
+  ASSERT_GT(expected, 0u);
+  auto result = RunTriangleCount(&dev, g, {}).value();
+  EXPECT_EQ(result.triangles, expected);
+}
+
+TEST(TcTest, MatchesReferenceOnAmdLikeDevice) {
+  Device dev(Z100LConfig());
+  auto coo = graph::GenerateRmat({.scale = 9, .edge_factor = 10, .seed = 33})
+                 .value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  auto result = RunTriangleCount(&dev, g, {}).value();
+  EXPECT_EQ(result.triangles, host_ref::TriangleCount(g));
+}
+
+TEST(TcTest, BinarySearchPathAgreesWithHashPath) {
+  Device dev(A100Config());
+  auto coo = graph::GenerateRmat({.scale = 9, .edge_factor = 12, .seed = 34})
+                 .value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  TcOptions hash_options;
+  auto hash_result = RunTriangleCount(&dev, g, hash_options).value();
+  TcOptions bin_options;
+  bin_options.force_binary_search = true;
+  auto bin_result = RunTriangleCount(&dev, g, bin_options).value();
+  EXPECT_EQ(hash_result.triangles, bin_result.triangles);
+}
+
+TEST(TcTest, TinyHashCapacityForcesFallbackButStaysCorrect) {
+  Device dev(A100Config());
+  auto coo = graph::GenerateRmat({.scale = 8, .edge_factor = 10, .seed = 35})
+                 .value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  TcOptions options;
+  options.hash_capacity = 16;  // nearly everything exceeds cap/2
+  auto result = RunTriangleCount(&dev, g, options).value();
+  EXPECT_EQ(result.triangles, host_ref::TriangleCount(g));
+}
+
+TEST(TcTest, WattsStrogatzLatticeTriangles) {
+  // Unrewired ring lattice with k=4: each vertex closes exactly 2
+  // triangles with its neighbors; total = n * k/2 * (k/2 - 1) ... use the
+  // host reference as oracle instead of the closed form.
+  auto coo = graph::GenerateWattsStrogatz(200, 6, 0.0, 36).value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  Device dev(A100Config());
+  auto result = RunTriangleCount(&dev, g, {}).value();
+  EXPECT_EQ(result.triangles, host_ref::TriangleCount(g));
+  EXPECT_GT(result.triangles, 0u);
+}
+
+TEST(TcTest, UsesSharedMemoryOnHashPath) {
+  Device dev(A100Config());
+  auto coo = graph::GenerateRmat({.scale = 9, .edge_factor = 10, .seed = 37})
+                 .value();
+  auto g = CsrGraph::FromCoo(coo).value();
+  size_t log_before = dev.kernel_log().size();
+  ASSERT_TRUE(RunTriangleCount(&dev, g, {}).ok());
+  vgpu::KernelCounters merged;
+  for (size_t i = log_before; i < dev.kernel_log().size(); ++i) {
+    merged.Merge(dev.kernel_log()[i].counters);
+  }
+  EXPECT_GT(merged.shared_store_inst, 0u);
+  EXPECT_GT(merged.shared_load_inst, 0u);
+  EXPECT_GT(merged.divergent_branches, 0u) << "TC must branch more than BFS";
+}
+
+}  // namespace
+}  // namespace adgraph::core
