@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_bench_common.dir/bench_coarse_common.cc.o"
+  "CMakeFiles/adgraph_bench_common.dir/bench_coarse_common.cc.o.d"
+  "CMakeFiles/adgraph_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/adgraph_bench_common.dir/bench_common.cc.o.d"
+  "libadgraph_bench_common.a"
+  "libadgraph_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

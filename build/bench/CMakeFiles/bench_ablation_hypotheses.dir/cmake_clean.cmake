@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hypotheses.dir/bench_ablation_hypotheses.cc.o"
+  "CMakeFiles/bench_ablation_hypotheses.dir/bench_ablation_hypotheses.cc.o.d"
+  "bench_ablation_hypotheses"
+  "bench_ablation_hypotheses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

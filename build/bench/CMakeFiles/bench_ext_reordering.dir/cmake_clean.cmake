@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reordering.dir/bench_ext_reordering.cc.o"
+  "CMakeFiles/bench_ext_reordering.dir/bench_ext_reordering.cc.o.d"
+  "bench_ext_reordering"
+  "bench_ext_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

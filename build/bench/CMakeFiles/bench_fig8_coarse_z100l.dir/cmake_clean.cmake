@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_coarse_z100l.dir/bench_fig8_coarse_z100l.cc.o"
+  "CMakeFiles/bench_fig8_coarse_z100l.dir/bench_fig8_coarse_z100l.cc.o.d"
+  "bench_fig8_coarse_z100l"
+  "bench_fig8_coarse_z100l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_coarse_z100l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

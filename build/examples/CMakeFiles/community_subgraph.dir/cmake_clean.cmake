@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_subgraph.dir/community_subgraph.cpp.o"
+  "CMakeFiles/community_subgraph.dir/community_subgraph.cpp.o.d"
+  "community_subgraph"
+  "community_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/social_influence.cpp" "examples/CMakeFiles/social_influence.dir/social_influence.cpp.o" "gcc" "examples/CMakeFiles/social_influence.dir/social_influence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/adgraph_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adgraph_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/adgraph_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

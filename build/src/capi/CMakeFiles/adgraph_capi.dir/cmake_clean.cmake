@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_capi.dir/adgraph.cc.o"
+  "CMakeFiles/adgraph_capi.dir/adgraph.cc.o.d"
+  "libadgraph_capi.a"
+  "libadgraph_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadgraph_capi.a"
+)

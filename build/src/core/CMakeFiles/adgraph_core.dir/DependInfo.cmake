@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bfs.cc" "src/core/CMakeFiles/adgraph_core.dir/bfs.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/bfs.cc.o.d"
+  "/root/repo/src/core/coloring.cc" "src/core/CMakeFiles/adgraph_core.dir/coloring.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/coloring.cc.o.d"
+  "/root/repo/src/core/conn_components.cc" "src/core/CMakeFiles/adgraph_core.dir/conn_components.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/conn_components.cc.o.d"
+  "/root/repo/src/core/device_graph.cc" "src/core/CMakeFiles/adgraph_core.dir/device_graph.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/device_graph.cc.o.d"
+  "/root/repo/src/core/host_ref.cc" "src/core/CMakeFiles/adgraph_core.dir/host_ref.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/host_ref.cc.o.d"
+  "/root/repo/src/core/jaccard.cc" "src/core/CMakeFiles/adgraph_core.dir/jaccard.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/jaccard.cc.o.d"
+  "/root/repo/src/core/kcore.cc" "src/core/CMakeFiles/adgraph_core.dir/kcore.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/kcore.cc.o.d"
+  "/root/repo/src/core/pagerank.cc" "src/core/CMakeFiles/adgraph_core.dir/pagerank.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/pagerank.cc.o.d"
+  "/root/repo/src/core/spmv.cc" "src/core/CMakeFiles/adgraph_core.dir/spmv.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/spmv.cc.o.d"
+  "/root/repo/src/core/sssp.cc" "src/core/CMakeFiles/adgraph_core.dir/sssp.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/sssp.cc.o.d"
+  "/root/repo/src/core/subgraph.cc" "src/core/CMakeFiles/adgraph_core.dir/subgraph.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/subgraph.cc.o.d"
+  "/root/repo/src/core/triangle_count.cc" "src/core/CMakeFiles/adgraph_core.dir/triangle_count.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/triangle_count.cc.o.d"
+  "/root/repo/src/core/widest_path.cc" "src/core/CMakeFiles/adgraph_core.dir/widest_path.cc.o" "gcc" "src/core/CMakeFiles/adgraph_core.dir/widest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/adgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/adgraph_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adgraph_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/adgraph_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

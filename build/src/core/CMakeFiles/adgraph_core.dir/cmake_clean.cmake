@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_core.dir/bfs.cc.o"
+  "CMakeFiles/adgraph_core.dir/bfs.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/coloring.cc.o"
+  "CMakeFiles/adgraph_core.dir/coloring.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/conn_components.cc.o"
+  "CMakeFiles/adgraph_core.dir/conn_components.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/device_graph.cc.o"
+  "CMakeFiles/adgraph_core.dir/device_graph.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/host_ref.cc.o"
+  "CMakeFiles/adgraph_core.dir/host_ref.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/jaccard.cc.o"
+  "CMakeFiles/adgraph_core.dir/jaccard.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/kcore.cc.o"
+  "CMakeFiles/adgraph_core.dir/kcore.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/pagerank.cc.o"
+  "CMakeFiles/adgraph_core.dir/pagerank.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/spmv.cc.o"
+  "CMakeFiles/adgraph_core.dir/spmv.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/sssp.cc.o"
+  "CMakeFiles/adgraph_core.dir/sssp.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/subgraph.cc.o"
+  "CMakeFiles/adgraph_core.dir/subgraph.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/triangle_count.cc.o"
+  "CMakeFiles/adgraph_core.dir/triangle_count.cc.o.d"
+  "CMakeFiles/adgraph_core.dir/widest_path.cc.o"
+  "CMakeFiles/adgraph_core.dir/widest_path.cc.o.d"
+  "libadgraph_core.a"
+  "libadgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

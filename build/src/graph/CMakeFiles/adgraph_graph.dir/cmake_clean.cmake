@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_graph.dir/builder.cc.o"
+  "CMakeFiles/adgraph_graph.dir/builder.cc.o.d"
+  "CMakeFiles/adgraph_graph.dir/csr.cc.o"
+  "CMakeFiles/adgraph_graph.dir/csr.cc.o.d"
+  "CMakeFiles/adgraph_graph.dir/datasets.cc.o"
+  "CMakeFiles/adgraph_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/adgraph_graph.dir/generate.cc.o"
+  "CMakeFiles/adgraph_graph.dir/generate.cc.o.d"
+  "CMakeFiles/adgraph_graph.dir/io.cc.o"
+  "CMakeFiles/adgraph_graph.dir/io.cc.o.d"
+  "CMakeFiles/adgraph_graph.dir/reorder.cc.o"
+  "CMakeFiles/adgraph_graph.dir/reorder.cc.o.d"
+  "CMakeFiles/adgraph_graph.dir/stats.cc.o"
+  "CMakeFiles/adgraph_graph.dir/stats.cc.o.d"
+  "libadgraph_graph.a"
+  "libadgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

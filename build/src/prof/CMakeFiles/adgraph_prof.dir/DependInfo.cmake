@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/metrics.cc" "src/prof/CMakeFiles/adgraph_prof.dir/metrics.cc.o" "gcc" "src/prof/CMakeFiles/adgraph_prof.dir/metrics.cc.o.d"
+  "/root/repo/src/prof/report.cc" "src/prof/CMakeFiles/adgraph_prof.dir/report.cc.o" "gcc" "src/prof/CMakeFiles/adgraph_prof.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/adgraph_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/adgraph_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_prof.dir/metrics.cc.o"
+  "CMakeFiles/adgraph_prof.dir/metrics.cc.o.d"
+  "CMakeFiles/adgraph_prof.dir/report.cc.o"
+  "CMakeFiles/adgraph_prof.dir/report.cc.o.d"
+  "libadgraph_prof.a"
+  "libadgraph_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_runtime.dir/runtime.cc.o"
+  "CMakeFiles/adgraph_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/adgraph_runtime.dir/stream.cc.o"
+  "CMakeFiles/adgraph_runtime.dir/stream.cc.o.d"
+  "libadgraph_runtime.a"
+  "libadgraph_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

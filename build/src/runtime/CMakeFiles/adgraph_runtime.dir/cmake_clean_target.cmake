@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadgraph_runtime.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_util.dir/flags.cc.o"
+  "CMakeFiles/adgraph_util.dir/flags.cc.o.d"
+  "CMakeFiles/adgraph_util.dir/logging.cc.o"
+  "CMakeFiles/adgraph_util.dir/logging.cc.o.d"
+  "CMakeFiles/adgraph_util.dir/random.cc.o"
+  "CMakeFiles/adgraph_util.dir/random.cc.o.d"
+  "CMakeFiles/adgraph_util.dir/status.cc.o"
+  "CMakeFiles/adgraph_util.dir/status.cc.o.d"
+  "CMakeFiles/adgraph_util.dir/table.cc.o"
+  "CMakeFiles/adgraph_util.dir/table.cc.o.d"
+  "libadgraph_util.a"
+  "libadgraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

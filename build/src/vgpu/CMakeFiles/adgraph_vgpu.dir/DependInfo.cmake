@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/arch.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/arch.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/arch.cc.o.d"
+  "/root/repo/src/vgpu/counters.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/counters.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/counters.cc.o.d"
+  "/root/repo/src/vgpu/ctx.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/ctx.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/ctx.cc.o.d"
+  "/root/repo/src/vgpu/device.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/device.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/device.cc.o.d"
+  "/root/repo/src/vgpu/mem/address_space.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/address_space.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/vgpu/mem/cache.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/cache.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/cache.cc.o.d"
+  "/root/repo/src/vgpu/mem/coalescer.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/coalescer.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/vgpu/mem/shared_mem.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/shared_mem.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/mem/shared_mem.cc.o.d"
+  "/root/repo/src/vgpu/timing.cc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/timing.cc.o" "gcc" "src/vgpu/CMakeFiles/adgraph_vgpu.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_vgpu.dir/arch.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/arch.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/counters.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/counters.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/ctx.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/ctx.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/device.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/device.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/mem/address_space.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/mem/address_space.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/mem/cache.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/mem/cache.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/mem/coalescer.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/mem/coalescer.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/mem/shared_mem.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/mem/shared_mem.cc.o.d"
+  "CMakeFiles/adgraph_vgpu.dir/timing.cc.o"
+  "CMakeFiles/adgraph_vgpu.dir/timing.cc.o.d"
+  "libadgraph_vgpu.a"
+  "libadgraph_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

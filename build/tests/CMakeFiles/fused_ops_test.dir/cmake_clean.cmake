@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_ops_test.dir/fused_ops_test.cc.o"
+  "CMakeFiles/fused_ops_test.dir/fused_ops_test.cc.o.d"
+  "fused_ops_test"
+  "fused_ops_test.pdb"
+  "fused_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

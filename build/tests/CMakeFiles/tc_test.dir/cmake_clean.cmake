@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_test.dir/tc_test.cc.o"
+  "CMakeFiles/tc_test.dir/tc_test.cc.o.d"
+  "tc_test"
+  "tc_test.pdb"
+  "tc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

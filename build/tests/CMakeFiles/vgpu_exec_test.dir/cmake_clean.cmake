@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_exec_test.dir/vgpu_exec_test.cc.o"
+  "CMakeFiles/vgpu_exec_test.dir/vgpu_exec_test.cc.o.d"
+  "vgpu_exec_test"
+  "vgpu_exec_test.pdb"
+  "vgpu_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_mem_test.dir/vgpu_mem_test.cc.o"
+  "CMakeFiles/vgpu_mem_test.dir/vgpu_mem_test.cc.o.d"
+  "vgpu_mem_test"
+  "vgpu_mem_test.pdb"
+  "vgpu_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

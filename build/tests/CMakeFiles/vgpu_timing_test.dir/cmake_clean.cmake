@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_timing_test.dir/vgpu_timing_test.cc.o"
+  "CMakeFiles/vgpu_timing_test.dir/vgpu_timing_test.cc.o.d"
+  "vgpu_timing_test"
+  "vgpu_timing_test.pdb"
+  "vgpu_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

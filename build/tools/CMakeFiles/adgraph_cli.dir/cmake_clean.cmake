@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgraph_cli.dir/adgraph_cli.cc.o"
+  "CMakeFiles/adgraph_cli.dir/adgraph_cli.cc.o.d"
+  "adgraph_cli"
+  "adgraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adgraph_cli.
+# This may be replaced when dependencies are built.
