@@ -104,4 +104,39 @@ Status WriteKernelLogCsv(const vgpu::Device& device, const std::string& path,
   return table.WriteCsv(path);
 }
 
+std::string FormatServerStats(const ServerStats& stats) {
+  std::ostringstream out;
+  out << "Serving pool snapshot (uptime " << FormatFixed(stats.uptime_ms, 1)
+      << " ms)\n"
+      << "  jobs: " << stats.jobs_submitted << " submitted, "
+      << stats.jobs_completed << " completed, " << stats.jobs_failed
+      << " failed, " << stats.jobs_rejected_admission
+      << " rejected (admission), " << stats.jobs_rejected_backpressure
+      << " rejected (backpressure), " << stats.jobs_queued << " queued, "
+      << stats.jobs_running << " running\n"
+      << "  throughput: " << FormatFixed(stats.jobs_per_sec, 2)
+      << " jobs/s\n"
+      << "  modeled latency: p50 " << FormatFixed(stats.p50_modeled_ms, 4)
+      << " ms, p95 " << FormatFixed(stats.p95_modeled_ms, 4) << " ms\n"
+      << "  wall latency:    p50 " << FormatFixed(stats.p50_wall_ms, 2)
+      << " ms, p95 " << FormatFixed(stats.p95_wall_ms, 2) << " ms\n";
+
+  TablePrinter table({"device", "vendor", "done", "failed", "rejected",
+                      "busy (ms)", "modeled (ms)", "util", "RAM"});
+  for (const DeviceStats& d : stats.devices) {
+    table.AddRow({d.name, d.vendor, std::to_string(d.jobs_completed),
+                  std::to_string(d.jobs_failed),
+                  std::to_string(d.jobs_rejected),
+                  FormatFixed(d.busy_wall_ms, 1),
+                  FormatFixed(d.modeled_ms, 3),
+                  FormatFixed(100 * d.utilization, 1) + "%",
+                  FormatFixed(static_cast<double>(d.memory_capacity_bytes) /
+                                  (1024.0 * 1024.0),
+                              1) +
+                      " MiB"});
+  }
+  table.Print(out);
+  return out.str();
+}
+
 }  // namespace adgraph::prof

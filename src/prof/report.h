@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "prof/server_stats.h"
 #include "util/status.h"
 #include "vgpu/device.h"
 
@@ -23,6 +24,11 @@ std::string FormatKernelLog(const vgpu::Device& device,
 /// offline analysis.
 Status WriteKernelLogCsv(const vgpu::Device& device, const std::string& path,
                          size_t start_index = 0);
+
+/// Human-readable dump of a serving-pool snapshot: a totals block (jobs
+/// completed/rejected/queued, throughput, p50/p95 modeled and wall
+/// latency) followed by a per-device utilization table.
+std::string FormatServerStats(const ServerStats& stats);
 
 }  // namespace adgraph::prof
 

@@ -1,0 +1,58 @@
+#ifndef ADGRAPH_PROF_SERVER_STATS_H_
+#define ADGRAPH_PROF_SERVER_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adgraph::prof {
+
+/// \brief Per-device slice of a serving-pool snapshot.
+///
+/// One entry per worker/device of the pool (workers own their device
+/// exclusively, so "device" and "worker" are interchangeable here).
+struct DeviceStats {
+  std::string name;               ///< arch name, e.g. "A100"
+  std::string vendor;             ///< "NVIDIA" / "AMD-like"
+  uint64_t jobs_completed = 0;    ///< jobs finished OK on this device
+  uint64_t jobs_failed = 0;       ///< jobs that ended with a non-OK status
+  uint64_t jobs_rejected = 0;     ///< admission-control rejections
+  double busy_wall_ms = 0;        ///< host wall time spent executing jobs
+  double modeled_ms = 0;          ///< summed modeled device (kernel) time
+  /// busy_wall_ms / pool uptime — the fraction of wall time this device
+  /// had a job resident.
+  double utilization = 0;
+  uint64_t memory_capacity_bytes = 0;
+};
+
+/// \brief Point-in-time snapshot of a serving pool (`serve::Scheduler`),
+/// shaped like the summary block a production inference/analytics server
+/// exports to its metrics endpoint.
+///
+/// Defined in prof (not serve) so the report layer can format it without a
+/// dependency cycle: serve fills it, prof renders it.
+struct ServerStats {
+  uint64_t jobs_submitted = 0;    ///< accepted into the queue
+  uint64_t jobs_completed = 0;    ///< finished with an OK status
+  uint64_t jobs_failed = 0;       ///< finished with a non-OK status
+  /// Rejected by memory-aware admission control (kResourceExhausted).
+  uint64_t jobs_rejected_admission = 0;
+  /// Refused at Submit() because the bounded queue was full under the
+  /// reject overflow policy.
+  uint64_t jobs_rejected_backpressure = 0;
+  uint64_t jobs_queued = 0;       ///< waiting in the queue right now
+  uint64_t jobs_running = 0;      ///< resident on a device right now
+  double uptime_ms = 0;           ///< wall time since the pool started
+  /// Wall-clock completed-jobs throughput over the pool lifetime.
+  double jobs_per_sec = 0;
+  // Latency distribution over completed jobs.
+  double p50_modeled_ms = 0;      ///< median modeled device time per job
+  double p95_modeled_ms = 0;
+  double p50_wall_ms = 0;         ///< median submit->done wall latency
+  double p95_wall_ms = 0;
+  std::vector<DeviceStats> devices;
+};
+
+}  // namespace adgraph::prof
+
+#endif  // ADGRAPH_PROF_SERVER_STATS_H_

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "util/status.h"
@@ -13,6 +14,13 @@ namespace adgraph::rt {
 /// \brief Timestamp marker on a device timeline (the cudaEvent/hipEvent
 /// idiom): records the device's modeled time when recorded; pairs of
 /// events measure intervals.
+///
+/// Thread-confinement: an Event is plain unsynchronized state.  It must be
+/// recorded and read on the thread that owns the Stream (equivalently, the
+/// Device) it is recorded on; `ElapsedTime` on events of a live foreign
+/// stream is a data race.  The serving layer (`src/serve/`) obeys this by
+/// giving each worker thread exclusive ownership of its device, streams and
+/// events; results cross threads only as values after the job completes.
 class Event {
  public:
   Event() = default;
@@ -38,10 +46,19 @@ Result<double> ElapsedTime(const Event& start, const Event& stop);
 /// counts them, and records events on the device timeline.  Multiple
 /// streams on one device interleave their modeled times on the single
 /// device clock, as launches on a real single-queue GPU ultimately do.
+///
+/// Thread-confinement (enforced): a Stream — like the single-threaded
+/// vgpu::Device under it — belongs to the thread that constructed it.
+/// Launch/Record on any other thread return kInternal instead of silently
+/// racing on the device clock and kernel log.  A multi-threaded scheduler
+/// therefore creates the Stream *inside* the worker that owns the device
+/// (see src/serve/scheduler.cc), never shares one across workers.
 class Stream {
  public:
   explicit Stream(vgpu::Device* device, std::string name = "stream")
-      : device_(device), name_(std::move(name)) {}
+      : device_(device),
+        name_(std::move(name)),
+        owner_(std::this_thread::get_id()) {}
 
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
@@ -54,6 +71,7 @@ class Stream {
   Result<vgpu::KernelStats> Launch(std::string_view kernel_name,
                                    vgpu::LaunchDims dims,
                                    const vgpu::Device::KernelFn& kernel) {
+    ADGRAPH_RETURN_NOT_OK(CheckOwningThread("Launch"));
     ADGRAPH_ASSIGN_OR_RETURN(
         vgpu::KernelStats stats,
         device_->Launch(std::string(name_) + "/" + std::string(kernel_name),
@@ -64,6 +82,7 @@ class Stream {
 
   /// Records `event` at the stream's current position (device time now).
   Status Record(Event* event) {
+    ADGRAPH_RETURN_NOT_OK(CheckOwningThread("Record"));
     if (event == nullptr) {
       return Status::InvalidArgument("Record on null event");
     }
@@ -77,8 +96,19 @@ class Stream {
   Status Synchronize() { return Status::OK(); }
 
  private:
+  Status CheckOwningThread(std::string_view op) const {
+    if (std::this_thread::get_id() != owner_) {
+      return Status::Internal("Stream '" + name_ + "': " + std::string(op) +
+                              " from a thread that does not own the stream "
+                              "(streams and their device are confined to the "
+                              "constructing thread)");
+    }
+    return Status::OK();
+  }
+
   vgpu::Device* device_;
   std::string name_;
+  std::thread::id owner_;
   uint64_t launches_ = 0;
 };
 

@@ -1,0 +1,35 @@
+#include "serve/admission.h"
+
+#include "serve/registry.h"
+
+namespace adgraph::serve {
+
+AdmissionDecision CheckAdmission(const vgpu::Device& device,
+                                 const JobSpec& spec, double headroom) {
+  AdmissionDecision decision;
+  decision.capacity_bytes = device.memory_capacity_bytes();
+  decision.available_bytes =
+      decision.capacity_bytes - device.memory_used_bytes();
+  uint64_t estimate = EstimateJobDeviceBytes(spec);
+  decision.estimated_bytes = estimate;
+  uint64_t padded = static_cast<uint64_t>(
+      static_cast<double>(estimate) * (headroom < 1.0 ? 1.0 : headroom));
+  if (padded > decision.available_bytes) {
+    decision.admit = false;
+    decision.reason =
+        std::string(AlgorithmName(spec.algorithm())) +
+        " working set ~" + std::to_string(estimate) + " bytes exceeds " +
+        device.name() + " available memory (" +
+        std::to_string(decision.available_bytes) + " of " +
+        std::to_string(decision.capacity_bytes) + " bytes free)";
+  } else {
+    decision.admit = true;
+  }
+  return decision;
+}
+
+Status AdmissionError(const AdmissionDecision& decision) {
+  return Status::ResourceExhausted("admission control: " + decision.reason);
+}
+
+}  // namespace adgraph::serve

@@ -1,0 +1,41 @@
+#ifndef ADGRAPH_SERVE_ADMISSION_H_
+#define ADGRAPH_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/job.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::serve {
+
+/// \brief Verdict of memory-aware admission control for one (job, device)
+/// pair.
+struct AdmissionDecision {
+  bool admit = false;
+  uint64_t estimated_bytes = 0;   ///< registry working-set estimate
+  uint64_t available_bytes = 0;   ///< device capacity minus live usage
+  uint64_t capacity_bytes = 0;    ///< device RAM (scaled)
+  std::string reason;             ///< human-readable rejection reason
+};
+
+/// \brief Decides whether `spec` can run on `device` without exhausting its
+/// address space, using the AddressSpace capacity accounting
+/// (capacity_bytes / used_bytes) plus the registry's per-algorithm
+/// working-set model.
+///
+/// `headroom` scales the estimate (> 1 = more conservative admission).
+/// This is what turns the paper's twitter-mpi ESBV OOM into a graceful
+/// kResourceExhausted at the serving layer: the job is refused before any
+/// kernel runs, and the device stays clean for the next request.
+AdmissionDecision CheckAdmission(const vgpu::Device& device,
+                                 const JobSpec& spec, double headroom = 1.0);
+
+/// Converts a non-admit decision into the Status the job's future resolves
+/// with (kResourceExhausted).  Precondition: !decision.admit.
+Status AdmissionError(const AdmissionDecision& decision);
+
+}  // namespace adgraph::serve
+
+#endif  // ADGRAPH_SERVE_ADMISSION_H_

@@ -1,0 +1,119 @@
+#ifndef ADGRAPH_SERVE_JOB_H_
+#define ADGRAPH_SERVE_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/bfs.h"
+#include "core/coloring.h"
+#include "core/conn_components.h"
+#include "core/jaccard.h"
+#include "core/kcore.h"
+#include "core/pagerank.h"
+#include "core/sssp.h"
+#include "core/subgraph.h"
+#include "core/triangle_count.h"
+#include "core/widest_path.h"
+#include "graph/csr.h"
+#include "prof/metrics.h"
+#include "util/status.h"
+
+namespace adgraph::serve {
+
+/// Every library algorithm the serving layer can dispatch (the `core/`
+/// entry points behind a uniform interface).
+enum class Algorithm {
+  kBfs,
+  kSssp,
+  kPageRank,
+  kTriangleCount,
+  kConnectedComponents,
+  kKCore,
+  kJaccard,
+  kWidestPath,
+  kColoring,
+  kEsbv,
+};
+
+/// Lower-case wire/CLI name ("bfs", "pagerank", "esbv", ...).
+std::string_view AlgorithmName(Algorithm algo);
+
+/// Inverse of AlgorithmName; kNotFound for unknown names.
+Result<Algorithm> ParseAlgorithm(std::string_view name);
+
+/// Per-algorithm request parameters.  The variant alternative *is* the
+/// algorithm selection: constructing a JobSpec with core::TcOptions makes
+/// it a triangle-count job.  Alternative order matches enum Algorithm
+/// (static_asserted in job.cc).
+using JobParams =
+    std::variant<core::BfsOptions, core::SsspOptions, core::PageRankOptions,
+                 core::TcOptions, core::CcOptions, core::KCoreOptions,
+                 core::JaccardOptions, core::WidestPathOptions,
+                 core::ColoringOptions, core::EsbvOptions>;
+
+/// Per-algorithm result payload, same alternative order as JobParams.
+using JobPayload =
+    std::variant<core::BfsResult, core::SsspResult, core::PageRankResult,
+                 core::TcResult, core::CcResult, core::KCoreResult,
+                 core::JaccardResult, core::WidestPathResult,
+                 core::ColoringResult, core::EsbvResult>;
+
+/// \brief One graph-analytics request: which algorithm with which
+/// parameters on which graph, optionally pinned to one architecture.
+///
+/// The graph is shared (read-only) between jobs and workers — the host-side
+/// CsrGraph is immutable after construction, so concurrent uploads from
+/// multiple workers are safe.
+struct JobSpec {
+  std::shared_ptr<const graph::CsrGraph> graph;
+  JobParams params;
+  /// "" = any device; otherwise an arch name from the pool ("A100", ...).
+  std::string arch_preference = {};
+  /// Free-form caller label echoed in the outcome (batch line number,
+  /// request id, ...).
+  std::string tag = {};
+
+  Algorithm algorithm() const {
+    return static_cast<Algorithm>(params.index());
+  }
+};
+
+/// \brief Everything the pool reports back for one job.  Delivered through
+/// the future returned by Scheduler::Submit — including failures: a
+/// rejected or failed job resolves its future with a non-OK `status`
+/// instead of breaking the pool.
+struct JobOutcome {
+  uint64_t job_id = 0;
+  std::string tag;
+  /// OK, or why the job did not produce a payload: kResourceExhausted from
+  /// admission control (estimated working set exceeds device RAM) or a
+  /// mid-run device OOM, kInvalidArgument for bad parameters, etc.
+  Status status;
+  /// Valid iff status.ok().
+  JobPayload payload;
+  std::string device_name;        ///< arch that executed (or rejected) it
+  double modeled_ms = 0;          ///< modeled device kernel time of the job
+  double queue_wall_ms = 0;       ///< host wall time spent waiting in queue
+  double exec_wall_ms = 0;        ///< host wall time resident on the device
+  uint64_t estimated_bytes = 0;   ///< admission-control working-set estimate
+  /// Aggregated kernel profile of exactly this job's launches.
+  prof::AlgoProfile profile;
+};
+
+/// Modeled device time carried inside the payload (the per-algorithm
+/// `time_ms` field).
+double PayloadTimeMs(const JobPayload& payload);
+
+/// Order-sensitive FNV-1a digest of the payload's *result content* (levels,
+/// distances, ranks, counts, subgraph arrays, ...; modeled times excluded).
+/// Two runs of the same job are byte-identical iff the fingerprints match —
+/// the serial-vs-concurrent equivalence check of the tests and the
+/// throughput bench.
+uint64_t FingerprintPayload(const JobPayload& payload);
+
+}  // namespace adgraph::serve
+
+#endif  // ADGRAPH_SERVE_JOB_H_

@@ -1,0 +1,58 @@
+#ifndef ADGRAPH_SERVE_REGISTRY_H_
+#define ADGRAPH_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "serve/job.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::serve {
+
+/// \brief One registry row: everything the scheduler needs to serve an
+/// algorithm without knowing its concrete core/ signature.
+///
+/// `run` wraps the core entry point behind the uniform
+/// `JobSpec -> Result<JobPayload>` shape; `estimate_device_bytes` is the
+/// admission-control model of the job's peak device working set.
+struct AlgorithmHandler {
+  Algorithm algo;
+  std::string_view name;
+
+  /// Executes the job's algorithm on `device` (graph upload included) and
+  /// returns the result payload.  Propagates core/ errors unchanged.
+  std::function<Result<JobPayload>(vgpu::Device*, const JobSpec&)> run;
+
+  /// Conservative upper bound on the bytes of device memory the job will
+  /// have live at its peak, mirroring the actual Alloc sequence of the
+  /// core/ implementation (graph upload + working arrays + conservative
+  /// intermediates).  Used by admission control: a job whose estimate
+  /// exceeds device RAM is rejected with kResourceExhausted instead of
+  /// being allowed to die mid-run with kOutOfMemory.
+  std::function<uint64_t(const JobSpec&)> estimate_device_bytes;
+
+  /// ESBV requires edge weights (paper §4.5); jobs on an unweighted graph
+  /// are rejected up front with kInvalidArgument.
+  bool requires_weights = false;
+};
+
+/// All registered algorithms, indexed by static_cast<size_t>(Algorithm).
+const std::vector<AlgorithmHandler>& AlgorithmRegistry();
+
+/// The handler of one algorithm.
+const AlgorithmHandler& GetHandler(Algorithm algo);
+
+/// Convenience: the registry's working-set estimate for `spec`.
+uint64_t EstimateJobDeviceBytes(const JobSpec& spec);
+
+/// Validates a spec independent of any device: non-null non-empty graph,
+/// source vertices in range, ESBV weight requirement.  The scheduler calls
+/// this at Submit() so obviously-broken jobs fail fast.
+Status ValidateJobSpec(const JobSpec& spec);
+
+}  // namespace adgraph::serve
+
+#endif  // ADGRAPH_SERVE_REGISTRY_H_

@@ -1,0 +1,301 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "prof/session.h"
+#include "serve/admission.h"
+#include "serve/registry.h"
+
+namespace adgraph::serve {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile (p in [0,1]) of an unsorted sample copy.
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(values.size() - 1),
+                       std::llround(p * static_cast<double>(values.size() - 1))));
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Options options) : options_(std::move(options)) {
+  started_at_ = Clock::now();
+}
+
+Result<std::unique_ptr<Scheduler>> Scheduler::Create(Options options) {
+  if (options.devices.empty()) {
+    for (const vgpu::ArchConfig* arch : vgpu::PaperGpus()) {
+      options.devices.push_back({.arch = arch, .options = {}});
+    }
+  }
+  for (const DeviceSlot& slot : options.devices) {
+    if (slot.arch == nullptr) {
+      return Status::InvalidArgument("device slot with null arch config");
+    }
+  }
+  options.queue_capacity = std::max<size_t>(options.queue_capacity, 1);
+
+  auto scheduler = std::unique_ptr<Scheduler>(new Scheduler(std::move(options)));
+  for (const DeviceSlot& slot : scheduler->options_.devices) {
+    auto worker = std::make_unique<Worker>(slot);
+    worker->arch_name = slot.arch->name;
+    scheduler->workers_.push_back(std::move(worker));
+  }
+  // Start the threads only after the worker array is final (threads index
+  // into it).
+  for (auto& worker : scheduler->workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([s = scheduler.get(), w] { s->WorkerLoop(w); });
+  }
+  return scheduler;
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+std::vector<std::string> Scheduler::device_names() const {
+  std::vector<std::string> names;
+  names.reserve(workers_.size());
+  for (const auto& worker : workers_) names.push_back(worker->arch_name);
+  return names;
+}
+
+Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
+  ADGRAPH_RETURN_NOT_OK(ValidateJobSpec(spec));
+  if (!spec.arch_preference.empty()) {
+    bool found = false;
+    for (const auto& worker : workers_) {
+      found |= worker->arch_name == spec.arch_preference;
+    }
+    if (!found) {
+      return Status::NotFound("no device named '" + spec.arch_preference +
+                              "' in the pool");
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) return Status::Internal("scheduler is shut down");
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.overflow == OverflowPolicy::kReject) {
+      rejected_backpressure_ += 1;
+      return Status::ResourceExhausted(
+          "submission queue full (" +
+          std::to_string(options_.queue_capacity) + " jobs queued)");
+    }
+    space_cv_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutdown_) return Status::Internal("scheduler shut down while waiting");
+  }
+
+  PendingJob job;
+  job.id = next_job_id_++;
+  job.spec = std::move(spec);
+  job.enqueued_at = Clock::now();
+  std::future<JobOutcome> future = job.promise.get_future();
+  queue_.push_back(std::move(job));
+  submitted_ += 1;
+  // notify_all: the woken worker must also *match* the job's arch
+  // preference, so waking just one could strand a pinned job.
+  queue_cv_.notify_all();
+  return future;
+}
+
+size_t Scheduler::FindRunnableLocked(const Worker& worker) const {
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const std::string& pref = queue_[i].spec.arch_preference;
+    if (pref.empty() || pref == worker.arch_name) return i;
+  }
+  return kNone;
+}
+
+void Scheduler::WorkerLoop(Worker* worker) {
+  // The device is constructed *on the worker thread* and never escapes it:
+  // the single-threaded vgpu::Device (and any rt::Stream a kernel wrapper
+  // creates) stays confined to its owner, which is the whole concurrency
+  // story of the pool.
+  vgpu::Device device(*worker->slot.arch, worker->slot.options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    worker->memory_capacity_bytes = device.memory_capacity_bytes();
+  }
+
+  for (;;) {
+    PendingJob job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this, worker] {
+        return shutdown_ || FindRunnableLocked(*worker) != kNone;
+      });
+      if (shutdown_) return;
+      size_t index = FindRunnableLocked(*worker);
+      job = std::move(queue_[index]);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+      running_ += 1;
+      space_cv_.notify_one();
+    }
+
+    std::promise<JobOutcome> promise = std::move(job.promise);
+    JobOutcome outcome = Execute(worker, &device, std::move(job));
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_ -= 1;
+      worker->busy_wall_ms += outcome.exec_wall_ms;
+      worker->modeled_ms += outcome.modeled_ms;
+      if (outcome.status.ok()) {
+        completed_ += 1;
+        worker->jobs_completed += 1;
+        modeled_latencies_ms_.push_back(outcome.modeled_ms);
+        wall_latencies_ms_.push_back(outcome.queue_wall_ms +
+                                     outcome.exec_wall_ms);
+      } else if (outcome.status.IsResourceExhausted()) {
+        rejected_admission_ += 1;
+        worker->jobs_rejected += 1;
+      } else {
+        failed_ += 1;
+        worker->jobs_failed += 1;
+      }
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+    promise.set_value(std::move(outcome));
+  }
+}
+
+JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
+                              PendingJob job) {
+  JobOutcome outcome;
+  outcome.job_id = job.id;
+  outcome.tag = std::move(job.spec.tag);
+  outcome.device_name = worker->arch_name;
+  Clock::time_point exec_start = Clock::now();
+  outcome.queue_wall_ms = MsBetween(job.enqueued_at, exec_start);
+
+  AdmissionDecision decision =
+      CheckAdmission(*device, job.spec, options_.admission_headroom);
+  outcome.estimated_bytes = decision.estimated_bytes;
+  if (!decision.admit) {
+    outcome.status = AdmissionError(decision);
+    outcome.exec_wall_ms = MsBetween(exec_start, Clock::now());
+    return outcome;
+  }
+
+  const AlgorithmHandler& handler = GetHandler(job.spec.algorithm());
+  prof::Session session(device);
+  double modeled_before = device->elapsed_ms();
+  Result<JobPayload> payload = handler.run(device, job.spec);
+  outcome.modeled_ms = device->elapsed_ms() - modeled_before;
+  outcome.profile = session.Finish();
+  if (payload.ok()) {
+    outcome.status = Status::OK();
+    outcome.payload = std::move(payload).value();
+  } else if (payload.status().IsOutOfMemory()) {
+    // The admission estimate was too optimistic and the device allocator
+    // said no mid-run.  Still a graceful per-job verdict: buffers are
+    // RAII-freed, the device stays serviceable, the pool keeps going.
+    outcome.status = Status::ResourceExhausted(
+        "device OOM past admission (estimate " +
+        std::to_string(decision.estimated_bytes) + " bytes): " +
+        payload.status().message());
+  } else {
+    outcome.status = payload.status();
+  }
+
+  // Fresh profiling state for the next request; live allocations were
+  // already released by the algorithm's RAII buffers.
+  device->ResetCounters();
+
+  outcome.exec_wall_ms = MsBetween(exec_start, Clock::now());
+  if (options_.device_occupancy_floor_ms > 0 &&
+      outcome.exec_wall_ms < options_.device_occupancy_floor_ms) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.device_occupancy_floor_ms - outcome.exec_wall_ms));
+    outcome.exec_wall_ms = MsBetween(exec_start, Clock::now());
+  }
+  return outcome;
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && running_ == 0) || shutdown_;
+  });
+}
+
+void Scheduler::Shutdown() {
+  std::vector<PendingJob> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // Already requested; fall through to join below (idempotent).
+    }
+    shutdown_ = true;
+    while (!queue_.empty()) {
+      orphans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (PendingJob& job : orphans) {
+    JobOutcome outcome;
+    outcome.job_id = job.id;
+    outcome.tag = std::move(job.spec.tag);
+    outcome.status = Status::Internal("scheduler shut down before the job ran");
+    job.promise.set_value(std::move(outcome));
+  }
+}
+
+prof::ServerStats Scheduler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  prof::ServerStats stats;
+  stats.jobs_submitted = submitted_;
+  stats.jobs_completed = completed_;
+  stats.jobs_failed = failed_;
+  stats.jobs_rejected_admission = rejected_admission_;
+  stats.jobs_rejected_backpressure = rejected_backpressure_;
+  stats.jobs_queued = queue_.size();
+  stats.jobs_running = running_;
+  stats.uptime_ms = MsBetween(started_at_, Clock::now());
+  stats.jobs_per_sec = stats.uptime_ms > 0
+                           ? 1000.0 * static_cast<double>(completed_) /
+                                 stats.uptime_ms
+                           : 0;
+  stats.p50_modeled_ms = Percentile(modeled_latencies_ms_, 0.50);
+  stats.p95_modeled_ms = Percentile(modeled_latencies_ms_, 0.95);
+  stats.p50_wall_ms = Percentile(wall_latencies_ms_, 0.50);
+  stats.p95_wall_ms = Percentile(wall_latencies_ms_, 0.95);
+  for (const auto& worker : workers_) {
+    prof::DeviceStats d;
+    d.name = worker->arch_name;
+    d.vendor = worker->slot.arch->vendor;
+    d.jobs_completed = worker->jobs_completed;
+    d.jobs_failed = worker->jobs_failed;
+    d.jobs_rejected = worker->jobs_rejected;
+    d.busy_wall_ms = worker->busy_wall_ms;
+    d.modeled_ms = worker->modeled_ms;
+    d.utilization =
+        stats.uptime_ms > 0 ? worker->busy_wall_ms / stats.uptime_ms : 0;
+    d.memory_capacity_bytes = worker->memory_capacity_bytes;
+    stats.devices.push_back(std::move(d));
+  }
+  return stats;
+}
+
+}  // namespace adgraph::serve

@@ -1,0 +1,159 @@
+#ifndef ADGRAPH_SERVE_SCHEDULER_H_
+#define ADGRAPH_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prof/server_stats.h"
+#include "serve/job.h"
+#include "util/status.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+namespace adgraph::serve {
+
+/// \brief Thread-pool-backed job scheduler over a pool of simulated
+/// devices — the layer that turns the kernel library into an analytics
+/// service (Gunrock/Groute-style dispatch, DESIGN.md §2.4).
+///
+/// Concurrency model: one worker thread per device slot; each worker
+/// *exclusively owns* its vgpu::Device (constructed on the worker thread),
+/// so the single-threaded device simulator never sees concurrent calls.
+/// Jobs cross threads only as immutable JobSpec values in and JobOutcome
+/// values out, through a bounded, mutex-protected queue.
+///
+/// Lifecycle: Create() spins up the workers; the destructor (or Shutdown())
+/// drains nothing — queued jobs are resolved with an error; call Drain()
+/// first to finish outstanding work.
+class Scheduler {
+ public:
+  /// One device slot = one worker thread owning one simulated GPU.
+  struct DeviceSlot {
+    const vgpu::ArchConfig* arch = nullptr;
+    vgpu::Device::Options options;
+  };
+
+  /// What Submit() does when the bounded queue is full.
+  enum class OverflowPolicy {
+    kBlock,   ///< block the submitter until space frees up (backpressure)
+    kReject,  ///< fail the Submit() with kResourceExhausted immediately
+  };
+
+  struct Options {
+    /// Device pool; empty = one device per paper GPU (Z100, V100, Z100L,
+    /// A100 — Table 3 order).
+    std::vector<DeviceSlot> devices;
+    /// Bounded submission queue capacity (jobs waiting, not running).
+    size_t queue_capacity = 64;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Admission-control estimate multiplier (>1 = more conservative).
+    double admission_headroom = 1.0;
+    /// Emulated device occupancy: each job holds its device for at least
+    /// this many wall milliseconds (the host worker sleeps out the
+    /// remainder, as a host thread waiting on a real asynchronous GPU
+    /// would).  0 = off.  Throughput experiments use this so wall-clock
+    /// scaling reflects device-pool parallelism rather than the host cost
+    /// of functional simulation (EXPERIMENTS.md; the simulator burns host
+    /// CPU where real hardware would idle the host).
+    double device_occupancy_floor_ms = 0;
+  };
+
+  /// Builds the pool and starts one worker per device.  Fails on an empty
+  /// effective pool or duplicate-free nonsense like a null arch.
+  static Result<std::unique_ptr<Scheduler>> Create(Options options);
+
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submits a job.  On success the future resolves with the job's
+  /// JobOutcome — *always*, even when the job itself fails or is rejected
+  /// by admission control (outcome.status carries the verdict).
+  ///
+  /// Submit itself fails only for malformed specs (kInvalidArgument), an
+  /// arch preference naming no pooled device (kNotFound), a full queue
+  /// under OverflowPolicy::kReject (kResourceExhausted), or a shut-down
+  /// pool (kInternal).
+  Result<std::future<JobOutcome>> Submit(JobSpec spec);
+
+  /// Blocks until every accepted job has completed and the queue is empty.
+  void Drain();
+
+  /// Stops the workers: waits for in-flight jobs, fails the still-queued
+  /// ones with kInternal.  Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Point-in-time statistics snapshot (thread-safe).
+  prof::ServerStats Snapshot() const;
+
+  size_t num_workers() const { return workers_.size(); }
+  /// Arch names of the pooled devices, worker order.
+  std::vector<std::string> device_names() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingJob {
+    uint64_t id = 0;
+    JobSpec spec;
+    std::promise<JobOutcome> promise;
+    Clock::time_point enqueued_at;
+  };
+
+  struct Worker {
+    explicit Worker(DeviceSlot s) : slot(std::move(s)) {}
+    DeviceSlot slot;
+    std::string arch_name;       ///< fixed at Create(); readable lock-free
+    std::thread thread;
+    // --- owned by mutex_ ---
+    uint64_t jobs_completed = 0;
+    uint64_t jobs_failed = 0;
+    uint64_t jobs_rejected = 0;
+    double busy_wall_ms = 0;
+    double modeled_ms = 0;
+    uint64_t memory_capacity_bytes = 0;
+  };
+
+  explicit Scheduler(Options options);
+
+  void WorkerLoop(Worker* worker);
+  /// Runs one job on the worker's device (admission + execution +
+  /// profiling); never throws, always returns a resolved outcome.
+  JobOutcome Execute(Worker* worker, vgpu::Device* device, PendingJob job);
+  /// Index of the first queued job this worker may take, or npos.
+  size_t FindRunnableLocked(const Worker& worker) const;
+
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< workers: work available/shutdown
+  std::condition_variable space_cv_;  ///< submitters: queue has space
+  std::condition_variable idle_cv_;   ///< Drain(): everything finished
+  std::deque<PendingJob> queue_;
+  bool shutdown_ = false;
+  uint64_t next_job_id_ = 1;
+  Clock::time_point started_at_;
+
+  // Aggregate stats (owned by mutex_).
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t rejected_admission_ = 0;
+  uint64_t rejected_backpressure_ = 0;
+  uint64_t running_ = 0;
+  std::vector<double> modeled_latencies_ms_;
+  std::vector<double> wall_latencies_ms_;
+};
+
+}  // namespace adgraph::serve
+
+#endif  // ADGRAPH_SERVE_SCHEDULER_H_

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kDeadlock:
       return "Deadlock";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

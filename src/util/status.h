@@ -22,6 +22,13 @@ enum class StatusCode {
   kInternal = 7,
   kIOError = 8,
   kDeadlock = 9,         ///< Kernel barrier deadlock detected by the scheduler.
+  /// A serving-layer resource limit was hit: a job's estimated device
+  /// working set exceeds the target device's RAM, or a bounded submission
+  /// queue is full under the reject policy.  Distinct from kOutOfMemory,
+  /// which is the *device allocator's* verdict mid-run; kResourceExhausted
+  /// is the *scheduler's* verdict, issued gracefully without crashing the
+  /// pool (the paper's twitter-mpi ESBV OOM, served politely).
+  kResourceExhausted = 10,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Out of memory").
@@ -79,6 +86,9 @@ class Status {
   static Status Deadlock(std::string msg) {
     return Status(StatusCode::kDeadlock, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -87,6 +97,9 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// The error message, or "" for an OK status.
   const std::string& message() const {

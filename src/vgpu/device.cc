@@ -39,6 +39,13 @@ void Device::ClearCaches() {
   l2_->Clear();
 }
 
+void Device::ResetCounters() {
+  elapsed_ms_ = 0;
+  transfer_ms_ = 0;
+  kernel_log_.clear();
+  ClearCaches();
+}
+
 Result<KernelStats> Device::Launch(std::string_view name, LaunchDims dims,
                                    const KernelFn& kernel) {
   if (dims.grid == 0 || dims.block == 0) {

@@ -140,6 +140,14 @@ class Device {
   /// Empties L1/L2 (fresh-cache experiment conditions between algorithms).
   void ClearCaches();
 
+  /// Returns the device to fresh-boot profiling state between jobs: zeroes
+  /// the modeled clocks (elapsed_ms, transfer_ms), drops the kernel log,
+  /// and empties the caches.  Live allocations are untouched — callers that
+  /// reuse a resident graph keep it.  The serving layer calls this between
+  /// requests so one job's counters never bleed into the next job's
+  /// profile.
+  void ResetCounters();
+
  private:
   void AccountTransfer(uint64_t bytes) {
     constexpr double kPcieGbps = 16.0;

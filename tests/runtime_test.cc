@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "runtime/runtime.h"
 #include "runtime/stream.h"
 #include "vgpu/arch.h"
@@ -118,6 +120,44 @@ TEST(StreamTest, UnrecordedEventsRejected) {
   EXPECT_FALSE(ElapsedTime(a, b).ok());
   EXPECT_FALSE(stream.Record(nullptr).ok());
   EXPECT_TRUE(stream.Synchronize().ok());
+}
+
+TEST(StreamTest, ThreadConfinementEnforced) {
+  Device dev(A100Config());
+  Stream stream(&dev);
+  Event event;
+  auto work = [](vgpu::Ctx& c) -> vgpu::KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  // On the owning (constructing) thread everything works...
+  ASSERT_TRUE(stream.Launch("owned", {1, 32}, work).ok());
+  ASSERT_TRUE(stream.Record(&event).ok());
+
+  // ...from any other thread both Launch and Record are refused instead of
+  // racing on the single-threaded device underneath.
+  Status launch_status;
+  Status record_status;
+  std::thread foreign([&] {
+    launch_status = stream.Launch("foreign", {1, 32}, work).status();
+    record_status = stream.Record(&event);
+  });
+  foreign.join();
+  EXPECT_FALSE(launch_status.ok());
+  EXPECT_NE(launch_status.message().find("thread"), std::string::npos);
+  EXPECT_FALSE(record_status.ok());
+  EXPECT_EQ(stream.launches(), 1u) << "the foreign launch must not count";
+  EXPECT_EQ(dev.kernel_log().size(), 1u);
+
+  // A stream constructed *on* a worker thread is owned by that thread.
+  Status worker_status = Status::Internal("not run");
+  std::thread worker([&] {
+    Device worker_dev(A100Config());
+    Stream worker_stream(&worker_dev, "worker");
+    worker_status = worker_stream.Launch("ok", {1, 32}, work).status();
+  });
+  worker.join();
+  EXPECT_TRUE(worker_status.ok()) << worker_status.ToString();
 }
 
 TEST(CoverThreadsTest, CeilDivGrid) {

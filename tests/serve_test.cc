@@ -1,0 +1,359 @@
+// Tests of the src/serve/ job scheduler: registry dispatch, concurrent
+// submission correctness (identical results to serial execution),
+// backpressure, memory-aware admission control, and stats reporting.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/host_ref.h"
+#include "graph/csr.h"
+#include "graph/generate.h"
+#include "prof/report.h"
+#include "serve/admission.h"
+#include "serve/job.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+
+namespace adgraph::serve {
+namespace {
+
+using graph::CsrGraph;
+
+/// Shared small test graph: symmetric, weighted R-MAT.
+std::shared_ptr<const CsrGraph> TestGraph(uint32_t scale = 8) {
+  auto coo = graph::GenerateRmat({.scale = scale, .edge_factor = 8.0,
+                                  .seed = 42}).value();
+  graph::AttachRandomWeights(&coo, 0.1, 1.0, 7);
+  graph::CsrBuildOptions options;
+  options.remove_duplicates = true;
+  options.remove_self_loops = true;
+  options.make_undirected = true;
+  return std::make_shared<const CsrGraph>(
+      CsrGraph::FromCoo(coo, options).value());
+}
+
+JobSpec BfsJob(std::shared_ptr<const CsrGraph> g, graph::vid_t source,
+               std::string arch = "") {
+  core::BfsOptions options;
+  options.source = source;
+  options.assume_symmetric = true;
+  return {.graph = std::move(g), .params = options,
+          .arch_preference = std::move(arch), .tag = "bfs"};
+}
+
+TEST(JobTest, AlgorithmNamesRoundTrip) {
+  for (size_t i = 0; i < std::variant_size_v<JobParams>; ++i) {
+    auto algo = static_cast<Algorithm>(i);
+    auto parsed = ParseAlgorithm(AlgorithmName(algo));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, algo);
+  }
+  EXPECT_TRUE(ParseAlgorithm("quantum-pagerank").status().IsNotFound());
+}
+
+TEST(JobTest, SpecAlgorithmFollowsParamsAlternative) {
+  auto g = TestGraph();
+  EXPECT_EQ(BfsJob(g, 0).algorithm(), Algorithm::kBfs);
+  JobSpec tc{.graph = g, .params = core::TcOptions{}};
+  EXPECT_EQ(tc.algorithm(), Algorithm::kTriangleCount);
+}
+
+TEST(RegistryTest, EstimatesCoverTheGraphUpload) {
+  auto g = TestGraph();
+  for (const AlgorithmHandler& handler : AlgorithmRegistry()) {
+    JobSpec spec{.graph = g, .params = {}};
+    // Give every handler its own params alternative.
+    switch (handler.algo) {
+      case Algorithm::kBfs: spec.params = core::BfsOptions{}; break;
+      case Algorithm::kSssp: spec.params = core::SsspOptions{}; break;
+      case Algorithm::kPageRank: spec.params = core::PageRankOptions{}; break;
+      case Algorithm::kTriangleCount: spec.params = core::TcOptions{}; break;
+      case Algorithm::kConnectedComponents:
+        spec.params = core::CcOptions{}; break;
+      case Algorithm::kKCore: spec.params = core::KCoreOptions{}; break;
+      case Algorithm::kJaccard: spec.params = core::JaccardOptions{}; break;
+      case Algorithm::kWidestPath:
+        spec.params = core::WidestPathOptions{}; break;
+      case Algorithm::kColoring: spec.params = core::ColoringOptions{}; break;
+      case Algorithm::kEsbv: spec.params = core::EsbvOptions{}; break;
+    }
+    EXPECT_GE(EstimateJobDeviceBytes(spec), g->DeviceFootprintBytes() / 2)
+        << handler.name;
+  }
+}
+
+TEST(RegistryTest, EsbvRequiresWeights) {
+  auto coo = graph::GenerateRmat({.scale = 6, .edge_factor = 4.0, .seed = 1})
+                 .value();
+  auto unweighted = std::make_shared<const CsrGraph>(
+      CsrGraph::FromCoo(coo, {}).value());
+  JobSpec spec{.graph = unweighted, .params = core::EsbvOptions{}};
+  EXPECT_TRUE(ValidateJobSpec(spec).IsInvalidArgument());
+}
+
+TEST(SchedulerTest, SubmitValidation) {
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  EXPECT_TRUE(scheduler
+                  ->Submit({.graph = nullptr, .params = core::BfsOptions{}})
+                  .status()
+                  .IsInvalidArgument());
+  auto g = TestGraph();
+  EXPECT_TRUE(scheduler->Submit(BfsJob(g, 0, "H100")).status().IsNotFound());
+}
+
+TEST(SchedulerTest, SingleJobMatchesDirectExecution) {
+  auto g = TestGraph();
+  auto scheduler = Scheduler::Create({}).value();  // default 4-GPU pool
+  auto future = scheduler->Submit(BfsJob(g, 0, "A100")).value();
+  JobOutcome outcome = future.get();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.device_name, "A100");
+  EXPECT_GT(outcome.modeled_ms, 0);
+  EXPECT_GT(outcome.profile.num_kernels, 0u);
+
+  const auto& result = std::get<core::BfsResult>(outcome.payload);
+  auto expected = core::host_ref::BfsLevels(*g, 0);
+  EXPECT_EQ(result.levels, expected);
+
+  vgpu::Device direct(vgpu::A100Config());
+  core::BfsOptions bfs_options;
+  bfs_options.source = 0;
+  bfs_options.assume_symmetric = true;
+  auto direct_result = core::RunBfs(&direct, *g, bfs_options).value();
+  EXPECT_EQ(FingerprintPayload(outcome.payload),
+            FingerprintPayload(JobPayload(std::move(direct_result))));
+}
+
+// The headline concurrency test: N submitter threads race mixed algorithm
+// jobs into a multi-worker pool; every outcome must be byte-identical to a
+// serial run of the same job on the same architecture.
+TEST(SchedulerTest, ConcurrentSubmissionMatchesSerial) {
+  auto g = TestGraph(8);
+  // Two identical A100s: any worker that picks a job produces the same
+  // bits, so assignment nondeterminism cannot leak into results.
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}},
+                     {.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 8;  // small: exercises blocking backpressure too
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  auto make_job = [&g](int i) -> JobSpec {
+    switch (i % 4) {
+      case 0: return BfsJob(g, static_cast<graph::vid_t>(i) %
+                                   g->num_vertices());
+      case 1: {
+        core::TcOptions tc;
+        return {.graph = g, .params = tc};
+      }
+      case 2: {
+        core::PageRankOptions pr;
+        pr.max_iterations = 10;
+        return {.graph = g, .params = pr};
+      }
+      default: {
+        core::EsbvOptions esbv;
+        esbv.vertices = core::SelectPseudoCluster(g->num_vertices(), 0.4, 3);
+        return {.graph = g, .params = esbv};
+      }
+    }
+  };
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 6;
+  std::vector<std::future<JobOutcome>> futures(kThreads * kJobsPerThread);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        int i = t * kJobsPerThread + j;
+        auto submitted = scheduler->Submit(make_job(i));
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        futures[static_cast<size_t>(i)] = std::move(submitted).value();
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  // Serial reference on a single fresh A100.
+  vgpu::Device serial_device(vgpu::A100Config());
+  for (int i = 0; i < kThreads * kJobsPerThread; ++i) {
+    JobOutcome outcome = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(outcome.status.ok())
+        << "job " << i << ": " << outcome.status.ToString();
+    JobSpec spec = make_job(i);
+    auto serial =
+        GetHandler(spec.algorithm()).run(&serial_device, spec);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(FingerprintPayload(outcome.payload),
+              FingerprintPayload(*serial))
+        << "job " << i << " (" << AlgorithmName(spec.algorithm()) << ")";
+    serial_device.ResetCounters();
+  }
+
+  scheduler->Drain();
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.jobs_submitted,
+            static_cast<uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(stats.jobs_completed,
+            static_cast<uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(stats.jobs_queued, 0u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  uint64_t per_device = 0;
+  for (const auto& d : stats.devices) per_device += d.jobs_completed;
+  EXPECT_EQ(per_device, stats.jobs_completed);
+}
+
+TEST(SchedulerTest, RejectPolicyRefusesWhenQueueFull) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 1;
+  options.overflow = Scheduler::OverflowPolicy::kReject;
+  // Slow the worker down so the queue actually fills.
+  options.device_occupancy_floor_ms = 30;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  int accepted = 0;
+  int rejected = 0;
+  std::vector<std::future<JobOutcome>> futures;
+  for (int i = 0; i < 12; ++i) {
+    auto submitted = scheduler->Submit(BfsJob(g, 0));
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+      ++accepted;
+    } else {
+      EXPECT_TRUE(submitted.status().IsResourceExhausted());
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "queue of 1 should have overflowed";
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.jobs_rejected_backpressure,
+            static_cast<uint64_t>(rejected));
+  EXPECT_EQ(stats.jobs_completed, static_cast<uint64_t>(accepted));
+}
+
+TEST(SchedulerTest, BlockPolicyEventuallyAcceptsEverything) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 1;
+  options.overflow = Scheduler::OverflowPolicy::kBlock;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  std::vector<std::future<JobOutcome>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(scheduler->Submit(BfsJob(g, 0)).value());
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  EXPECT_EQ(scheduler->Snapshot().jobs_rejected_backpressure, 0u);
+}
+
+// The paper's twitter-mpi ESBV OOM, served politely: the job is *admitted*
+// into the queue, then rejected by admission control on the device with
+// kResourceExhausted — and the pool keeps serving afterwards.
+TEST(SchedulerTest, OversizedEsbvRejectedGracefully) {
+  auto g = TestGraph(10);
+  uint64_t upload = g->DeviceFootprintBytes();
+  JobSpec esbv_spec{.graph = g, .params = core::EsbvOptions{}};
+  std::get<core::EsbvOptions>(esbv_spec.params).vertices =
+      core::SelectPseudoCluster(g->num_vertices(), 0.6, 7);
+  uint64_t esbv_estimate = EstimateJobDeviceBytes(esbv_spec);
+  ASSERT_GT(esbv_estimate, upload);
+
+  // Scale the device so the graph (and BFS) fit but ESBV's extraction
+  // working set does not: capacity halfway between.
+  uint64_t target_capacity = upload + (esbv_estimate - upload) / 2;
+  Scheduler::Options options;
+  Scheduler::DeviceSlot slot;
+  slot.arch = &vgpu::A100Config();
+  slot.options.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      static_cast<double>(target_capacity);
+  options.devices = {slot};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  // Admitted (Submit succeeds)...
+  auto esbv_future = scheduler->Submit(std::move(esbv_spec)).value();
+  JobOutcome esbv_outcome = esbv_future.get();
+  // ...then rejected with kResourceExhausted, not a crash and not plain OOM.
+  EXPECT_TRUE(esbv_outcome.status.IsResourceExhausted())
+      << esbv_outcome.status.ToString();
+  EXPECT_GT(esbv_outcome.estimated_bytes, target_capacity);
+
+  // The pool keeps serving: a BFS on the same graph still completes.
+  JobOutcome bfs_outcome = scheduler->Submit(BfsJob(g, 0)).value().get();
+  ASSERT_TRUE(bfs_outcome.status.ok()) << bfs_outcome.status.ToString();
+  EXPECT_EQ(std::get<core::BfsResult>(bfs_outcome.payload).levels,
+            core::host_ref::BfsLevels(*g, 0));
+
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.jobs_rejected_admission, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.devices.size(), 1u);
+  EXPECT_EQ(stats.devices[0].jobs_rejected, 1u);
+}
+
+TEST(AdmissionTest, DecisionFieldsAreCoherent) {
+  auto g = TestGraph(8);
+  vgpu::Device device(vgpu::A100Config());
+  JobSpec spec = BfsJob(g, 0);
+  AdmissionDecision decision = CheckAdmission(device, spec);
+  EXPECT_TRUE(decision.admit);
+  EXPECT_EQ(decision.capacity_bytes, device.memory_capacity_bytes());
+  EXPECT_GT(decision.estimated_bytes, 0u);
+
+  vgpu::Device::Options tiny;
+  tiny.memory_scale = 1e7;  // ~8 KB device
+  vgpu::Device small(vgpu::A100Config(), tiny);
+  AdmissionDecision refusal = CheckAdmission(small, spec);
+  EXPECT_FALSE(refusal.admit);
+  EXPECT_TRUE(AdmissionError(refusal).IsResourceExhausted());
+  EXPECT_FALSE(refusal.reason.empty());
+}
+
+TEST(SchedulerTest, ShutdownFailsQueuedJobsButFinishesRunning) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 16;
+  options.device_occupancy_floor_ms = 20;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  std::vector<std::future<JobOutcome>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(scheduler->Submit(BfsJob(g, 0)).value());
+  }
+  scheduler->Shutdown();
+  int ok = 0;
+  int failed = 0;
+  for (auto& f : futures) {
+    JobOutcome outcome = f.get();  // every future resolves
+    outcome.status.ok() ? ++ok : ++failed;
+  }
+  EXPECT_EQ(ok + failed, 6);
+  // Submitting after shutdown fails cleanly.
+  EXPECT_FALSE(scheduler->Submit(BfsJob(g, 0)).ok());
+}
+
+TEST(ServerStatsTest, FormatMentionsDevicesAndLatency) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::Z100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  scheduler->Submit(BfsJob(g, 0)).value().get();
+  scheduler->Drain();
+  std::string report = prof::FormatServerStats(scheduler->Snapshot());
+  EXPECT_NE(report.find("Z100"), std::string::npos);
+  EXPECT_NE(report.find("jobs/s"), std::string::npos);
+  EXPECT_NE(report.find("p95"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adgraph::serve

@@ -740,5 +740,46 @@ TEST_F(ExecTest, InstructionCountersTrackClasses) {
                 k.shared_load_inst + k.shared_store_inst);
 }
 
+// ------------------------------------------------------------ job reuse
+
+TEST_F(ExecTest, ResetCountersGivesFreshProfilingState) {
+  auto data = dev().Alloc<uint32_t>(64).value();
+  auto run_one = [&]() -> KernelStats {
+    auto stats = dev().Launch("touch", {1, 32}, [&](Ctx& c) -> KernelTask {
+      auto v = c.Load(data, c.GlobalThreadId());
+      c.Store(data, c.GlobalThreadId(), c.Add(v, 1u));
+      co_return;
+    });
+    EXPECT_TRUE(stats.ok());
+    return std::move(stats).ValueOr(KernelStats{});
+  };
+
+  KernelStats first = run_one();
+  ASSERT_GT(dev().elapsed_ms(), 0);
+  ASSERT_EQ(dev().kernel_log().size(), 1u);
+  std::vector<uint32_t> host(64, 7);
+  ASSERT_TRUE(dev().CopyToDevice(data, host.data(), host.size()).ok());
+  ASSERT_GT(dev().transfer_ms(), 0);
+  uint64_t used_before = dev().memory_used_bytes();
+
+  dev().ResetCounters();
+  // Clocks, log, and caches are fresh; allocations survive.
+  EXPECT_EQ(dev().elapsed_ms(), 0);
+  EXPECT_EQ(dev().transfer_ms(), 0);
+  EXPECT_TRUE(dev().kernel_log().empty());
+  EXPECT_EQ(dev().memory_used_bytes(), used_before);
+
+  // A second, identical job sees exactly the first job's profile — no
+  // cache warmth or clock carry-over from the previous run (the
+  // scheduler-reuse contract).
+  KernelStats second = run_one();
+  ASSERT_EQ(dev().kernel_log().size(), 1u);
+  EXPECT_EQ(second.time_ms, first.time_ms);
+  EXPECT_EQ(second.counters.l1_hits, first.counters.l1_hits);
+  EXPECT_EQ(second.counters.l1_misses, first.counters.l1_misses);
+  EXPECT_EQ(second.counters.warp_inst_issued, first.counters.warp_inst_issued);
+  EXPECT_EQ(dev().elapsed_ms(), second.time_ms);
+}
+
 }  // namespace
 }  // namespace adgraph::vgpu

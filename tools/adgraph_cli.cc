@@ -10,11 +10,24 @@
 // Algorithms: bfs, sssp, pagerank, tc, cc, kcore, jaccard, widest, esbv.
 // Graph sources (one of): --graph=FILE (edge list or .mtx), --dataset=NAME
 // (paper proxy), --generate=rmat|er|ws|ba.
+//
+// Batch serving mode — submit a whole job list to the concurrent scheduler:
+//   adgraph_cli serve-batch --jobs=jobs.txt --generate=rmat --scale=12
+//       [--gpus=A100,V100] [--queue=64] [--overflow=block|reject]
+//       [--headroom=1.0] [--occupancy-floor-ms=0]
+// Each jobs.txt line is `ALGO [key=value]...` (see ParseJobLine below);
+// blank lines and `#` comments are skipped.
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <future>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/bfs.h"
 #include "core/coloring.h"
@@ -31,6 +44,9 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "prof/report.h"
+#include "serve/job.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
 #include "util/flags.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
@@ -46,7 +62,11 @@ int Usage() {
                "  options: --gpu=Z100|V100|Z100L|A100  --source=N  --k=N\n"
                "           --scale=N --edge-factor=F --seed=N (generate)\n"
                "           --extra-divisor=F (dataset)  --profile\n"
-               "           --undirected  --weights=random\n");
+               "           --undirected  --weights=random\n"
+               "or:    adgraph_cli serve-batch --jobs=FILE <graph source>\n"
+               "           [--gpus=A100,V100,...] [--queue=N]\n"
+               "           [--overflow=block|reject] [--headroom=F]\n"
+               "           [--occupancy-floor-ms=F] [--memory-scale=F]\n");
   return 2;
 }
 
@@ -186,10 +206,252 @@ Status RunAlgo(const Flags& flags, vgpu::Device* device,
   return Status::OK();
 }
 
+// --- serve-batch -----------------------------------------------------------
+
+/// One parsed `ALGO key=value...` line from the --jobs file.  The graph
+/// handle is attached later (after we know whether weights are needed).
+struct ParsedJobLine {
+  serve::Algorithm algo;
+  std::map<std::string, std::string> kv;
+  int line_number = 0;
+};
+
+Result<ParsedJobLine> ParseJobLine(const std::string& line, int line_number) {
+  std::istringstream in(line);
+  std::string algo_name;
+  in >> algo_name;
+  ParsedJobLine parsed;
+  parsed.line_number = line_number;
+  ADGRAPH_ASSIGN_OR_RETURN(parsed.algo, serve::ParseAlgorithm(algo_name));
+  std::string token;
+  while (in >> token) {
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("jobs line " + std::to_string(line_number) +
+                                     ": expected key=value, got '" + token +
+                                     "'");
+    }
+    parsed.kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return parsed;
+}
+
+/// Builds the algorithm-specific params variant from a parsed line.  Unknown
+/// keys are ignored so job files stay forward-compatible.
+serve::JobParams BuildJobParams(const ParsedJobLine& line, graph::vid_t n) {
+  auto get_int = [&](const char* key, int64_t dflt) {
+    auto it = line.kv.find(key);
+    return it == line.kv.end() ? dflt : std::stoll(it->second);
+  };
+  auto get_double = [&](const char* key, double dflt) {
+    auto it = line.kv.find(key);
+    return it == line.kv.end() ? dflt : std::stod(it->second);
+  };
+  switch (line.algo) {
+    case serve::Algorithm::kBfs: {
+      core::BfsOptions o;
+      o.source = static_cast<graph::vid_t>(get_int("source", 0));
+      o.assume_symmetric = get_int("symmetric", 0) != 0;
+      return o;
+    }
+    case serve::Algorithm::kSssp: {
+      core::SsspOptions o;
+      o.source = static_cast<graph::vid_t>(get_int("source", 0));
+      return o;
+    }
+    case serve::Algorithm::kPageRank: {
+      core::PageRankOptions o;
+      o.max_iterations =
+          static_cast<uint32_t>(get_int("iters", o.max_iterations));
+      return o;
+    }
+    case serve::Algorithm::kTriangleCount: {
+      core::TcOptions o;
+      o.orient = get_int("orient", 1) != 0;
+      return o;
+    }
+    case serve::Algorithm::kConnectedComponents:
+      return core::CcOptions{};
+    case serve::Algorithm::kKCore: {
+      core::KCoreOptions o;
+      o.k = static_cast<uint32_t>(get_int("k", 3));
+      return o;
+    }
+    case serve::Algorithm::kJaccard:
+      return core::JaccardOptions{};
+    case serve::Algorithm::kWidestPath: {
+      core::WidestPathOptions o;
+      o.source = static_cast<graph::vid_t>(get_int("source", 0));
+      return o;
+    }
+    case serve::Algorithm::kColoring:
+      return core::ColoringOptions{};
+    case serve::Algorithm::kEsbv: {
+      core::EsbvOptions o;
+      o.vertices = core::SelectPseudoCluster(
+          n, get_double("fraction", 0.5),
+          static_cast<uint64_t>(get_int("seed", 7)));
+      return o;
+    }
+  }
+  return core::BfsOptions{};  // unreachable
+}
+
+int ServeBatch(const Flags& flags) {
+  if (!flags.Has("jobs")) {
+    std::fprintf(stderr, "serve-batch: --jobs=FILE is required\n");
+    return Usage();
+  }
+  auto graph_result = LoadGraph(flags);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  graph::CsrGraph g = std::move(*graph_result);
+
+  // Parse the job file before touching any device.
+  std::ifstream jobs_file(flags.GetString("jobs", ""));
+  if (!jobs_file) {
+    std::fprintf(stderr, "cannot open jobs file '%s'\n",
+                 flags.GetString("jobs", "").c_str());
+    return 1;
+  }
+  std::vector<ParsedJobLine> lines;
+  bool needs_weights = g.has_weights();
+  std::string raw;
+  for (int number = 1; std::getline(jobs_file, raw); ++number) {
+    auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos || raw[first] == '#') continue;
+    auto parsed = ParseJobLine(raw, number);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    needs_weights |= serve::GetHandler(parsed->algo).requires_weights;
+    lines.push_back(std::move(*parsed));
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "jobs file contains no jobs\n");
+    return 1;
+  }
+  // Weight-requiring jobs (esbv) in the batch get uniform weights unless the
+  // graph already carries real ones.
+  if (needs_weights && !g.has_weights()) g = g.WithUniformWeights(1.0);
+  auto shared =
+      std::make_shared<const graph::CsrGraph>(std::move(g));
+  std::printf("graph: %u vertices, %llu edges%s\n", shared->num_vertices(),
+              static_cast<unsigned long long>(shared->num_edges()),
+              shared->has_weights() ? " (weighted)" : "");
+
+  serve::Scheduler::Options options;
+  // Shrinks every pool device's memory by this factor — the same knob the
+  // paper-scale benches use, here so small proxies can demonstrate
+  // admission-control rejections.
+  vgpu::Device::Options device_options;
+  device_options.memory_scale = flags.GetDouble("memory-scale", 1.0);
+  if (flags.Has("gpus")) {
+    std::istringstream list(flags.GetString("gpus", ""));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      const vgpu::ArchConfig* arch = nullptr;
+      for (const auto* gpu : vgpu::PaperGpus()) {
+        if (gpu->name == name) arch = gpu;
+      }
+      if (arch == nullptr) {
+        std::fprintf(stderr, "unknown gpu '%s' in --gpus\n", name.c_str());
+        return 1;
+      }
+      options.devices.push_back({.arch = arch, .options = device_options});
+    }
+  } else if (device_options.memory_scale != 1.0) {
+    for (const auto* gpu : vgpu::PaperGpus()) {
+      options.devices.push_back({.arch = gpu, .options = device_options});
+    }
+  }
+  options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 64));
+  options.overflow = flags.GetString("overflow", "block") == "reject"
+                         ? serve::Scheduler::OverflowPolicy::kReject
+                         : serve::Scheduler::OverflowPolicy::kBlock;
+  options.admission_headroom = flags.GetDouble("headroom", 1.0);
+  options.device_occupancy_floor_ms =
+      flags.GetDouble("occupancy-floor-ms", 0.0);
+
+  auto scheduler_result = serve::Scheduler::Create(std::move(options));
+  if (!scheduler_result.ok()) {
+    std::fprintf(stderr, "scheduler: %s\n",
+                 scheduler_result.status().ToString().c_str());
+    return 1;
+  }
+  auto& scheduler = **scheduler_result;
+  std::printf("pool: %zu workers (", scheduler.num_workers());
+  for (size_t i = 0; i < scheduler.device_names().size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", scheduler.device_names()[i].c_str());
+  }
+  std::printf(")\n\n");
+
+  std::vector<std::future<serve::JobOutcome>> futures;
+  futures.reserve(lines.size());
+  for (const ParsedJobLine& line : lines) {
+    serve::JobSpec spec;
+    spec.graph = shared;
+    spec.params = BuildJobParams(line, shared->num_vertices());
+    auto arch_it = line.kv.find("arch");
+    if (arch_it != line.kv.end()) spec.arch_preference = arch_it->second;
+    auto tag_it = line.kv.find("tag");
+    spec.tag = tag_it != line.kv.end()
+                   ? tag_it->second
+                   : "line" + std::to_string(line.line_number);
+    std::string tag = spec.tag;
+    auto submitted = scheduler.Submit(std::move(spec));
+    if (!submitted.ok()) {
+      std::printf("%-12s %-8s REJECTED AT SUBMIT: %s\n",
+                  ("[" + tag + "]").c_str(),
+                  serve::AlgorithmName(line.algo).data(),
+                  submitted.status().ToString().c_str());
+      continue;
+    }
+    futures.push_back(std::move(*submitted));
+  }
+
+  int failures = 0;
+  for (auto& future : futures) {
+    serve::JobOutcome outcome = future.get();
+    if (outcome.status.ok()) {
+      std::printf("%-12s %-8s %-6s ok      modeled %9.4f ms   wall %8.2f ms"
+                  "   queued %7.2f ms\n",
+                  ("[" + outcome.tag + "]").c_str(),
+                  serve::AlgorithmName(
+                      static_cast<serve::Algorithm>(outcome.payload.index()))
+                      .data(),
+                  outcome.device_name.c_str(), outcome.modeled_ms,
+                  outcome.exec_wall_ms, outcome.queue_wall_ms);
+    } else {
+      ++failures;
+      std::printf("%-12s %-15s %s\n", ("[" + outcome.tag + "]").c_str(),
+                  outcome.device_name.empty() ? "-"
+                                              : outcome.device_name.c_str(),
+                  outcome.status.ToString().c_str());
+    }
+  }
+
+  scheduler.Drain();
+  std::printf("\n%s", prof::FormatServerStats(scheduler.Snapshot()).c_str());
+  // Admission rejections are expected operating behaviour, not a CLI error;
+  // only submit-level failures already returned above.
+  return failures == static_cast<int>(futures.size()) && !futures.empty() ? 1
+                                                                          : 0;
+}
+
 int Main(int argc, char** argv) {
   auto flags_result = Flags::Parse(argc, argv);
-  if (!flags_result.ok() || !flags_result->Has("algo")) return Usage();
+  if (!flags_result.ok()) return Usage();
   const Flags& flags = *flags_result;
+  if (!flags.positional().empty() && flags.positional()[0] == "serve-batch") {
+    return ServeBatch(flags);
+  }
+  if (!flags.Has("algo")) return Usage();
 
   auto graph_result = LoadGraph(flags);
   if (!graph_result.ok()) {
