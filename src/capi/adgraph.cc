@@ -11,12 +11,20 @@
 #include "core/triangle_count.h"
 #include "core/widest_path.h"
 #include "graph/csr.h"
+#include "trace/trace.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
 
 // Opaque handle definitions.  C linkage callers only see the pointers.
 struct adgraphContext {
   std::unique_ptr<adgraph::vgpu::Device> device;
+  /// Detail of the most recent failing call on this handle; cleared by the
+  /// next successful call.  Per-handle, so callers sharing a handle across
+  /// threads must serialize (documented in the header).
+  std::string last_error;
+  /// Non-empty while this handle holds the global trace window open; the
+  /// JSON is flushed at adgraphDestroy if the caller never closed it.
+  std::string trace_path;
 };
 
 struct adgraphGraphDescrStruct {
@@ -29,18 +37,36 @@ namespace {
 using adgraph::Status;
 using adgraph::StatusCode;
 
-adgraphStatus_t ToC(const Status& status) {
-  if (status.ok()) return ADGRAPH_STATUS_SUCCESS;
-  switch (status.code()) {
+/// The one StatusCode -> adgraphStatus_t table (also exported as
+/// adgraphStatusFromStatusCode).  Every library error category has its own
+/// C value in v2; the switch is exhaustive so a new StatusCode fails to
+/// compile until mapped here.
+adgraphStatus_t ToC(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return ADGRAPH_STATUS_SUCCESS;
     case StatusCode::kInvalidArgument:
-    case StatusCode::kOutOfRange:
-    case StatusCode::kNotFound:
       return ADGRAPH_STATUS_INVALID_VALUE;
     case StatusCode::kOutOfMemory:
       return ADGRAPH_STATUS_ALLOC_FAILED;
-    default:
+    case StatusCode::kNotFound:
+      return ADGRAPH_STATUS_NOT_FOUND;
+    case StatusCode::kAlreadyExists:
+      return ADGRAPH_STATUS_ALREADY_EXISTS;
+    case StatusCode::kOutOfRange:
+      return ADGRAPH_STATUS_OUT_OF_RANGE;
+    case StatusCode::kUnimplemented:
+      return ADGRAPH_STATUS_UNSUPPORTED;
+    case StatusCode::kInternal:
       return ADGRAPH_STATUS_INTERNAL_ERROR;
+    case StatusCode::kIOError:
+      return ADGRAPH_STATUS_IO_ERROR;
+    case StatusCode::kDeadlock:
+      return ADGRAPH_STATUS_DEADLOCK;
+    case StatusCode::kResourceExhausted:
+      return ADGRAPH_STATUS_RESOURCE_EXHAUSTED;
   }
+  return ADGRAPH_STATUS_INTERNAL_ERROR;
 }
 
 bool Ready(adgraphHandle_t handle) {
@@ -49,6 +75,31 @@ bool Ready(adgraphHandle_t handle) {
 
 bool HasStructure(adgraphGraphDescr_t descr) {
   return descr != nullptr && descr->has_structure;
+}
+
+/// Records `message` as the handle's last error and returns `code`.
+adgraphStatus_t Fail(adgraphHandle_t handle, adgraphStatus_t code,
+                     std::string message) {
+  if (handle != nullptr) handle->last_error = std::move(message);
+  return code;
+}
+
+adgraphStatus_t Fail(adgraphHandle_t handle, const Status& status) {
+  return Fail(handle, ToC(status.code()), status.ToString());
+}
+
+/// Clears the handle's last error and returns SUCCESS.
+adgraphStatus_t Succeed(adgraphHandle_t handle) {
+  if (handle != nullptr) handle->last_error.clear();
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+/// GRAPH_TYPE_MISMATCH with a uniform message for structureless descriptors.
+adgraphStatus_t NoStructure(adgraphHandle_t handle, const char* op) {
+  return Fail(handle, ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH,
+              std::string(op) +
+                  ": graph descriptor has no structure "
+                  "(call adgraphSetGraphStructure first)");
 }
 
 }  // namespace
@@ -67,8 +118,44 @@ const char* adgraphStatusGetString(adgraphStatus_t status) {
       return "ADGRAPH_STATUS_INVALID_VALUE";
     case ADGRAPH_STATUS_INTERNAL_ERROR:
       return "ADGRAPH_STATUS_INTERNAL_ERROR";
+    case ADGRAPH_STATUS_NOT_FOUND:
+      return "ADGRAPH_STATUS_NOT_FOUND";
+    case ADGRAPH_STATUS_ALREADY_EXISTS:
+      return "ADGRAPH_STATUS_ALREADY_EXISTS";
+    case ADGRAPH_STATUS_OUT_OF_RANGE:
+      return "ADGRAPH_STATUS_OUT_OF_RANGE";
+    case ADGRAPH_STATUS_UNSUPPORTED:
+      return "ADGRAPH_STATUS_UNSUPPORTED";
+    case ADGRAPH_STATUS_IO_ERROR:
+      return "ADGRAPH_STATUS_IO_ERROR";
+    case ADGRAPH_STATUS_DEADLOCK:
+      return "ADGRAPH_STATUS_DEADLOCK";
+    case ADGRAPH_STATUS_RESOURCE_EXHAUSTED:
+      return "ADGRAPH_STATUS_RESOURCE_EXHAUSTED";
+    case ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH:
+      return "ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH";
   }
   return "ADGRAPH_STATUS_UNKNOWN";
+}
+
+adgraphStatus_t adgraphGetVersion(int* major, int* minor, int* patch) {
+  if (major != nullptr) *major = ADGRAPH_VERSION_MAJOR;
+  if (minor != nullptr) *minor = ADGRAPH_VERSION_MINOR;
+  if (patch != nullptr) *patch = ADGRAPH_VERSION_PATCH;
+  return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphStatusFromStatusCode(int status_code) {
+  if (status_code < static_cast<int>(StatusCode::kOk) ||
+      status_code > static_cast<int>(StatusCode::kResourceExhausted)) {
+    return ADGRAPH_STATUS_INTERNAL_ERROR;
+  }
+  return ToC(static_cast<StatusCode>(status_code));
+}
+
+const char* adgraphGetLastErrorString(adgraphHandle_t handle) {
+  if (handle == nullptr) return "";
+  return handle->last_error.c_str();
 }
 
 adgraphStatus_t adgraphCreate(adgraphHandle_t* handle, const char* gpu_name) {
@@ -82,7 +169,7 @@ adgraphStatus_t adgraphCreate(adgraphHandle_t* handle, const char* gpu_name) {
         found = true;
       }
     }
-    if (!found) return ADGRAPH_STATUS_INVALID_VALUE;
+    if (!found) return ADGRAPH_STATUS_NOT_FOUND;
   }
   auto* context = new adgraphContext();
   context->device = std::make_unique<adgraph::vgpu::Device>(*arch);
@@ -92,32 +179,64 @@ adgraphStatus_t adgraphCreate(adgraphHandle_t* handle, const char* gpu_name) {
 
 adgraphStatus_t adgraphDestroy(adgraphHandle_t handle) {
   if (handle == nullptr) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!handle->trace_path.empty()) {
+    // The caller opened a trace window through this handle and never
+    // closed it; flush the JSON on the way out (best-effort).
+    Status stop_status = adgraph::trace::Stop();
+    (void)stop_status;
+  }
   delete handle;
   return ADGRAPH_STATUS_SUCCESS;
+}
+
+adgraphStatus_t adgraphSetTraceFile(adgraphHandle_t handle, const char* path) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (path == nullptr) {
+    handle->trace_path.clear();
+    Status status = adgraph::trace::Stop();
+    if (!status.ok()) return Fail(handle, status);
+    return Succeed(handle);
+  }
+  adgraph::trace::TraceOptions options;
+  options.enabled = true;
+  options.path = path;
+  Status status = adgraph::trace::Start(std::move(options));
+  if (!status.ok()) return Fail(handle, status);
+  handle->trace_path = path;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphGetDeviceTimeMs(adgraphHandle_t handle,
                                        double* time_ms) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (time_ms == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  if (time_ms == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphGetDeviceTimeMs: time_ms is NULL");
+  }
   *time_ms = handle->device->elapsed_ms();
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphCreateGraphDescr(adgraphHandle_t handle,
                                         adgraphGraphDescr_t* descr) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (descr == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  if (descr == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphCreateGraphDescr: descr is NULL");
+  }
   *descr = new adgraphGraphDescrStruct();
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphDestroyGraphDescr(adgraphHandle_t handle,
                                          adgraphGraphDescr_t descr) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (descr == nullptr) return ADGRAPH_STATUS_INVALID_VALUE;
+  if (descr == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphDestroyGraphDescr: descr is NULL");
+  }
   delete descr;
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphSetGraphStructure(adgraphHandle_t handle,
@@ -129,7 +248,8 @@ adgraphStatus_t adgraphSetGraphStructure(adgraphHandle_t handle,
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
   if (descr == nullptr || row_offsets == nullptr ||
       (col_indices == nullptr && num_edges > 0)) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphSetGraphStructure: NULL descriptor or arrays");
   }
   std::vector<adgraph::graph::eid_t> rows(row_offsets,
                                           row_offsets + num_vertices + 1);
@@ -137,27 +257,31 @@ adgraphStatus_t adgraphSetGraphStructure(adgraphHandle_t handle,
                                           col_indices + num_edges);
   auto graph = adgraph::graph::CsrGraph::FromArrays(
       num_vertices, std::move(rows), std::move(cols));
-  if (!graph.ok()) return ToC(graph.status());
+  if (!graph.ok()) return Fail(handle, graph.status());
   descr->graph = std::move(graph).value();
   descr->has_structure = true;
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphSetEdgeWeights(adgraphHandle_t handle,
                                       adgraphGraphDescr_t descr,
                                       const double* weights) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || weights == nullptr) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) {
+    return NoStructure(handle, "adgraphSetEdgeWeights");
+  }
+  if (weights == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphSetEdgeWeights: weights is NULL");
   }
   std::vector<adgraph::graph::weight_t> w(
       weights, weights + descr->graph.num_edges());
   auto rebuilt = adgraph::graph::CsrGraph::FromArrays(
       descr->graph.num_vertices(), descr->graph.row_offsets(),
       descr->graph.col_indices(), std::move(w));
-  if (!rebuilt.ok()) return ToC(rebuilt.status());
+  if (!rebuilt.ok()) return Fail(handle, rebuilt.status());
   descr->graph = std::move(rebuilt).value();
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
@@ -165,80 +289,108 @@ adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
                                     uint32_t source, int assume_symmetric,
                                     uint32_t* levels_out) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || levels_out == nullptr) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) return NoStructure(handle, "adgraphTraversalBfs");
+  if (levels_out == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphTraversalBfs: levels_out is NULL");
+  }
+  if (source >= descr->graph.num_vertices()) {
+    return Fail(handle, ADGRAPH_STATUS_OUT_OF_RANGE,
+                "adgraphTraversalBfs: source " + std::to_string(source) +
+                    " >= num_vertices " +
+                    std::to_string(descr->graph.num_vertices()));
   }
   adgraph::core::BfsOptions options;
   options.source = source;
   options.assume_symmetric = assume_symmetric != 0;
   auto result =
       adgraph::core::RunBfs(handle->device.get(), descr->graph, options);
-  if (!result.ok()) return ToC(result.status());
+  if (!result.ok()) return Fail(handle, result.status());
   std::copy(result->levels.begin(), result->levels.end(), levels_out);
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphTriangleCount(adgraphHandle_t handle,
                                      adgraphGraphDescr_t descr,
                                      uint64_t* triangles_out) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || triangles_out == nullptr) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) return NoStructure(handle, "adgraphTriangleCount");
+  if (triangles_out == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphTriangleCount: triangles_out is NULL");
   }
   auto result =
       adgraph::core::RunTriangleCount(handle->device.get(), descr->graph, {});
-  if (!result.ok()) return ToC(result.status());
+  if (!result.ok()) return Fail(handle, result.status());
   *triangles_out = result->triangles;
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphPagerank(adgraphHandle_t handle,
                                 adgraphGraphDescr_t descr, double alpha,
                                 uint32_t max_iterations, double* ranks_out) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || ranks_out == nullptr) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) return NoStructure(handle, "adgraphPagerank");
+  if (ranks_out == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphPagerank: ranks_out is NULL");
   }
   adgraph::core::PageRankOptions options;
   options.alpha = alpha;
   options.max_iterations = max_iterations;
   auto result =
       adgraph::core::RunPageRank(handle->device.get(), descr->graph, options);
-  if (!result.ok()) return ToC(result.status());
+  if (!result.ok()) return Fail(handle, result.status());
   std::copy(result->ranks.begin(), result->ranks.end(), ranks_out);
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphSssp(adgraphHandle_t handle, adgraphGraphDescr_t descr,
                             uint32_t source, double* distances_out) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || distances_out == nullptr) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) return NoStructure(handle, "adgraphSssp");
+  if (distances_out == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphSssp: distances_out is NULL");
+  }
+  if (source >= descr->graph.num_vertices()) {
+    return Fail(handle, ADGRAPH_STATUS_OUT_OF_RANGE,
+                "adgraphSssp: source " + std::to_string(source) +
+                    " >= num_vertices " +
+                    std::to_string(descr->graph.num_vertices()));
   }
   adgraph::core::SsspOptions options;
   options.source = source;
   auto result =
       adgraph::core::RunSssp(handle->device.get(), descr->graph, options);
-  if (!result.ok()) return ToC(result.status());
+  if (!result.ok()) return Fail(handle, result.status());
   std::copy(result->distances.begin(), result->distances.end(),
             distances_out);
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphWidestPath(adgraphHandle_t handle,
                                   adgraphGraphDescr_t descr, uint32_t source,
                                   double* widths_out) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || widths_out == nullptr) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) return NoStructure(handle, "adgraphWidestPath");
+  if (widths_out == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphWidestPath: widths_out is NULL");
+  }
+  if (source >= descr->graph.num_vertices()) {
+    return Fail(handle, ADGRAPH_STATUS_OUT_OF_RANGE,
+                "adgraphWidestPath: source " + std::to_string(source) +
+                    " >= num_vertices " +
+                    std::to_string(descr->graph.num_vertices()));
   }
   adgraph::core::WidestPathOptions options;
   options.source = source;
   auto result = adgraph::core::RunWidestPath(handle->device.get(),
                                              descr->graph, options);
-  if (!result.ok()) return ToC(result.status());
+  if (!result.ok()) return Fail(handle, result.status());
   std::copy(result->widths.begin(), result->widths.end(), widths_out);
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
@@ -247,18 +399,27 @@ adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
                                                const uint32_t* vertices,
                                                size_t num_vertices) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr) || subgraph == nullptr ||
-      (vertices == nullptr && num_vertices > 0)) {
-    return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) {
+    return NoStructure(handle, "adgraphExtractSubgraphByVertex");
+  }
+  if (subgraph == nullptr || (vertices == nullptr && num_vertices > 0)) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphExtractSubgraphByVertex: NULL output descriptor or "
+                "vertex array");
+  }
+  if (!descr->graph.has_weights()) {
+    return Fail(handle, ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH,
+                "adgraphExtractSubgraphByVertex: extraction requires edge "
+                "weights (call adgraphSetEdgeWeights first)");
   }
   adgraph::core::EsbvOptions options;
   options.vertices.assign(vertices, vertices + num_vertices);
   auto result = adgraph::core::ExtractSubgraphByVertex(
       handle->device.get(), descr->graph, options);
-  if (!result.ok()) return ToC(result.status());
+  if (!result.ok()) return Fail(handle, result.status());
   subgraph->graph = std::move(result->subgraph);
   subgraph->has_structure = true;
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,
@@ -268,7 +429,9 @@ adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,
                                          uint64_t* row_offsets,
                                          uint32_t* col_indices) {
   if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
-  if (!HasStructure(descr)) return ADGRAPH_STATUS_INVALID_VALUE;
+  if (!HasStructure(descr)) {
+    return NoStructure(handle, "adgraphGetGraphStructure");
+  }
   if (num_vertices != nullptr) *num_vertices = descr->graph.num_vertices();
   if (num_edges != nullptr) *num_edges = descr->graph.num_edges();
   if (row_offsets != nullptr) {
@@ -279,7 +442,7 @@ adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,
     std::copy(descr->graph.col_indices().begin(),
               descr->graph.col_indices().end(), col_indices);
   }
-  return ADGRAPH_STATUS_SUCCESS;
+  return Succeed(handle);
 }
 
 }  // extern "C"

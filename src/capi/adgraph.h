@@ -23,20 +23,49 @@
 /// All functions return adgraphStatus_t; ADGRAPH_STATUS_SUCCESS is 0.
 /// Handles are opaque; every allocation is owned by the library and
 /// released by the matching Destroy call.
+///
+/// ## API v2 — error surface
+///
+/// v2 widens the status enum so every library error category crosses the C
+/// boundary losslessly (v1 folded most failures into INVALID_VALUE).  The
+/// v1 values 0..4 are frozen — code compiled against v1 keeps working —
+/// and v2 adds values 5..12, including GRAPH_TYPE_MISMATCH for the
+/// nvGRAPH-style "this graph lacks the structure/weights this call needs"
+/// verdict.  Each failing call also records a human-readable message on
+/// the handle, retrievable with adgraphGetLastErrorString() until the next
+/// call on that handle (per-handle, not thread-safe: callers sharing a
+/// handle across threads must serialize, as in nvGRAPH).
 
 #include <stddef.h>  // NOLINT(modernize-deprecated-headers): C API
 #include <stdint.h>  // NOLINT(modernize-deprecated-headers): C API
+
+/// Library version, bumped with the v2 error-surface redesign.  Additions
+/// bump MINOR; existing symbols and enum values stay stable within MAJOR 2.
+#define ADGRAPH_VERSION_MAJOR 2
+#define ADGRAPH_VERSION_MINOR 0
+#define ADGRAPH_VERSION_PATCH 0
 
 #ifdef __cplusplus
 extern "C" {
 #endif
 
 typedef enum {
+  /* v1 values — frozen, do not renumber. */
   ADGRAPH_STATUS_SUCCESS = 0,
   ADGRAPH_STATUS_NOT_INITIALIZED = 1,
-  ADGRAPH_STATUS_ALLOC_FAILED = 2,
+  ADGRAPH_STATUS_ALLOC_FAILED = 2,      /**< simulated device memory exhausted */
   ADGRAPH_STATUS_INVALID_VALUE = 3,
   ADGRAPH_STATUS_INTERNAL_ERROR = 4,
+  /* v2 additions — one value per library StatusCode. */
+  ADGRAPH_STATUS_NOT_FOUND = 5,         /**< unknown GPU / algorithm / entity */
+  ADGRAPH_STATUS_ALREADY_EXISTS = 6,    /**< e.g. a trace window already open */
+  ADGRAPH_STATUS_OUT_OF_RANGE = 7,      /**< index past the graph's bounds */
+  ADGRAPH_STATUS_UNSUPPORTED = 8,       /**< unimplemented operation variant */
+  ADGRAPH_STATUS_IO_ERROR = 9,          /**< file read/write failed */
+  ADGRAPH_STATUS_DEADLOCK = 10,         /**< kernel barrier deadlock detected */
+  ADGRAPH_STATUS_RESOURCE_EXHAUSTED = 11, /**< serving-layer resource limit */
+  ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH = 12, /**< graph lacks required
+                                                structure or weights */
 } adgraphStatus_t;
 
 typedef struct adgraphContext* adgraphHandle_t;
@@ -45,8 +74,29 @@ typedef struct adgraphGraphDescrStruct* adgraphGraphDescr_t;
 /// Human-readable status name ("ADGRAPH_STATUS_SUCCESS", ...).
 const char* adgraphStatusGetString(adgraphStatus_t status);
 
+/// Writes the library version (any pointer may be NULL).
+adgraphStatus_t adgraphGetVersion(int* major, int* minor, int* patch);
+
+/// The documented StatusCode -> adgraphStatus_t mapping (the one table the
+/// whole C layer routes through).  `status_code` is a numeric
+/// adgraph::StatusCode; unknown values map to INTERNAL_ERROR.  Exposed so
+/// bindings and tests can rely on the mapping as a stable contract.
+adgraphStatus_t adgraphStatusFromStatusCode(int status_code);
+
+/// Human-readable detail of the most recent failing call on `handle`; ""
+/// when the most recent call succeeded (or `handle` is NULL).  The pointer
+/// is owned by the handle and valid until the next API call on it.
+const char* adgraphGetLastErrorString(adgraphHandle_t handle);
+
+/// Opens the process-global tracing window and arranges for the Chrome
+/// trace-event JSON to be written to `path` when the window closes —
+/// explicitly via a NULL `path`, or implicitly at adgraphDestroy().
+/// ALREADY_EXISTS if a trace window is already open.
+adgraphStatus_t adgraphSetTraceFile(adgraphHandle_t handle, const char* path);
+
 /// Creates a library context bound to one simulated GPU ("Z100", "V100",
-/// "Z100L" or "A100"; NULL selects A100).
+/// "Z100L" or "A100"; NULL selects A100).  NOT_FOUND for any other name
+/// (v1 returned INVALID_VALUE here).
 adgraphStatus_t adgraphCreate(adgraphHandle_t* handle, const char* gpu_name);
 adgraphStatus_t adgraphDestroy(adgraphHandle_t handle);
 
@@ -78,6 +128,9 @@ adgraphStatus_t adgraphSetEdgeWeights(adgraphHandle_t handle,
 /// BFS levels from `source` into `levels_out` (num_vertices entries;
 /// UINT32_MAX marks unreachable).  Pass nonzero `assume_symmetric` to
 /// enable the direction-optimizing path on undirected graphs.
+///
+/// Like every traversal below: GRAPH_TYPE_MISMATCH when the descriptor has
+/// no structure yet, OUT_OF_RANGE when `source >= num_vertices`.
 adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
                                     adgraphGraphDescr_t descr,
                                     uint32_t source, int assume_symmetric,
@@ -104,9 +157,10 @@ adgraphStatus_t adgraphWidestPath(adgraphHandle_t handle,
                                   adgraphGraphDescr_t descr, uint32_t source,
                                   double* widths_out);
 
-/// Vertex-induced subgraph extraction (weights required, as in the paper).
-/// The result is written into `subgraph`, which must be a fresh descriptor
-/// from adgraphCreateGraphDescr.
+/// Vertex-induced subgraph extraction (weights required, as in the paper;
+/// GRAPH_TYPE_MISMATCH on an unweighted descriptor).  The result is
+/// written into `subgraph`, which must be a fresh descriptor from
+/// adgraphCreateGraphDescr.
 adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
                                                adgraphGraphDescr_t descr,
                                                adgraphGraphDescr_t subgraph,

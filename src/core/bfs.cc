@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -169,6 +170,10 @@ Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,
                                    " out of range");
   }
 
+  trace::Span algo_span(device->trace_track(), "algo:bfs", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("source", static_cast<uint64_t>(options.source));
+
   ADGRAPH_ASSIGN_OR_RETURN(auto levels,
                            rt::DeviceBuffer<uint32_t>::Create(device, n));
   ADGRAPH_ASSIGN_OR_RETURN(auto frontier,
@@ -220,6 +225,9 @@ Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,
         static_cast<double>(frontier_size) > n / options.alpha;
 
     if (use_bottom_up) {
+      trace::Span sweep(device->trace_track(), "bfs.bottom_up", "phase");
+      sweep.ArgNum("level", static_cast<uint64_t>(level));
+      sweep.ArgNum("frontier_size", static_cast<uint64_t>(frontier_size));
       ADGRAPH_RETURN_NOT_OK(
           device
               ->Launch("bfs_bottom_up",
@@ -231,6 +239,9 @@ Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,
       result.bottom_up_iterations += 1;
       frontier_is_queue = false;
     } else {
+      trace::Span sweep(device->trace_track(), "bfs.top_down", "phase");
+      sweep.ArgNum("level", static_cast<uint64_t>(level));
+      sweep.ArgNum("frontier_size", static_cast<uint64_t>(frontier_size));
       if (!frontier_is_queue) {
         // Returning from bottom-up: rebuild the queue for level-1.
         ADGRAPH_RETURN_NOT_OK(
@@ -296,6 +307,11 @@ Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,
   for (uint32_t lvl : result.levels) {
     if (lvl != kUnreachedLevel) result.vertices_visited += 1;
   }
+  algo_span.ArgNum("depth", static_cast<uint64_t>(result.depth));
+  algo_span.ArgNum("top_down_iterations",
+                   static_cast<uint64_t>(result.top_down_iterations));
+  algo_span.ArgNum("bottom_up_iterations",
+                   static_cast<uint64_t>(result.bottom_up_iterations));
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "core/coloring.h"
 
 #include "core/device_graph.h"
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -103,6 +104,9 @@ Result<ColoringResult> RunGraphColoring(vgpu::Device* device,
                            graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
   const vid_t n = sym.num_vertices();
 
+  trace::Span algo_span(device->trace_track(), "algo:color", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+
   ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto colors,
                            rt::DeviceBuffer<uint32_t>::Create(device, n));
@@ -116,6 +120,8 @@ Result<ColoringResult> RunGraphColoring(vgpu::Device* device,
   ColoringResult result;
   const uint32_t seed32 = static_cast<uint32_t>(options.seed * 0x9E3779B9u + 1);
   for (;;) {
+    trace::Span sweep(device->trace_track(), "color.round", "phase");
+    sweep.ArgNum("round", static_cast<uint64_t>(result.rounds + 1));
     ADGRAPH_RETURN_NOT_OK(
         primitives::SetElement<uint32_t>(device, progress.ptr(), 0, 0));
     ADGRAPH_RETURN_NOT_OK(

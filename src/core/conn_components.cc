@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "core/device_graph.h"
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -66,6 +67,9 @@ Result<CcResult> RunConnectedComponents(vgpu::Device* device,
                            graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
   const vid_t n = sym.num_vertices();
 
+  trace::Span algo_span(device->trace_track(), "algo:cc", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+
   ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto labels,
                            rt::DeviceBuffer<vid_t>::Create(device, n));
@@ -81,6 +85,8 @@ Result<CcResult> RunConnectedComponents(vgpu::Device* device,
 
   CcResult result;
   for (;;) {
+    trace::Span sweep(device->trace_track(), "cc.propagate_round", "phase");
+    sweep.ArgNum("round", static_cast<uint64_t>(result.iterations + 1));
     ADGRAPH_RETURN_NOT_OK(
         primitives::SetElement<uint32_t>(device, changed.ptr(), 0, 0));
     ADGRAPH_RETURN_NOT_OK(

@@ -1,6 +1,7 @@
 #include "core/kcore.h"
 
 #include "core/device_graph.h"
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -71,6 +72,10 @@ Result<KCoreResult> RunKCore(vgpu::Device* device, const graph::CsrGraph& g,
                            graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
   const vid_t n = sym.num_vertices();
 
+  trace::Span algo_span(device->trace_track(), "algo:kcore", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("k", static_cast<uint64_t>(options.k));
+
   ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto degree,
                            rt::DeviceBuffer<int32_t>::Create(device, n));
@@ -91,6 +96,8 @@ Result<KCoreResult> RunKCore(vgpu::Device* device, const graph::CsrGraph& g,
 
   KCoreResult result;
   for (;;) {
+    trace::Span sweep(device->trace_track(), "kcore.peel_round", "phase");
+    sweep.ArgNum("round", static_cast<uint64_t>(result.peel_rounds + 1));
     ADGRAPH_RETURN_NOT_OK(
         primitives::SetElement<uint32_t>(device, changed.ptr(), 0, 0));
     ADGRAPH_RETURN_NOT_OK(

@@ -4,6 +4,7 @@
 
 #include "core/device_graph.h"
 #include "core/spmv.h"
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -69,6 +70,11 @@ Result<PageRankResult> RunPageRank(vgpu::Device* device,
     return Status::InvalidArgument("damping factor must be in (0,1)");
   }
 
+  trace::Span algo_span(device->trace_track(), "algo:pagerank", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("max_iterations",
+                   static_cast<uint64_t>(options.max_iterations));
+
   // Pull formulation: next = A_norm^T * ranks where the edge (v <- u)
   // carries 1/outdeg(u).  Build that weighted transpose on the host.
   graph::CsrGraph gt = g.Transpose();
@@ -104,6 +110,8 @@ Result<PageRankResult> RunPageRank(vgpu::Device* device,
   spmv_options.block_size = options.block_size;
 
   for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    trace::Span sweep(device->trace_track(), "pagerank.iteration", "phase");
+    sweep.ArgNum("iteration", static_cast<uint64_t>(iter + 1));
     // Dangling mass of the current ranks.
     ADGRAPH_RETURN_NOT_OK(
         primitives::SetElement<double>(device, scalars.ptr(), 0, 0.0));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -222,6 +223,10 @@ Result<EsbvResult> ExtractSubgraphByVertex(vgpu::Device* device,
       return Status::InvalidArgument("selected vertex out of range");
     }
   }
+
+  trace::Span algo_span(device->trace_track(), "algo:esbv", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("selected", static_cast<uint64_t>(options.vertices.size()));
 
   // --- Library-native storage: the CSC of g, weights included -----------
   graph::CsrGraph csc_host = g.Transpose();

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/device_graph.h"
+#include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
@@ -65,6 +66,10 @@ Result<WidestPathResult> RunWidestPath(vgpu::Device* device,
     }
   }
 
+  trace::Span algo_span(device->trace_track(), "algo:widest", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("source", static_cast<uint64_t>(options.source));
+
   ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
   ADGRAPH_ASSIGN_OR_RETURN(auto width,
                            rt::DeviceBuffer<double>::Create(device, n));
@@ -81,6 +86,8 @@ Result<WidestPathResult> RunWidestPath(vgpu::Device* device,
   const uint32_t max_rounds =
       options.max_rounds > 0 ? options.max_rounds : (n > 1 ? n - 1 : 1);
   for (uint32_t round = 0; round < max_rounds; ++round) {
+    trace::Span sweep(device->trace_track(), "widest.relax_round", "phase");
+    sweep.ArgNum("round", static_cast<uint64_t>(round + 1));
     ADGRAPH_RETURN_NOT_OK(
         primitives::SetElement<uint32_t>(device, changed.ptr(), 0, 0));
     ADGRAPH_RETURN_NOT_OK(

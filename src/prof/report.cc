@@ -1,5 +1,6 @@
 #include "prof/report.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -136,6 +137,64 @@ std::string FormatServerStats(const ServerStats& stats) {
                       " MiB"});
   }
   table.Print(out);
+  return out.str();
+}
+
+std::string FormatTraceSummary(
+    const std::vector<trace::TraceEvent>& events) {
+  std::ostringstream out;
+  if (events.empty()) {
+    out << "Trace summary: no spans recorded\n";
+    return out.str();
+  }
+
+  struct TrackGroup {
+    uint64_t spans = 0;
+    double busy_us = 0;
+    double first_ts = 0;
+    double last_end = 0;
+  };
+  std::map<uint64_t, TrackGroup> tracks;
+  std::map<std::string, std::pair<uint64_t, double>> by_name;  // count, us
+  for (const trace::TraceEvent& e : events) {
+    auto [it, inserted] = tracks.try_emplace(e.track);
+    TrackGroup& g = it->second;
+    if (inserted || e.ts_us < g.first_ts) g.first_ts = e.ts_us;
+    g.last_end = std::max(g.last_end, e.ts_us + e.dur_us);
+    g.spans += 1;
+    g.busy_us += e.dur_us;
+    auto& n = by_name[e.category + ":" + e.name];
+    n.first += 1;
+    n.second += e.dur_us;
+  }
+
+  const std::vector<std::string> names = trace::TrackNames();
+  out << "Trace summary: " << events.size() << " spans across "
+      << tracks.size() << " tracks\n";
+  TablePrinter table({"track", "spans", "busy (ms)", "span (ms)"});
+  for (const auto& [track, g] : tracks) {
+    std::string name = track < names.size() ? names[track]
+                                            : "track " + std::to_string(track);
+    table.AddRow({name, std::to_string(g.spans),
+                  FormatFixed(g.busy_us / 1000.0, 3),
+                  FormatFixed((g.last_end - g.first_ts) / 1000.0, 3)});
+  }
+  table.Print(out);
+
+  // Top span names by accumulated duration — the "where did it go" list.
+  std::vector<std::pair<std::string, std::pair<uint64_t, double>>> ranked(
+      by_name.begin(), by_name.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.second > b.second.second;
+  });
+  constexpr size_t kTop = 10;
+  out << "Top spans by total duration:\n";
+  TablePrinter top({"span", "count", "total (ms)"});
+  for (size_t i = 0; i < std::min(kTop, ranked.size()); ++i) {
+    top.AddRow({ranked[i].first, std::to_string(ranked[i].second.first),
+                FormatFixed(ranked[i].second.second / 1000.0, 3)});
+  }
+  top.Print(out);
   return out.str();
 }
 

@@ -2,8 +2,10 @@
 #define ADGRAPH_PROF_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "prof/server_stats.h"
+#include "trace/trace.h"
 #include "util/status.h"
 #include "vgpu/device.h"
 
@@ -29,6 +31,12 @@ Status WriteKernelLogCsv(const vgpu::Device& device, const std::string& path,
 /// completed/rejected/queued, throughput, p50/p95 modeled and wall
 /// latency) followed by a per-device utilization table.
 std::string FormatServerStats(const ServerStats& stats);
+
+/// Compact text companion to the Chrome trace-event JSON export: a
+/// per-track table (spans, busy wall time) followed by the top span names
+/// by total duration — a readable answer to "where did the time go"
+/// without loading Perfetto.
+std::string FormatTraceSummary(const std::vector<trace::TraceEvent>& events);
 
 }  // namespace adgraph::prof
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.h"
 #include "util/status.h"
 #include "vgpu/device.h"
 
@@ -72,6 +73,8 @@ class Stream {
                                    vgpu::LaunchDims dims,
                                    const vgpu::Device::KernelFn& kernel) {
     ADGRAPH_RETURN_NOT_OK(CheckOwningThread("Launch"));
+    trace::Span span(device_->trace_track(),
+                     name_ + "/launch:" + std::string(kernel_name), "stream");
     ADGRAPH_ASSIGN_OR_RETURN(
         vgpu::KernelStats stats,
         device_->Launch(std::string(name_) + "/" + std::string(kernel_name),
@@ -88,12 +91,18 @@ class Stream {
     }
     event->recorded_ = true;
     event->timestamp_ms_ = device_->elapsed_ms();
+    trace::Span span(device_->trace_track(), name_ + "/record", "stream");
+    span.ArgNum("device_ms", event->timestamp_ms_);
     return Status::OK();
   }
 
   /// Blocks until all enqueued work completed.  The simulator executes
   /// eagerly, so this is a (checked) no-op kept for API parity.
-  Status Synchronize() { return Status::OK(); }
+  Status Synchronize() {
+    trace::Span span(device_->trace_track(), name_ + "/synchronize",
+                     "stream");
+    return Status::OK();
+  }
 
  private:
   Status CheckOwningThread(std::string_view op) const {

@@ -49,6 +49,12 @@ Result<std::unique_ptr<Scheduler>> Scheduler::Create(Options options) {
   options.queue_capacity = std::max<size_t>(options.queue_capacity, 1);
 
   auto scheduler = std::unique_ptr<Scheduler>(new Scheduler(std::move(options)));
+  if (scheduler->options_.trace.enabled) {
+    // Attach the session sink before any worker starts so device
+    // construction (track registration, warm-up) is already observable.
+    scheduler->trace_collector_ = std::make_unique<trace::Collector>(
+        scheduler->options_.trace.ring_capacity);
+  }
   for (const DeviceSlot& slot : scheduler->options_.devices) {
     auto worker = std::make_unique<Worker>(slot);
     worker->arch_name = slot.arch->name;
@@ -127,6 +133,7 @@ void Scheduler::WorkerLoop(Worker* worker) {
   // creates) stays confined to its owner, which is the whole concurrency
   // story of the pool.
   vgpu::Device device(*worker->slot.arch, worker->slot.options);
+  worker->trace_track = trace::RegisterTrack("worker " + worker->arch_name);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     worker->memory_capacity_bytes = device.memory_capacity_bytes();
@@ -183,11 +190,36 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
   Clock::time_point exec_start = Clock::now();
   outcome.queue_wall_ms = MsBetween(job.enqueued_at, exec_start);
 
-  AdmissionDecision decision =
-      CheckAdmission(*device, job.spec, options_.admission_headroom);
+  if (trace::Enabled()) {
+    // The wait already happened, so the span is emitted retroactively with
+    // explicit timestamps rather than through the RAII helper.
+    trace::TraceEvent wait;
+    wait.name = "queue_wait";
+    wait.category = "serve";
+    wait.track = worker->trace_track;
+    wait.ts_us = trace::ToUs(job.enqueued_at);
+    wait.dur_us = trace::ToUs(exec_start) - wait.ts_us;
+    wait.args.push_back({"job_id", std::to_string(job.id), true});
+    trace::Emit(std::move(wait));
+  }
+
+  trace::Span job_span(
+      worker->trace_track,
+      "job:" + std::string(AlgorithmName(job.spec.algorithm())), "serve");
+  job_span.ArgNum("job_id", job.id);
+  if (!outcome.tag.empty()) job_span.Arg("tag", outcome.tag);
+
+  AdmissionDecision decision;
+  {
+    trace::Span admission_span(worker->trace_track, "admission", "serve");
+    decision = CheckAdmission(*device, job.spec, options_.admission_headroom);
+    admission_span.ArgNum("estimated_bytes", decision.estimated_bytes);
+    admission_span.Arg("admit", decision.admit ? "true" : "false");
+  }
   outcome.estimated_bytes = decision.estimated_bytes;
   if (!decision.admit) {
     outcome.status = AdmissionError(decision);
+    job_span.Arg("status", "rejected_admission");
     outcome.exec_wall_ms = MsBetween(exec_start, Clock::now());
     return outcome;
   }
@@ -224,6 +256,14 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
         options_.device_occupancy_floor_ms - outcome.exec_wall_ms));
     outcome.exec_wall_ms = MsBetween(exec_start, Clock::now());
   }
+  if (job_span.active()) {
+    job_span.Arg("status",
+                 outcome.status.ok()
+                     ? "ok"
+                     : std::string(StatusCodeToString(outcome.status.code())));
+    job_span.ArgNum("modeled_ms", outcome.modeled_ms);
+    job_span.ArgNum("queue_wall_ms", outcome.queue_wall_ms);
+  }
   return outcome;
 }
 
@@ -253,6 +293,17 @@ void Scheduler::Shutdown() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  if (trace_collector_) {
+    // Workers are quiet now; flush the session's trace before detaching.
+    if (!options_.trace.path.empty()) {
+      // Best-effort: an unwritable path must not turn Shutdown into a
+      // failure; the collector still detaches below.
+      Status write_status =
+          trace_collector_->WriteChromeTrace(options_.trace.path);
+      (void)write_status;
+    }
+    trace_collector_.reset();
+  }
   for (PendingJob& job : orphans) {
     JobOutcome outcome;
     outcome.job_id = job.id;
@@ -260,6 +311,11 @@ void Scheduler::Shutdown() {
     outcome.status = Status::Internal("scheduler shut down before the job ran");
     job.promise.set_value(std::move(outcome));
   }
+}
+
+std::vector<trace::TraceEvent> Scheduler::TraceEvents() const {
+  if (!trace_collector_) return {};
+  return trace_collector_->Events();
 }
 
 prof::ServerStats Scheduler::Snapshot() const {

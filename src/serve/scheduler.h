@@ -14,6 +14,7 @@
 
 #include "prof/server_stats.h"
 #include "serve/job.h"
+#include "trace/trace.h"
 #include "util/status.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
@@ -64,6 +65,12 @@ class Scheduler {
     /// of functional simulation (EXPERIMENTS.md; the simulator burns host
     /// CPU where real hardware would idle the host).
     double device_occupancy_floor_ms = 0;
+    /// Per-session tracing: when `trace.enabled`, the scheduler attaches a
+    /// private trace::Collector for its lifetime and — if `trace.path` is
+    /// non-empty — writes the Chrome trace-event JSON there at Shutdown().
+    /// Spans land on one track per worker thread (queue-wait / job /
+    /// admission) plus one per device (kernels, memcpys, algorithm phases).
+    trace::TraceOptions trace;
   };
 
   /// Builds the pool and starts one worker per device.  Fails on an empty
@@ -94,6 +101,10 @@ class Scheduler {
   /// Point-in-time statistics snapshot (thread-safe).
   prof::ServerStats Snapshot() const;
 
+  /// Spans collected by the session sink so far (oldest first); empty when
+  /// Options::trace was disabled or after Shutdown().  Thread-safe.
+  std::vector<trace::TraceEvent> TraceEvents() const;
+
   size_t num_workers() const { return workers_.size(); }
   /// Arch names of the pooled devices, worker order.
   std::vector<std::string> device_names() const;
@@ -112,6 +123,7 @@ class Scheduler {
     explicit Worker(DeviceSlot s) : slot(std::move(s)) {}
     DeviceSlot slot;
     std::string arch_name;       ///< fixed at Create(); readable lock-free
+    uint64_t trace_track = 0;    ///< set and read on the worker thread only
     std::thread thread;
     // --- owned by mutex_ ---
     uint64_t jobs_completed = 0;
@@ -133,6 +145,10 @@ class Scheduler {
 
   Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Session trace sink; non-null iff options_.trace.enabled.  Created in
+  /// Create() before the workers start, written out in Shutdown() after
+  /// they join.
+  std::unique_ptr<trace::Collector> trace_collector_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< workers: work available/shutdown

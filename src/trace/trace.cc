@@ -1,0 +1,319 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace adgraph::trace {
+
+namespace {
+
+/// All tracer state behind one mutex: the global ring, the attached
+/// Collectors and the track registry.  One lock per emission is the whole
+/// synchronization story — simple to reason about, ThreadSanitizer-clean,
+/// and cheap at the span granularity we emit (spans, not instructions).
+struct TracerState {
+  std::mutex mutex;
+
+  // Global window (Start()/Stop()).
+  bool global_active = false;
+  TraceOptions global_options;
+  std::vector<TraceEvent> ring;
+  size_t ring_next = 0;  ///< write cursor once the ring is full
+  uint64_t dropped = 0;
+
+  // Per-session sinks.
+  std::vector<Collector*> collectors;
+
+  // Track registry (process-lifetime; index = track id).
+  std::vector<std::string> tracks;
+  std::map<std::string, uint32_t> name_uses;
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();  // leaked: used at exit
+  return *state;
+}
+
+/// Fast-path guard: true iff any sink is attached.  Updated under the
+/// state mutex, read with a relaxed load from every emission site.
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+void UpdateEnabledLocked(const TracerState& state) {
+  EnabledFlag().store(state.global_active || !state.collectors.empty(),
+                      std::memory_order_relaxed);
+}
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  AppendJsonEscaped(&out, s);
+  out += "\"";
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // Plain decimal (never exponent/NaN) so any JSON parser accepts it.
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+double NowUs() { return ToUs(std::chrono::steady_clock::now()); }
+
+double ToUs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::micro>(tp - Epoch()).count();
+}
+
+uint64_t RegisterTrack(const std::string& name) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.tracks.empty()) state.tracks.push_back("host");  // track 0
+  uint32_t uses = state.name_uses[name]++;
+  std::string unique =
+      uses == 0 ? name : name + " #" + std::to_string(uses + 1);
+  state.tracks.push_back(unique);
+  return state.tracks.size() - 1;
+}
+
+std::vector<std::string> TrackNames() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.tracks.empty()) state.tracks.push_back("host");
+  return state.tracks;
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void Emit(TraceEvent event) {
+  if (!Enabled()) return;
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (Collector* collector : state.collectors) collector->Accept(event);
+  if (!state.global_active) return;
+  if (state.ring.size() < state.global_options.ring_capacity) {
+    state.ring.push_back(std::move(event));
+  } else if (!state.ring.empty()) {
+    state.ring[state.ring_next] = std::move(event);
+    state.ring_next = (state.ring_next + 1) % state.ring.size();
+    state.dropped += 1;
+  }
+}
+
+Status Start(TraceOptions options) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.global_active) {
+    return Status::AlreadyExists("global tracing window already open");
+  }
+  options.ring_capacity = std::max<size_t>(options.ring_capacity, 1);
+  state.global_active = true;
+  state.global_options = std::move(options);
+  state.ring.clear();
+  state.ring_next = 0;
+  state.dropped = 0;
+  UpdateEnabledLocked(state);
+  return Status::OK();
+}
+
+bool GlobalActive() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.global_active;
+}
+
+std::vector<TraceEvent> GlobalEvents() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<TraceEvent> events;
+  events.reserve(state.ring.size());
+  // Oldest first: the ring holds [next, end) then [0, next).
+  for (size_t i = 0; i < state.ring.size(); ++i) {
+    events.push_back(state.ring[(state.ring_next + i) % state.ring.size()]);
+  }
+  return events;
+}
+
+uint64_t GlobalDropped() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.dropped;
+}
+
+Status Stop() {
+  std::string path;
+  {
+    TracerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.global_active) return Status::OK();
+    path = state.global_options.path;
+  }
+  if (!path.empty()) {
+    ADGRAPH_RETURN_NOT_OK(WriteChromeTrace(path));
+  }
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.global_active = false;
+  UpdateEnabledLocked(state);
+  return Status::OK();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open trace file '" + path + "'");
+  WriteChromeTraceJson(out, GlobalEvents());
+  out.flush();
+  if (!out) return Status::IOError("failed writing trace file '" + path + "'");
+  return Status::OK();
+}
+
+void WriteChromeTraceJson(std::ostream& out,
+                          const std::vector<TraceEvent>& events) {
+  const std::vector<std::string> tracks = TrackNames();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  // Metadata: name every referenced track, plus track 0.
+  std::vector<bool> referenced(tracks.size(), false);
+  if (!referenced.empty()) referenced[0] = true;
+  for (const TraceEvent& event : events) {
+    if (event.track < referenced.size()) referenced[event.track] = true;
+  }
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    if (!referenced[t]) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << t
+        << ",\"args\":{\"name\":" << JsonString(tracks[t])
+        << "},\"ts\":0}";
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"X\",\"name\":" << JsonString(event.name)
+        << ",\"cat\":" << JsonString(event.category)
+        << ",\"pid\":1,\"tid\":" << event.track
+        << ",\"ts\":" << JsonNumber(event.ts_us)
+        << ",\"dur\":" << JsonNumber(event.dur_us);
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (size_t i = 0; i < event.args.size(); ++i) {
+        const TraceArg& arg = event.args[i];
+        if (i) out << ",";
+        out << JsonString(arg.key) << ":"
+            << (arg.is_number ? arg.value : JsonString(arg.value));
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+Collector::Collector(size_t ring_capacity)
+    : capacity_(std::max<size_t>(ring_capacity, 1)) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.collectors.push_back(this);
+  UpdateEnabledLocked(state);
+}
+
+Collector::~Collector() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& collectors = state.collectors;
+  collectors.erase(std::remove(collectors.begin(), collectors.end(), this),
+                   collectors.end());
+  UpdateEnabledLocked(state);
+}
+
+void Collector::Accept(const TraceEvent& event) {
+  // Called with the tracer mutex held; ours nests strictly inside it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % ring_.size();
+    dropped_ += 1;
+  }
+}
+
+std::vector<TraceEvent> Collector::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+uint64_t Collector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+Status Collector::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open trace file '" + path + "'");
+  WriteChromeTraceJson(out, Events());
+  out.flush();
+  if (!out) return Status::IOError("failed writing trace file '" + path + "'");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Span arg helpers
+// ---------------------------------------------------------------------------
+
+void Span::ArgNum(std::string key, double value) {
+  if (!active_) return;
+  event_.args.push_back({std::move(key), JsonNumber(value), true});
+}
+
+void Span::ArgNum(std::string key, uint64_t value) {
+  if (!active_) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  event_.args.push_back({std::move(key), buf, true});
+}
+
+}  // namespace adgraph::trace

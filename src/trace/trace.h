@@ -1,0 +1,218 @@
+#ifndef ADGRAPH_TRACE_TRACE_H_
+#define ADGRAPH_TRACE_TRACE_H_
+
+/// \file
+/// Low-overhead structured span tracing across the whole stack
+/// (DESIGN.md §2.5).
+///
+/// Every layer emits *complete spans* — named intervals with a start
+/// timestamp, a duration, a track and optional key/value args:
+///
+///   - `vgpu::Device`: one span per kernel launch (with the KernelStats
+///     cycle breakdown attached as args) and per host<->device copy;
+///   - `rt::Stream`: launch / record / synchronize;
+///   - `core/`: one span per algorithm entry point, child spans per
+///     iteration or phase (e.g. BFS top-down vs bottom-up sweeps);
+///   - `serve::Scheduler`: queue-wait, admission and execute spans on one
+///     track per worker thread.
+///
+/// Tracks are timelines in the exported view: every simulated device gets
+/// its own track, every serve worker thread another — loading the Chrome
+/// trace-event JSON into chrome://tracing or Perfetto reproduces the
+/// paper's Figure 7/8 coarse-grained timelines for *any* run.
+///
+/// Two kinds of sinks can be active at once:
+///   - the process-global ring buffer, controlled by Start()/Stop()
+///     (what `adgraph_cli --trace file.json` uses), and
+///   - any number of per-session Collector objects (what a
+///     `serve::Scheduler` with TraceOptions uses), each receiving every
+///     event emitted while attached.
+///
+/// Overhead contract: with no sink active, every instrumentation site
+/// reduces to a single relaxed atomic load (`Enabled()` returning false);
+/// the compiled-in-but-disabled cost is <5% on bench_micro.  When sinks
+/// are active, emission takes one global mutex — serializing writers is
+/// what keeps the ring buffer ThreadSanitizer-clean under the serve pool.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adgraph::trace {
+
+/// Configuration of a tracing window (global or per-session).
+struct TraceOptions {
+  /// Master switch; false = construct-but-ignore (convenient to thread
+  /// through option structs unconditionally).
+  bool enabled = false;
+  /// If non-empty, the Chrome trace-event JSON is written here when the
+  /// window closes (Stop() for the global window, Scheduler shutdown for
+  /// a serve session).
+  std::string path;
+  /// Ring capacity in events; the oldest events are dropped (and counted)
+  /// once the window holds this many.
+  size_t ring_capacity = 1 << 16;
+};
+
+/// One key/value annotation on a span.  Numbers are kept unquoted in the
+/// exported JSON so Perfetto can aggregate them.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+/// One complete span ("ph":"X" in the Chrome trace-event format).
+struct TraceEvent {
+  std::string name;
+  std::string category;  ///< "kernel", "memcpy", "stream", "algo", "phase", "serve"
+  uint64_t track = 0;    ///< from RegisterTrack(); 0 = the host track
+  double ts_us = 0;      ///< start, microseconds since the trace epoch
+  double dur_us = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Microseconds since the process-wide trace epoch (first use).
+double NowUs();
+/// Converts a steady_clock time_point to trace-epoch microseconds.
+double ToUs(std::chrono::steady_clock::time_point tp);
+
+/// Registers a named timeline and returns its id.  Duplicate names get a
+/// " #n" suffix so two A100 devices stay distinguishable.  Thread-safe;
+/// tracks are process-lifetime (ids are never reused).
+uint64_t RegisterTrack(const std::string& name);
+
+/// Names of all registered tracks, indexed by track id.
+std::vector<std::string> TrackNames();
+
+/// True iff at least one sink (global window or Collector) is active.
+/// One relaxed atomic load — the fast-path guard of every emission site.
+bool Enabled();
+
+/// Routes one event to every active sink.  No-op when nothing is active.
+void Emit(TraceEvent event);
+
+// ---------------------------------------------------------------------------
+// Process-global window
+// ---------------------------------------------------------------------------
+
+/// Opens the global tracing window (idempotent: a second Start while open
+/// fails with kAlreadyExists).  Clears any previous ring contents.
+Status Start(TraceOptions options);
+
+/// Closes the global window; if its options named a path, writes the
+/// Chrome JSON there first.  OK (no-op) when no window is open.
+Status Stop();
+
+/// True iff the global window is open (Collectors do not count).
+bool GlobalActive();
+
+/// Copy of the globally collected events, oldest first.
+std::vector<TraceEvent> GlobalEvents();
+
+/// Events evicted from the global ring since Start().
+uint64_t GlobalDropped();
+
+/// Writes the global window's events as Chrome trace-event JSON.
+Status WriteChromeTrace(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Per-session sinks
+// ---------------------------------------------------------------------------
+
+/// \brief A private event sink: attaches to the emission fan-out on
+/// construction, detaches on destruction, and keeps its own bounded ring —
+/// independent of (and concurrent with) the global window.
+class Collector {
+ public:
+  explicit Collector(size_t ring_capacity = 1 << 16);
+  ~Collector();
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  std::vector<TraceEvent> Events() const;
+  uint64_t dropped() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  friend void Emit(TraceEvent);
+  void Accept(const TraceEvent& event);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;       ///< ring write cursor once full
+  uint64_t dropped_ = 0;
+};
+
+/// Serializes `events` (with track metadata from the registry) in Chrome
+/// trace-event JSON format to `out`.
+void WriteChromeTraceJson(std::ostream& out,
+                          const std::vector<TraceEvent>& events);
+
+// ---------------------------------------------------------------------------
+// Span RAII
+// ---------------------------------------------------------------------------
+
+/// \brief Scoped span: captures the start time at construction and emits
+/// one complete event at destruction (or End()).  When tracing is
+/// disabled at construction the object is inert and costs one atomic
+/// load.
+class Span {
+ public:
+  /// Inert span (never emits).
+  Span() = default;
+
+  Span(uint64_t track, std::string name, std::string category)
+      : active_(Enabled()) {
+    if (!active_) return;
+    event_.track = track;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.ts_us = NowUs();
+  }
+
+  Span(Span&& other) noexcept
+      : active_(std::exchange(other.active_, false)),
+        event_(std::move(other.event_)) {}
+
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// False when tracing was off at construction — callers can skip
+  /// arg-formatting work.
+  bool active() const { return active_; }
+
+  void Arg(std::string key, std::string value) {
+    if (!active_) return;
+    event_.args.push_back({std::move(key), std::move(value), false});
+  }
+  void ArgNum(std::string key, double value);
+  void ArgNum(std::string key, uint64_t value);
+
+  /// Emits the span now (idempotent; the destructor becomes a no-op).
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    event_.dur_us = NowUs() - event_.ts_us;
+    Emit(std::move(event_));
+  }
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace adgraph::trace
+
+#endif  // ADGRAPH_TRACE_TRACE_H_

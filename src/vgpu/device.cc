@@ -32,6 +32,7 @@ Device::Device(const ArchConfig& arch, Options options)
       std::max(options.memory_scale, 1e-9));
   l2_ = std::make_unique<CacheModel>(l2_size, arch_.cache_line_bytes,
                                      arch_.l2_assoc);
+  trace_track_ = trace::RegisterTrack("device " + arch_.name);
 }
 
 void Device::ClearCaches() {
@@ -63,6 +64,8 @@ Result<KernelStats> Device::Launch(std::string_view name, LaunchDims dims,
         std::to_string(arch_.smem_bytes_per_sm) + " per " +
         (arch_.vendor == "NVIDIA" ? "SM" : "CU"));
   }
+
+  trace::Span span(trace_track_, std::string(name), "kernel");
 
   KernelStats stats;
   stats.kernel_name = std::string(name);
@@ -158,6 +161,23 @@ Result<KernelStats> Device::Launch(std::string_view name, LaunchDims dims,
   ComputeKernelTiming(arch_, options_.timing, &stats);
   elapsed_ms_ += stats.time_ms;
   kernel_log_.push_back(stats);
+  if (span.active()) {
+    // The KernelStats cycle breakdown rides along as span args — the
+    // trace view of what Table 6 aggregates post-hoc.
+    span.ArgNum("grid", static_cast<uint64_t>(dims.grid));
+    span.ArgNum("block", static_cast<uint64_t>(dims.block));
+    span.ArgNum("modeled_ms", stats.time_ms);
+    span.ArgNum("cycles", stats.cycles);
+    span.ArgNum("issue_cycles", stats.issue_cycles);
+    span.ArgNum("valu_cycles", stats.valu_cycles);
+    span.ArgNum("dram_cycles", stats.dram_cycles);
+    span.ArgNum("l2_cycles", stats.l2_cycles);
+    span.ArgNum("smem_cycles", stats.smem_cycles);
+    span.ArgNum("exposed_latency_cycles", stats.exposed_latency_cycles);
+    span.ArgNum("achieved_occupancy", stats.achieved_occupancy);
+    span.ArgNum("warp_inst_issued", counters.warp_inst_issued);
+    span.ArgNum("l2_hit_rate", counters.l2_hit_rate());
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/trace.h"
 #include "util/status.h"
 #include "vgpu/arch.h"
 #include "vgpu/counters.h"
@@ -76,8 +77,10 @@ class Device {
     if (dst.is_null() && count > 0) {
       return Status::InvalidArgument("CopyToDevice to null pointer");
     }
+    trace::Span span(trace_track_, "memcpy_h2d", "memcpy");
     mem_.Write(dst.addr, src, count * sizeof(T));
     AccountTransfer(count * sizeof(T));
+    span.ArgNum("bytes", count * sizeof(T));
     return Status::OK();
   }
 
@@ -87,8 +90,10 @@ class Device {
     if (src.is_null() && count > 0) {
       return Status::InvalidArgument("CopyToHost from null pointer");
     }
+    trace::Span span(trace_track_, "memcpy_d2h", "memcpy");
     mem_.Read(src.addr, dst, count * sizeof(T));
     AccountTransfer(count * sizeof(T));
+    span.ArgNum("bytes", count * sizeof(T));
     return Status::OK();
   }
 
@@ -140,6 +145,10 @@ class Device {
   /// Empties L1/L2 (fresh-cache experiment conditions between algorithms).
   void ClearCaches();
 
+  /// The device's timeline in the tracing subsystem (one track per
+  /// simulated device — the Figure 7/8 "one row per GPU" view).
+  uint64_t trace_track() const { return trace_track_; }
+
   /// Returns the device to fresh-boot profiling state between jobs: zeroes
   /// the modeled clocks (elapsed_ms, transfer_ms), drops the kernel log,
   /// and empties the caches.  Live allocations are untouched — callers that
@@ -162,6 +171,7 @@ class Device {
   std::vector<KernelStats> kernel_log_;
   double elapsed_ms_ = 0;
   double transfer_ms_ = 0;
+  uint64_t trace_track_ = 0;  ///< registered once at construction
 };
 
 }  // namespace adgraph::vgpu

@@ -5,12 +5,16 @@
 
 #include <cmath>
 #include <limits>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "capi/adgraph.h"
 #include "core/host_ref.h"
 #include "graph/builder.h"
 #include "graph/generate.h"
+#include "util/status.h"
 
 namespace {
 
@@ -54,8 +58,7 @@ struct CApiFixture {
 TEST(CApiTest, LifecycleAndValidation) {
   adgraphHandle_t handle = nullptr;
   EXPECT_EQ(adgraphCreate(nullptr, nullptr), ADGRAPH_STATUS_INVALID_VALUE);
-  EXPECT_EQ(adgraphCreate(&handle, "NoSuchGPU"),
-            ADGRAPH_STATUS_INVALID_VALUE);
+  EXPECT_EQ(adgraphCreate(&handle, "NoSuchGPU"), ADGRAPH_STATUS_NOT_FOUND);
   ASSERT_EQ(adgraphCreate(&handle, "Z100L"), ADGRAPH_STATUS_SUCCESS);
   double ms = -1;
   EXPECT_EQ(adgraphGetDeviceTimeMs(handle, &ms), ADGRAPH_STATUS_SUCCESS);
@@ -64,7 +67,7 @@ TEST(CApiTest, LifecycleAndValidation) {
   ASSERT_EQ(adgraphCreateGraphDescr(handle, &descr), ADGRAPH_STATUS_SUCCESS);
   uint32_t levels[4];
   EXPECT_EQ(adgraphTraversalBfs(handle, descr, 0, 0, levels),
-            ADGRAPH_STATUS_INVALID_VALUE)
+            ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH)
       << "no structure set yet";
   EXPECT_EQ(adgraphDestroyGraphDescr(handle, descr), ADGRAPH_STATUS_SUCCESS);
   EXPECT_EQ(adgraphDestroy(handle), ADGRAPH_STATUS_SUCCESS);
@@ -76,6 +79,99 @@ TEST(CApiTest, StatusStrings) {
                "ADGRAPH_STATUS_SUCCESS");
   EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_ALLOC_FAILED),
                "ADGRAPH_STATUS_ALLOC_FAILED");
+  EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH),
+               "ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH");
+  EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_RESOURCE_EXHAUSTED),
+               "ADGRAPH_STATUS_RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_UNSUPPORTED),
+               "ADGRAPH_STATUS_UNSUPPORTED");
+}
+
+TEST(CApiTest, VersionIsV2) {
+  int major = -1, minor = -1, patch = -1;
+  EXPECT_EQ(adgraphGetVersion(&major, &minor, &patch),
+            ADGRAPH_STATUS_SUCCESS);
+  EXPECT_EQ(major, ADGRAPH_VERSION_MAJOR);
+  EXPECT_EQ(minor, ADGRAPH_VERSION_MINOR);
+  EXPECT_EQ(patch, ADGRAPH_VERSION_PATCH);
+  EXPECT_EQ(major, 2);
+  // NULL out-pointers are allowed.
+  EXPECT_EQ(adgraphGetVersion(nullptr, nullptr, nullptr),
+            ADGRAPH_STATUS_SUCCESS);
+}
+
+TEST(CApiTest, StatusCodeMappingIsStableAndDistinct) {
+  using adgraph::StatusCode;
+  // The v1 values are frozen contract; a renumbering must fail here.
+  EXPECT_EQ(ADGRAPH_STATUS_SUCCESS, 0);
+  EXPECT_EQ(ADGRAPH_STATUS_NOT_INITIALIZED, 1);
+  EXPECT_EQ(ADGRAPH_STATUS_ALLOC_FAILED, 2);
+  EXPECT_EQ(ADGRAPH_STATUS_INVALID_VALUE, 3);
+  EXPECT_EQ(ADGRAPH_STATUS_INTERNAL_ERROR, 4);
+
+  const std::vector<std::pair<StatusCode, adgraphStatus_t>> expected = {
+      {StatusCode::kOk, ADGRAPH_STATUS_SUCCESS},
+      {StatusCode::kInvalidArgument, ADGRAPH_STATUS_INVALID_VALUE},
+      {StatusCode::kOutOfMemory, ADGRAPH_STATUS_ALLOC_FAILED},
+      {StatusCode::kNotFound, ADGRAPH_STATUS_NOT_FOUND},
+      {StatusCode::kAlreadyExists, ADGRAPH_STATUS_ALREADY_EXISTS},
+      {StatusCode::kOutOfRange, ADGRAPH_STATUS_OUT_OF_RANGE},
+      {StatusCode::kUnimplemented, ADGRAPH_STATUS_UNSUPPORTED},
+      {StatusCode::kInternal, ADGRAPH_STATUS_INTERNAL_ERROR},
+      {StatusCode::kIOError, ADGRAPH_STATUS_IO_ERROR},
+      {StatusCode::kDeadlock, ADGRAPH_STATUS_DEADLOCK},
+      {StatusCode::kResourceExhausted, ADGRAPH_STATUS_RESOURCE_EXHAUSTED},
+  };
+  std::set<adgraphStatus_t> seen;
+  for (const auto& [code, want] : expected) {
+    adgraphStatus_t got = adgraphStatusFromStatusCode(static_cast<int>(code));
+    EXPECT_EQ(got, want) << adgraph::StatusCodeToString(code);
+    // Every non-OK library code keeps its own C value (no v1-style
+    // folding); only kInternal shares INTERNAL_ERROR with nothing.
+    EXPECT_TRUE(seen.insert(got).second)
+        << "duplicate C mapping for " << adgraph::StatusCodeToString(code);
+  }
+  // Out-of-range inputs degrade to INTERNAL_ERROR instead of UB.
+  EXPECT_EQ(adgraphStatusFromStatusCode(-1), ADGRAPH_STATUS_INTERNAL_ERROR);
+  EXPECT_EQ(adgraphStatusFromStatusCode(999), ADGRAPH_STATUS_INTERNAL_ERROR);
+}
+
+TEST(CApiTest, LastErrorRoundTrip) {
+  auto g = TestGraph(208, false);
+  CApiFixture fx("A100", g);
+  EXPECT_STREQ(adgraphGetLastErrorString(nullptr), "");
+  EXPECT_STREQ(adgraphGetLastErrorString(fx.handle), "")
+      << "no failing call yet";
+
+  std::vector<uint32_t> levels(g.num_vertices());
+  // Out-of-range source is now its own status, detected at the C boundary.
+  EXPECT_EQ(adgraphTraversalBfs(fx.handle, fx.descr, g.num_vertices(), 0,
+                                levels.data()),
+            ADGRAPH_STATUS_OUT_OF_RANGE);
+  std::string err = adgraphGetLastErrorString(fx.handle);
+  EXPECT_NE(err.find("source"), std::string::npos) << err;
+
+  // NULL output buffer: INVALID_VALUE, and the message is replaced.
+  EXPECT_EQ(adgraphTraversalBfs(fx.handle, fx.descr, 0, 0, nullptr),
+            ADGRAPH_STATUS_INVALID_VALUE);
+  EXPECT_NE(std::string(adgraphGetLastErrorString(fx.handle)).find("NULL"),
+            std::string::npos);
+
+  // A successful call clears the last error.
+  ASSERT_EQ(adgraphTraversalBfs(fx.handle, fx.descr, 0, 0, levels.data()),
+            ADGRAPH_STATUS_SUCCESS);
+  EXPECT_STREQ(adgraphGetLastErrorString(fx.handle), "");
+}
+
+TEST(CApiTest, SsspAndWidestSourceOutOfRange) {
+  auto g = TestGraph(209, true);
+  CApiFixture fx("V100", g);
+  std::vector<double> out(g.num_vertices());
+  EXPECT_EQ(adgraphSssp(fx.handle, fx.descr, g.num_vertices(), out.data()),
+            ADGRAPH_STATUS_OUT_OF_RANGE);
+  EXPECT_EQ(
+      adgraphWidestPath(fx.handle, fx.descr, g.num_vertices(), out.data()),
+      ADGRAPH_STATUS_OUT_OF_RANGE);
 }
 
 TEST(CApiTest, BfsMatchesReference) {
@@ -166,7 +262,7 @@ TEST(CApiTest, SubgraphExtractionRoundTrips) {
   adgraphDestroyGraphDescr(fx.handle, sub);
 }
 
-TEST(CApiTest, EsbvWithoutWeightsIsInvalid) {
+TEST(CApiTest, EsbvWithoutWeightsIsGraphTypeMismatch) {
   auto g = TestGraph(206, false);
   CApiFixture fx("A100", g);
   adgraphGraphDescr_t sub = nullptr;
@@ -174,8 +270,10 @@ TEST(CApiTest, EsbvWithoutWeightsIsInvalid) {
             ADGRAPH_STATUS_SUCCESS);
   uint32_t keep[2] = {0, 1};
   EXPECT_EQ(adgraphExtractSubgraphByVertex(fx.handle, fx.descr, sub, keep, 2),
-            ADGRAPH_STATUS_INVALID_VALUE)
+            ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH)
       << "ESBV requires weights, as in the paper";
+  const char* err = adgraphGetLastErrorString(fx.handle);
+  EXPECT_NE(std::string(err).find("weights"), std::string::npos) << err;
   adgraphDestroyGraphDescr(fx.handle, sub);
 }
 

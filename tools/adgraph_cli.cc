@@ -47,6 +47,7 @@
 #include "serve/job.h"
 #include "serve/registry.h"
 #include "serve/scheduler.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
@@ -63,10 +64,12 @@ int Usage() {
                "           --scale=N --edge-factor=F --seed=N (generate)\n"
                "           --extra-divisor=F (dataset)  --profile\n"
                "           --undirected  --weights=random\n"
+               "           --trace=FILE (Chrome trace-event JSON + summary)\n"
                "or:    adgraph_cli serve-batch --jobs=FILE <graph source>\n"
                "           [--gpus=A100,V100,...] [--queue=N]\n"
                "           [--overflow=block|reject] [--headroom=F]\n"
-               "           [--occupancy-floor-ms=F] [--memory-scale=F]\n");
+               "           [--occupancy-floor-ms=F] [--memory-scale=F]\n"
+               "           [--trace=FILE]\n");
   return 2;
 }
 
@@ -377,6 +380,10 @@ int ServeBatch(const Flags& flags) {
   options.admission_headroom = flags.GetDouble("headroom", 1.0);
   options.device_occupancy_floor_ms =
       flags.GetDouble("occupancy-floor-ms", 0.0);
+  if (flags.Has("trace")) {
+    options.trace.enabled = true;
+    options.trace.path = flags.GetString("trace", "");
+  }
 
   auto scheduler_result = serve::Scheduler::Create(std::move(options));
   if (!scheduler_result.ok()) {
@@ -393,6 +400,7 @@ int ServeBatch(const Flags& flags) {
 
   std::vector<std::future<serve::JobOutcome>> futures;
   futures.reserve(lines.size());
+  int submit_failures = 0;
   for (const ParsedJobLine& line : lines) {
     serve::JobSpec spec;
     spec.graph = shared;
@@ -410,14 +418,20 @@ int ServeBatch(const Flags& flags) {
                   ("[" + tag + "]").c_str(),
                   serve::AlgorithmName(line.algo).data(),
                   submitted.status().ToString().c_str());
+      ++submit_failures;
       continue;
     }
     futures.push_back(std::move(*submitted));
   }
 
   int failures = 0;
+  std::map<std::string, int> tally;
+  if (submit_failures > 0) tally["rejected at submit"] = submit_failures;
   for (auto& future : futures) {
     serve::JobOutcome outcome = future.get();
+    tally[outcome.status.ok()
+              ? "ok"
+              : std::string(StatusCodeToString(outcome.status.code()))] += 1;
     if (outcome.status.ok()) {
       std::printf("%-12s %-8s %-6s ok      modeled %9.4f ms   wall %8.2f ms"
                   "   queued %7.2f ms\n",
@@ -438,10 +452,19 @@ int ServeBatch(const Flags& flags) {
 
   scheduler.Drain();
   std::printf("\n%s", prof::FormatServerStats(scheduler.Snapshot()).c_str());
-  // Admission rejections are expected operating behaviour, not a CLI error;
-  // only submit-level failures already returned above.
-  return failures == static_cast<int>(futures.size()) && !futures.empty() ? 1
-                                                                          : 0;
+  std::printf("\njob status tally:\n");
+  for (const auto& [name, count] : tally) {
+    std::printf("  %-24s %d\n", name.c_str(), count);
+  }
+  if (flags.Has("trace")) {
+    std::printf("\n%s",
+                prof::FormatTraceSummary(scheduler.TraceEvents()).c_str());
+    std::printf("trace: %s\n", flags.GetString("trace", "").c_str());
+  }
+  // Any job that resolved non-OK — admission rejection, device failure, or
+  // submit-level rejection — makes the batch exit non-zero, so scripted
+  // callers do not have to parse the tally.
+  return failures > 0 || submit_failures > 0 ? 1 : 0;
 }
 
 int Main(int argc, char** argv) {
@@ -471,17 +494,41 @@ int Main(int argc, char** argv) {
   for (const auto* gpu : vgpu::PaperGpus()) {
     if (gpu->name == gpu_name) arch = gpu;
   }
+
+  if (flags.Has("trace")) {
+    trace::TraceOptions trace_options;
+    trace_options.enabled = true;
+    trace_options.path = flags.GetString("trace", "");
+    Status trace_status = trace::Start(std::move(trace_options));
+    if (!trace_status.ok()) {
+      std::fprintf(stderr, "trace: %s\n", trace_status.ToString().c_str());
+      return 1;
+    }
+  }
+
   vgpu::Device device(*arch);
   std::printf("device: %s (%s)\n", device.name().c_str(),
               device.arch().vendor.c_str());
 
   Status status = RunAlgo(flags, &device, g);
+  if (flags.Has("trace")) {
+    // Stop() writes the Chrome JSON; the ring stays readable for the
+    // summary below.
+    Status trace_status = trace::Stop();
+    if (!trace_status.ok()) {
+      std::fprintf(stderr, "trace: %s\n", trace_status.ToString().c_str());
+    }
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
   if (flags.GetBool("profile", false)) {
     std::cout << prof::FormatKernelLog(device);
+  }
+  if (flags.Has("trace")) {
+    std::cout << prof::FormatTraceSummary(trace::GlobalEvents());
+    std::printf("trace: %s\n", flags.GetString("trace", "").c_str());
   }
   return 0;
 }
