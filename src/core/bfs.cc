@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -316,9 +317,10 @@ Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,
 }
 
 Result<BfsResult> RunBfs(vgpu::Device* device, const graph::CsrGraph& g,
-                         const BfsOptions& options) {
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
-  return RunBfsOnDevice(device, d, options);
+                         const BfsOptions& options, GraphResidency* residency) {
+  ADGRAPH_ASSIGN_OR_RETURN(ResidentCsr d,
+                           Stage(residency, device, g, GraphVariant::kAsIs));
+  return RunBfsOnDevice(device, *d, options);
 }
 
 }  // namespace adgraph::core

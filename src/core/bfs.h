@@ -52,11 +52,15 @@ struct BfsResult {
   double time_ms = 0;
 };
 
-/// Runs BFS from `options.source` on `g` (uploads the graph first).
+class GraphResidency;
+
+/// Runs BFS from `options.source` on `g` (uploads the graph first, or
+/// reuses a resident copy when `residency` is provided).
 /// BFS follows out-edges; benchmark callers symmetrize beforehand for
 /// undirected-traversal semantics, as Graph500-style BFS studies do.
 Result<BfsResult> RunBfs(vgpu::Device* device, const graph::CsrGraph& g,
-                         const BfsOptions& options);
+                         const BfsOptions& options,
+                         GraphResidency* residency = nullptr);
 
 /// Same, on a graph already resident on `device`.
 Result<BfsResult> RunBfsOnDevice(vgpu::Device* device, const DeviceCsr& g,

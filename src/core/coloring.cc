@@ -1,6 +1,7 @@
 #include "core/coloring.h"
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -91,23 +92,21 @@ KernelTask ColorRoundKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
 
 Result<ColoringResult> RunGraphColoring(vgpu::Device* device,
                                         const graph::CsrGraph& g,
-                                        const ColoringOptions& options) {
+                                        const ColoringOptions& options,
+                                        GraphResidency* residency) {
   if (g.num_vertices() == 0) {
     return Status::InvalidArgument("coloring on empty graph");
   }
   // Proper coloring is defined on the undirected interpretation.
-  graph::CsrBuildOptions sym_options;
-  sym_options.make_undirected = true;
-  sym_options.remove_duplicates = true;
-  sym_options.remove_self_loops = true;
-  ADGRAPH_ASSIGN_OR_RETURN(graph::CsrGraph sym,
-                           graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
-  const vid_t n = sym.num_vertices();
+  ADGRAPH_ASSIGN_OR_RETURN(
+      ResidentCsr staged,
+      Stage(residency, device, g, GraphVariant::kSymSimple));
+  const DeviceCsr& d = *staged;
+  const vid_t n = d.num_vertices;
 
   trace::Span algo_span(device->trace_track(), "algo:color", "algo");
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
 
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto colors,
                            rt::DeviceBuffer<uint32_t>::Create(device, n));
   ADGRAPH_ASSIGN_OR_RETURN(auto progress,

@@ -28,9 +28,12 @@ struct ColoringResult {
 /// hashed priority beats all uncolored neighbors take the smallest color
 /// unused among colored neighbors.  The hybrid-coloring scheduling
 /// primitive behind systems like Frog (paper §2.1 related work).
+class GraphResidency;
+
 Result<ColoringResult> RunGraphColoring(vgpu::Device* device,
                                         const graph::CsrGraph& g,
-                                        const ColoringOptions& options);
+                                        const ColoringOptions& options,
+                                        GraphResidency* residency = nullptr);
 
 }  // namespace adgraph::core
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -55,22 +56,22 @@ KernelTask PropagateKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
 
 Result<CcResult> RunConnectedComponents(vgpu::Device* device,
                                         const graph::CsrGraph& g,
-                                        const CcOptions& options) {
+                                        const CcOptions& options,
+                                        GraphResidency* residency) {
   if (g.num_vertices() == 0) {
     return Status::InvalidArgument("CC on empty graph");
   }
-  graph::CsrBuildOptions sym_options;
-  sym_options.make_undirected = true;
-  sym_options.remove_duplicates = true;
-  sym_options.remove_self_loops = true;
-  ADGRAPH_ASSIGN_OR_RETURN(graph::CsrGraph sym,
-                           graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
-  const vid_t n = sym.num_vertices();
+  // Undirected interpretation: the shared kSymSimple variant (symmetrize,
+  // dedup, drop self loops).
+  ADGRAPH_ASSIGN_OR_RETURN(
+      ResidentCsr staged,
+      Stage(residency, device, g, GraphVariant::kSymSimple));
+  const DeviceCsr& d = *staged;
+  const vid_t n = d.num_vertices;
 
   trace::Span algo_span(device->trace_track(), "algo:cc", "algo");
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
 
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto labels,
                            rt::DeviceBuffer<vid_t>::Create(device, n));
   ADGRAPH_ASSIGN_OR_RETURN(auto changed,

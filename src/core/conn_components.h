@@ -24,9 +24,12 @@ struct CcResult {
 
 /// Weakly connected components via min-label propagation on the
 /// symmetrized graph (iterated AtomicMin sweeps until fixpoint).
+class GraphResidency;
+
 Result<CcResult> RunConnectedComponents(vgpu::Device* device,
                                         const graph::CsrGraph& g,
-                                        const CcOptions& options);
+                                        const CcOptions& options,
+                                        GraphResidency* residency = nullptr);
 
 }  // namespace adgraph::core
 

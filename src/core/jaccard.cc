@@ -1,6 +1,7 @@
 #include "core/jaccard.h"
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -66,14 +67,17 @@ KernelTask JaccardKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
 
 Result<JaccardResult> RunJaccard(vgpu::Device* device,
                                  const graph::CsrGraph& g,
-                                 const JaccardOptions& options) {
+                                 const JaccardOptions& options,
+                                 GraphResidency* residency) {
   if (g.num_vertices() == 0) {
     return Status::InvalidArgument("Jaccard on empty graph");
   }
   trace::Span algo_span(device->trace_track(), "algo:jaccard", "algo");
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(g.num_vertices()));
 
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
+  ADGRAPH_ASSIGN_OR_RETURN(ResidentCsr staged,
+                           Stage(residency, device, g, GraphVariant::kAsIs));
+  const DeviceCsr& d = *staged;
   ADGRAPH_ASSIGN_OR_RETURN(
       auto out, rt::DeviceBuffer<double>::Create(device, g.num_edges()));
 

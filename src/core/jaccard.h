@@ -23,9 +23,12 @@ struct JaccardResult {
 /// Jaccard similarity of every edge's endpoint neighborhoods
 /// (|N(u) ∩ N(v)| / |N(u) ∪ N(v)| over sorted out-neighbor lists) — one of
 /// nvGRAPH's link-analysis primitives.  Requires sorted adjacency.
+class GraphResidency;
+
 Result<JaccardResult> RunJaccard(vgpu::Device* device,
                                  const graph::CsrGraph& g,
-                                 const JaccardOptions& options);
+                                 const JaccardOptions& options,
+                                 GraphResidency* residency = nullptr);
 
 }  // namespace adgraph::core
 

@@ -1,6 +1,7 @@
 #include "core/kcore.h"
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -60,23 +61,21 @@ KernelTask PeelKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
 }  // namespace
 
 Result<KCoreResult> RunKCore(vgpu::Device* device, const graph::CsrGraph& g,
-                             const KCoreOptions& options) {
+                             const KCoreOptions& options,
+                             GraphResidency* residency) {
   if (g.num_vertices() == 0) {
     return Status::InvalidArgument("k-core on empty graph");
   }
-  graph::CsrBuildOptions sym_options;
-  sym_options.make_undirected = true;
-  sym_options.remove_duplicates = true;
-  sym_options.remove_self_loops = true;
-  ADGRAPH_ASSIGN_OR_RETURN(graph::CsrGraph sym,
-                           graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
-  const vid_t n = sym.num_vertices();
+  ADGRAPH_ASSIGN_OR_RETURN(
+      ResidentCsr staged,
+      Stage(residency, device, g, GraphVariant::kSymSimple));
+  const DeviceCsr& d = *staged;
+  const vid_t n = d.num_vertices;
 
   trace::Span algo_span(device->trace_track(), "algo:kcore", "algo");
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
   algo_span.ArgNum("k", static_cast<uint64_t>(options.k));
 
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto degree,
                            rt::DeviceBuffer<int32_t>::Create(device, n));
   ADGRAPH_ASSIGN_OR_RETURN(auto alive,

@@ -26,8 +26,11 @@ struct KCoreResult {
 
 /// k-core membership by iterative peeling: repeatedly remove vertices with
 /// (remaining) undirected degree < k until a fixpoint.
+class GraphResidency;
+
 Result<KCoreResult> RunKCore(vgpu::Device* device, const graph::CsrGraph& g,
-                             const KCoreOptions& options);
+                             const KCoreOptions& options,
+                             GraphResidency* residency = nullptr);
 
 struct CoreDecompositionResult {
   /// Per-vertex core number: the largest k whose k-core contains the

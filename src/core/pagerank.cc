@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "core/spmv.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
@@ -63,7 +64,8 @@ KernelTask DanglingSumKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<double> ranks,
 
 Result<PageRankResult> RunPageRank(vgpu::Device* device,
                                    const graph::CsrGraph& g,
-                                   const PageRankOptions& options) {
+                                   const PageRankOptions& options,
+                                   GraphResidency* residency) {
   const vid_t n = g.num_vertices();
   if (n == 0) return Status::InvalidArgument("PageRank on empty graph");
   if (options.alpha <= 0 || options.alpha >= 1) {
@@ -76,20 +78,11 @@ Result<PageRankResult> RunPageRank(vgpu::Device* device,
                    static_cast<uint64_t>(options.max_iterations));
 
   // Pull formulation: next = A_norm^T * ranks where the edge (v <- u)
-  // carries 1/outdeg(u).  Build that weighted transpose on the host.
-  graph::CsrGraph gt = g.Transpose();
-  {
-    std::vector<graph::weight_t> w(gt.num_edges());
-    const auto& cols = gt.col_indices();
-    for (eid_t e = 0; e < gt.num_edges(); ++e) {
-      w[e] = 1.0 / static_cast<double>(g.degree(cols[e]));
-    }
-    auto rebuilt = graph::CsrGraph::FromArrays(
-        gt.num_vertices(), gt.row_offsets(), gt.col_indices(), std::move(w));
-    gt = std::move(rebuilt).value();
-  }
-
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d_gt, DeviceCsr::Upload(device, gt));
+  // carries 1/outdeg(u) (BuildHostVariant's kPullTranspose).
+  ADGRAPH_ASSIGN_OR_RETURN(
+      ResidentCsr staged,
+      Stage(residency, device, g, GraphVariant::kPullTranspose));
+  const DeviceCsr& d_gt = *staged;
   // Original row offsets, for the dangling-mass pass.
   ADGRAPH_ASSIGN_OR_RETURN(
       auto d_row, rt::DeviceBuffer<eid_t>::FromHost(device, g.row_offsets()));

@@ -28,9 +28,12 @@ struct PageRankResult {
 /// plus-times SpMV over the 1/out-degree-normalized transpose, plus the
 /// damping/dangling correction — the linear-algebra style the paper
 /// describes for nvGRAPH (§3.2.1).
+class GraphResidency;
+
 Result<PageRankResult> RunPageRank(vgpu::Device* device,
                                    const graph::CsrGraph& g,
-                                   const PageRankOptions& options);
+                                   const PageRankOptions& options,
+                                   GraphResidency* residency = nullptr);
 
 }  // namespace adgraph::core
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -62,7 +63,8 @@ KernelTask RelaxKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
 }  // namespace
 
 Result<SsspResult> RunSssp(vgpu::Device* device, const graph::CsrGraph& g,
-                           const SsspOptions& options) {
+                           const SsspOptions& options,
+                           GraphResidency* residency) {
   const vid_t n = g.num_vertices();
   if (n == 0) return Status::InvalidArgument("SSSP on empty graph");
   if (options.source >= n) {
@@ -82,7 +84,9 @@ Result<SsspResult> RunSssp(vgpu::Device* device, const graph::CsrGraph& g,
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
   algo_span.ArgNum("source", static_cast<uint64_t>(options.source));
 
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
+  ADGRAPH_ASSIGN_OR_RETURN(ResidentCsr staged,
+                           Stage(residency, device, g, GraphVariant::kAsIs));
+  const DeviceCsr& d = *staged;
   ADGRAPH_ASSIGN_OR_RETURN(auto dist,
                            rt::DeviceBuffer<double>::Create(device, n));
   ADGRAPH_ASSIGN_OR_RETURN(auto changed,

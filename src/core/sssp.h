@@ -33,8 +33,11 @@ struct SsspResult {
 /// relaxation sweep (the tropical-semiring iteration nvGRAPH's SSSP is
 /// built on), with an on-device change flag for early termination.
 /// Unweighted edges count as 1.  Negative weights are rejected.
+class GraphResidency;
+
 Result<SsspResult> RunSssp(vgpu::Device* device, const graph::CsrGraph& g,
-                           const SsspOptions& options);
+                           const SsspOptions& options,
+                           GraphResidency* residency = nullptr);
 
 }  // namespace adgraph::core
 

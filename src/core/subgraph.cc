@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -210,7 +211,8 @@ std::vector<vid_t> SelectPseudoCluster(vid_t num_vertices, double fraction,
 
 Result<EsbvResult> ExtractSubgraphByVertex(vgpu::Device* device,
                                            const graph::CsrGraph& g,
-                                           const EsbvOptions& options) {
+                                           const EsbvOptions& options,
+                                           GraphResidency* residency) {
   const vid_t n = g.num_vertices();
   const eid_t m = g.num_edges();
   if (n == 0) return Status::InvalidArgument("ESBV on empty graph");
@@ -229,8 +231,10 @@ Result<EsbvResult> ExtractSubgraphByVertex(vgpu::Device* device,
   algo_span.ArgNum("selected", static_cast<uint64_t>(options.vertices.size()));
 
   // --- Library-native storage: the CSC of g, weights included -----------
-  graph::CsrGraph csc_host = g.Transpose();
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr csc, DeviceCsr::Upload(device, csc_host));
+  ADGRAPH_ASSIGN_OR_RETURN(
+      ResidentCsr staged,
+      Stage(residency, device, g, GraphVariant::kCscWeighted));
+  const DeviceCsr& csc = *staged;
   ADGRAPH_ASSIGN_OR_RETURN(
       auto selected, rt::DeviceBuffer<vid_t>::FromHost(device, options.vertices));
 

@@ -42,9 +42,12 @@ struct EsbvResult {
 /// The conservative intermediate allocations are what reproduce the paper's
 /// twitter-mpi OOM row: on a graph whose weighted footprint is near device
 /// capacity, the ~44 bytes/edge working set does not fit.
+class GraphResidency;
+
 Result<EsbvResult> ExtractSubgraphByVertex(vgpu::Device* device,
                                            const graph::CsrGraph& g,
-                                           const EsbvOptions& options);
+                                           const EsbvOptions& options,
+                                           GraphResidency* residency = nullptr);
 
 /// Deterministic pseudo-cluster selector used by benches/examples: roughly
 /// `fraction` of all vertices, chosen by multiplicative hash.

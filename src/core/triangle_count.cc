@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -334,21 +335,20 @@ Result<TcResult> RunTriangleCountOnDevice(vgpu::Device* device,
 
 Result<TcResult> RunTriangleCount(vgpu::Device* device,
                                   const graph::CsrGraph& g,
-                                  const TcOptions& options) {
+                                  const TcOptions& options,
+                                  GraphResidency* residency) {
   trace::Span algo_span(device->trace_track(), "algo:tc", "algo");
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(g.num_vertices()));
-  graph::CsrGraph prepared;
+  ResidentCsr staged;
   {
     trace::Span prep(device->trace_track(), "tc.prepare", "phase");
     prep.Arg("mode", options.orient ? "orient" : "symmetrize");
-    if (options.orient) {
-      ADGRAPH_ASSIGN_OR_RETURN(prepared, OrientByDegree(g));
-    } else {
-      ADGRAPH_ASSIGN_OR_RETURN(prepared, SymmetrizeForTc(g));
-    }
+    ADGRAPH_ASSIGN_OR_RETURN(
+        staged, Stage(residency, device, g,
+                      options.orient ? GraphVariant::kTcOriented
+                                     : GraphVariant::kSymSimple));
   }
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, prepared));
-  return RunTriangleCountOnDevice(device, d, options);
+  return RunTriangleCountOnDevice(device, *staged, options);
 }
 
 }  // namespace adgraph::core

@@ -58,9 +58,12 @@ struct TcResult {
 /// and probes it for every two-hop edge, with set-intersection-by-binary-
 /// search as the high-degree fallback (paper §4.4: "bitmaps and atomic
 /// operations ... more conditional judgments and branching than BFS").
+class GraphResidency;
+
 Result<TcResult> RunTriangleCount(vgpu::Device* device,
                                   const graph::CsrGraph& g,
-                                  const TcOptions& options);
+                                  const TcOptions& options,
+                                  GraphResidency* residency = nullptr);
 
 /// Same, on a prepared device-resident input: a degree-oriented DAG when
 /// options.orient, otherwise the symmetrized simple graph.  Adjacency

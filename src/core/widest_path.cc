@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/device_graph.h"
+#include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
@@ -50,7 +51,8 @@ KernelTask WidenKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
 
 Result<WidestPathResult> RunWidestPath(vgpu::Device* device,
                                        const graph::CsrGraph& g,
-                                       const WidestPathOptions& options) {
+                                       const WidestPathOptions& options,
+                                       GraphResidency* residency) {
   const vid_t n = g.num_vertices();
   if (n == 0) return Status::InvalidArgument("widest path on empty graph");
   if (options.source >= n) {
@@ -70,7 +72,9 @@ Result<WidestPathResult> RunWidestPath(vgpu::Device* device,
   algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
   algo_span.ArgNum("source", static_cast<uint64_t>(options.source));
 
-  ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, g));
+  ADGRAPH_ASSIGN_OR_RETURN(ResidentCsr staged,
+                           Stage(residency, device, g, GraphVariant::kAsIs));
+  const DeviceCsr& d = *staged;
   ADGRAPH_ASSIGN_OR_RETURN(auto width,
                            rt::DeviceBuffer<double>::Create(device, n));
   ADGRAPH_ASSIGN_OR_RETURN(auto changed,

@@ -30,9 +30,12 @@ struct WidestPathResult {
 /// semiring-SpMV algorithms: iterated (max, min) relaxations with an
 /// on-device change flag.  Requires non-negative weights (unweighted
 /// edges count as capacity 1).
+class GraphResidency;
+
 Result<WidestPathResult> RunWidestPath(vgpu::Device* device,
                                        const graph::CsrGraph& g,
-                                       const WidestPathOptions& options);
+                                       const WidestPathOptions& options,
+                                       GraphResidency* residency = nullptr);
 
 }  // namespace adgraph::core
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -11,6 +12,13 @@ namespace {
 
 constexpr uint64_t kBinaryMagic = 0x4852474441ull;  // "ADGRH"
 constexpr uint32_t kBinaryVersion = 1;
+
+/// Largest raw vertex id a text loader may accept: ids are stored as vid_t
+/// and the implied vertex count is max_id + 1, so the id itself must stay
+/// strictly below the vid_t maximum.  Anything larger used to be silently
+/// truncated by the vid_t cast — corrupting the graph instead of failing.
+constexpr uint64_t kMaxVertexId =
+    static_cast<uint64_t>(std::numeric_limits<vid_t>::max()) - 1;
 
 }  // namespace
 
@@ -26,11 +34,24 @@ Result<CooGraph> ReadEdgeList(const std::string& path) {
     std::istringstream ss(line);
     uint64_t u, v;
     if (!(ss >> u >> v)) {
-      return Status::IOError(path + ":" + std::to_string(line_no) +
-                             ": malformed edge line");
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed edge line: '" + line + "'");
+    }
+    if (u > kMaxVertexId || v > kMaxVertexId) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": vertex id " +
+          std::to_string(std::max(u, v)) + " exceeds the supported maximum " +
+          std::to_string(kMaxVertexId));
     }
     double w;
     bool has_w = static_cast<bool>(ss >> w);
+    if (!has_w) ss.clear();
+    std::string junk;
+    if (ss >> junk) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": trailing junk '" + junk +
+                                     "' on edge line");
+    }
     if (has_w && coo.weights.size() < coo.src.size()) {
       // Earlier lines were unweighted: backfill.
       coo.weights.resize(coo.src.size(), 1.0);
@@ -81,7 +102,18 @@ Result<CooGraph> ReadMatrixMarket(const std::string& path) {
   std::istringstream dims(line);
   uint64_t rows, cols, nnz;
   if (!(dims >> rows >> cols >> nnz)) {
-    return Status::IOError(path + ": malformed size line");
+    return Status::InvalidArgument(path + ": malformed size line: '" + line +
+                                   "'");
+  }
+  std::string junk;
+  if (dims >> junk) {
+    return Status::InvalidArgument(path + ": trailing junk '" + junk +
+                                   "' on size line");
+  }
+  if (std::max(rows, cols) > kMaxVertexId + 1) {
+    return Status::InvalidArgument(
+        path + ": dimension " + std::to_string(std::max(rows, cols)) +
+        " exceeds the supported maximum " + std::to_string(kMaxVertexId + 1));
   }
   CooGraph coo;
   coo.num_vertices = static_cast<vid_t>(std::max(rows, cols));
@@ -92,13 +124,21 @@ Result<CooGraph> ReadMatrixMarket(const std::string& path) {
     uint64_t r, c;
     double w = 1.0;
     if (!(in >> r >> c)) {
-      return Status::IOError(path + ": truncated entry list");
+      return Status::InvalidArgument(path + ": malformed or truncated entry " +
+                                     std::to_string(i + 1) + " of " +
+                                     std::to_string(nnz));
     }
     if (!pattern && !(in >> w)) {
-      return Status::IOError(path + ": missing value in real matrix");
+      return Status::InvalidArgument(path + ": missing value in entry " +
+                                     std::to_string(i + 1) +
+                                     " of a real matrix");
     }
     if (r == 0 || c == 0 || r > rows || c > cols) {
-      return Status::IOError(path + ": index out of bounds");
+      return Status::InvalidArgument(
+          path + ": entry " + std::to_string(i + 1) + " index (" +
+          std::to_string(r) + ", " + std::to_string(c) +
+          ") out of bounds for " + std::to_string(rows) + " x " +
+          std::to_string(cols));
     }
     coo.src.push_back(static_cast<vid_t>(r - 1));
     coo.dst.push_back(static_cast<vid_t>(c - 1));

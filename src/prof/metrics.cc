@@ -1,6 +1,7 @@
 #include "prof/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace adgraph::prof {
 
@@ -100,6 +101,20 @@ std::vector<std::string> CoarseMetricNames(rt::Platform platform) {
             "gld_efficiency"};
   }
   return {"VALUBusy", "1-ALUStalledByLDS", "L2CacheHit", "MemUnitBusy"};
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const size_t n = values.size();
+  // Nearest-rank: the smallest value such that at least p*n of the sample
+  // is <= it, i.e. 1-based rank ceil(p*n), clamped into [1, n].
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::clamp<size_t>(rank, 1, n);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(rank - 1),
+                   values.end());
+  return values[rank - 1];
 }
 
 }  // namespace adgraph::prof

@@ -74,6 +74,13 @@ CoarseMetrics ComputeCoarse(const AlgoProfile& profile, rt::Platform platform,
 std::vector<std::string> FineGrainedMetricNames(rt::Platform platform);
 std::vector<std::string> CoarseMetricNames(rt::Platform platform);
 
+/// Nearest-rank percentile of an unsorted sample (p in [0,1], clamped).
+/// The value at rank ceil(p*n) (1-based) of the sorted sample: p=0.5 of
+/// {a,b} is a, p=1.0 is the max, and any p on a single sample returns it.
+/// Empty samples yield 0.  Shared by the serve scheduler's latency
+/// snapshot and the trace-summary report.
+double Percentile(std::vector<double> values, double p);
+
 }  // namespace adgraph::prof
 
 #endif  // ADGRAPH_PROF_METRICS_H_

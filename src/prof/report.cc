@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "prof/metrics.h"
 #include "util/table.h"
 
 namespace adgraph::prof {
@@ -121,9 +122,27 @@ std::string FormatServerStats(const ServerStats& stats) {
       << " ms, p95 " << FormatFixed(stats.p95_modeled_ms, 4) << " ms\n"
       << "  wall latency:    p50 " << FormatFixed(stats.p50_wall_ms, 2)
       << " ms, p95 " << FormatFixed(stats.p95_wall_ms, 2) << " ms\n";
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  out << "  graph cache: " << stats.cache_hits << " hits / " << lookups
+      << " lookups ("
+      << FormatFixed(lookups > 0 ? 100.0 * static_cast<double>(
+                                       stats.cache_hits) /
+                                       static_cast<double>(lookups)
+                                 : 0,
+                     1)
+      << "%), " << stats.cache_evictions << " evictions ("
+      << FormatFixed(static_cast<double>(stats.cache_bytes_evicted) /
+                         (1024.0 * 1024.0),
+                     1)
+      << " MiB), "
+      << FormatFixed(static_cast<double>(stats.cache_resident_bytes) /
+                         (1024.0 * 1024.0),
+                     1)
+      << " MiB resident\n";
 
   TablePrinter table({"device", "vendor", "done", "failed", "rejected",
-                      "busy (ms)", "modeled (ms)", "util", "RAM"});
+                      "busy (ms)", "modeled (ms)", "util", "RAM",
+                      "hit/miss", "resident"});
   for (const DeviceStats& d : stats.devices) {
     table.AddRow({d.name, d.vendor, std::to_string(d.jobs_completed),
                   std::to_string(d.jobs_failed),
@@ -132,6 +151,12 @@ std::string FormatServerStats(const ServerStats& stats) {
                   FormatFixed(d.modeled_ms, 3),
                   FormatFixed(100 * d.utilization, 1) + "%",
                   FormatFixed(static_cast<double>(d.memory_capacity_bytes) /
+                                  (1024.0 * 1024.0),
+                              1) +
+                      " MiB",
+                  std::to_string(d.cache_hits) + "/" +
+                      std::to_string(d.cache_misses),
+                  FormatFixed(static_cast<double>(d.cache_resident_bytes) /
                                   (1024.0 * 1024.0),
                               1) +
                       " MiB"});
@@ -155,7 +180,8 @@ std::string FormatTraceSummary(
     double last_end = 0;
   };
   std::map<uint64_t, TrackGroup> tracks;
-  std::map<std::string, std::pair<uint64_t, double>> by_name;  // count, us
+  // Per span name: every duration (us), for count / total / p95.
+  std::map<std::string, std::vector<double>> by_name;
   for (const trace::TraceEvent& e : events) {
     auto [it, inserted] = tracks.try_emplace(e.track);
     TrackGroup& g = it->second;
@@ -163,9 +189,7 @@ std::string FormatTraceSummary(
     g.last_end = std::max(g.last_end, e.ts_us + e.dur_us);
     g.spans += 1;
     g.busy_us += e.dur_us;
-    auto& n = by_name[e.category + ":" + e.name];
-    n.first += 1;
-    n.second += e.dur_us;
+    by_name[e.category + ":" + e.name].push_back(e.dur_us);
   }
 
   const std::vector<std::string> names = trace::TrackNames();
@@ -182,17 +206,32 @@ std::string FormatTraceSummary(
   table.Print(out);
 
   // Top span names by accumulated duration — the "where did it go" list.
-  std::vector<std::pair<std::string, std::pair<uint64_t, double>>> ranked(
-      by_name.begin(), by_name.end());
+  struct NameGroup {
+    std::string name;
+    uint64_t count = 0;
+    double total_us = 0;
+    double p95_us = 0;
+  };
+  std::vector<NameGroup> ranked;
+  ranked.reserve(by_name.size());
+  for (auto& [name, durations] : by_name) {
+    NameGroup g;
+    g.name = name;
+    g.count = durations.size();
+    for (double d : durations) g.total_us += d;
+    g.p95_us = Percentile(std::move(durations), 0.95);
+    ranked.push_back(std::move(g));
+  }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    return a.second.second > b.second.second;
+    return a.total_us > b.total_us;
   });
   constexpr size_t kTop = 10;
   out << "Top spans by total duration:\n";
-  TablePrinter top({"span", "count", "total (ms)"});
+  TablePrinter top({"span", "count", "total (ms)", "p95 (ms)"});
   for (size_t i = 0; i < std::min(kTop, ranked.size()); ++i) {
-    top.AddRow({ranked[i].first, std::to_string(ranked[i].second.first),
-                FormatFixed(ranked[i].second.second / 1000.0, 3)});
+    top.AddRow({ranked[i].name, std::to_string(ranked[i].count),
+                FormatFixed(ranked[i].total_us / 1000.0, 3),
+                FormatFixed(ranked[i].p95_us / 1000.0, 3)});
   }
   top.Print(out);
   return out.str();

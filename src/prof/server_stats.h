@@ -19,10 +19,16 @@ struct DeviceStats {
   uint64_t jobs_rejected = 0;     ///< admission-control rejections
   double busy_wall_ms = 0;        ///< host wall time spent executing jobs
   double modeled_ms = 0;          ///< summed modeled device (kernel) time
-  /// busy_wall_ms / pool uptime — the fraction of wall time this device
-  /// had a job resident.
+  /// busy_wall_ms / pool uptime, clamped to [0,1] — the fraction of wall
+  /// time this device had a job resident.
   double utilization = 0;
   uint64_t memory_capacity_bytes = 0;
+  // Graph residency cache (DESIGN.md §2.6) — this worker's private cache.
+  uint64_t cache_hits = 0;            ///< Acquire() served from residency
+  uint64_t cache_misses = 0;          ///< Acquire() had to build + upload
+  uint64_t cache_evictions = 0;       ///< entries evicted (LRU / for space)
+  uint64_t cache_bytes_evicted = 0;   ///< device bytes freed by eviction
+  uint64_t cache_resident_bytes = 0;  ///< device bytes currently cached
 };
 
 /// \brief Point-in-time snapshot of a serving pool (`serve::Scheduler`),
@@ -50,6 +56,12 @@ struct ServerStats {
   double p95_modeled_ms = 0;
   double p50_wall_ms = 0;         ///< median submit->done wall latency
   double p95_wall_ms = 0;
+  // Graph residency cache, summed over the per-device caches.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_bytes_evicted = 0;
+  uint64_t cache_resident_bytes = 0;
   std::vector<DeviceStats> devices;
 };
 

@@ -1,24 +1,44 @@
 #include "serve/admission.h"
 
+#include <algorithm>
+
+#include "serve/graph_cache.h"
 #include "serve/registry.h"
 
 namespace adgraph::serve {
 
 AdmissionDecision CheckAdmission(const vgpu::Device& device,
-                                 const JobSpec& spec, double headroom) {
+                                 const JobSpec& spec, double headroom,
+                                 GraphCache* cache) {
   AdmissionDecision decision;
   decision.capacity_bytes = device.memory_capacity_bytes();
-  decision.available_bytes =
-      decision.capacity_bytes - device.memory_used_bytes();
+  decision.available_bytes = device.memory_free_bytes();
   uint64_t estimate = EstimateJobDeviceBytes(spec);
   decision.estimated_bytes = estimate;
+  if (cache != nullptr && cache->enabled()) {
+    decision.resident_bytes =
+        cache->ResidentBytesFor(*spec.graph, GraphVariantFor(spec));
+  }
+  // Charge only what the job will actually allocate: the resident graph is
+  // already on the device (and already counted inside used_bytes).
+  decision.charged_bytes =
+      estimate - std::min<uint64_t>(decision.resident_bytes, estimate);
   uint64_t padded = static_cast<uint64_t>(
-      static_cast<double>(estimate) * (headroom < 1.0 ? 1.0 : headroom));
+      static_cast<double>(decision.charged_bytes) *
+      (headroom < 1.0 ? 1.0 : headroom));
+  if (padded > decision.available_bytes && cache != nullptr &&
+      cache->enabled()) {
+    decision.evicted_bytes =
+        cache->EvictForSpace(padded - decision.available_bytes);
+    decision.available_bytes = device.memory_free_bytes();
+  }
   if (padded > decision.available_bytes) {
     decision.admit = false;
     decision.reason =
         std::string(AlgorithmName(spec.algorithm())) +
-        " working set ~" + std::to_string(estimate) + " bytes exceeds " +
+        " working set ~" + std::to_string(decision.charged_bytes) +
+        " bytes (" + std::to_string(estimate) + " estimated, " +
+        std::to_string(decision.resident_bytes) + " resident) exceeds " +
         device.name() + " available memory (" +
         std::to_string(decision.available_bytes) + " of " +
         std::to_string(decision.capacity_bytes) + " bytes free)";

@@ -1,0 +1,135 @@
+#include "serve/graph_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "trace/trace.h"
+
+namespace adgraph::serve {
+
+GraphCache::GraphCache(vgpu::Device* device, Options options)
+    : device_(device), options_(options) {
+  capacity_ = options_.capacity_bytes;
+  if (capacity_ == 0) {
+    double fraction = std::clamp(options_.capacity_fraction, 0.0, 1.0);
+    capacity_ = static_cast<uint64_t>(
+        static_cast<double>(device_->memory_capacity_bytes()) * fraction);
+  }
+}
+
+GraphCache::~GraphCache() = default;
+
+core::ResidentCsr GraphCache::PinEntry(const Key& key, Entry& entry) {
+  entry.last_used = ++use_clock_;
+  entry.pins += 1;
+  return core::ResidentCsr(entry.csr, [this, key] {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.pins > 0) it->second.pins -= 1;
+  });
+}
+
+core::ResidentCsr GraphCache::PinIfResident(const graph::CsrGraph& base,
+                                            core::GraphVariant variant) {
+  if (!options_.enabled) return {};
+  Key key{core::FingerprintCsr(base), static_cast<uint8_t>(variant)};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  return PinEntry(it->first, it->second);
+}
+
+uint64_t GraphCache::ResidentBytesFor(const graph::CsrGraph& base,
+                                      core::GraphVariant variant) const {
+  if (!options_.enabled) return 0;
+  Key key{core::FingerprintCsr(base), static_cast<uint8_t>(variant)};
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.bytes;
+}
+
+uint64_t GraphCache::EvictForSpace(uint64_t bytes) {
+  uint64_t freed = 0;
+  while (freed < bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins > 0) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // everything left is pinned
+    trace::Span span(device_->trace_track(), "cache.evict", "cache");
+    span.Arg("variant",
+             std::string(core::GraphVariantName(
+                 static_cast<core::GraphVariant>(victim->first.second))));
+    span.ArgNum("bytes", victim->second.bytes);
+    freed += victim->second.bytes;
+    stats_.evictions += 1;
+    stats_.bytes_evicted += victim->second.bytes;
+    stats_.resident_bytes -= victim->second.bytes;
+    // Unpinned means no outstanding handle shares the csr, so erasing the
+    // entry drops the last reference and frees the device buffers here.
+    entries_.erase(victim);
+  }
+  return freed;
+}
+
+Result<core::ResidentCsr> GraphCache::Acquire(vgpu::Device* device,
+                                              const graph::CsrGraph& base,
+                                              core::GraphVariant variant) {
+  if (!options_.enabled) {
+    return core::Stage(nullptr, device, base, variant);
+  }
+  Key key{core::FingerprintCsr(base), static_cast<uint8_t>(variant)};
+  auto hit = entries_.find(key);
+  if (hit != entries_.end()) {
+    stats_.hits += 1;
+    trace::Span span(device_->trace_track(), "cache.hit", "cache");
+    span.Arg("variant", std::string(core::GraphVariantName(variant)));
+    span.ArgNum("bytes", hit->second.bytes);
+    return PinEntry(hit->first, hit->second);
+  }
+
+  stats_.misses += 1;
+  trace::Span span(device_->trace_track(), "cache.miss", "cache");
+  span.Arg("variant", std::string(core::GraphVariantName(variant)));
+
+  graph::CsrGraph built;
+  const graph::CsrGraph* host = &base;
+  if (variant != core::GraphVariant::kAsIs) {
+    ADGRAPH_ASSIGN_OR_RETURN(built, core::BuildHostVariant(base, variant));
+    host = &built;
+  }
+  uint64_t used_before = device->memory_used_bytes();
+  Result<core::DeviceCsr> upload = core::DeviceCsr::Upload(device, *host);
+  if (!upload.ok() && upload.status().IsOutOfMemory()) {
+    // Make room out of our own residency before letting the job die: a
+    // full device whose ballast is unpinned cached graphs is our fault.
+    EvictForSpace(std::numeric_limits<uint64_t>::max());
+    upload = core::DeviceCsr::Upload(device, *host);
+  }
+  ADGRAPH_ASSIGN_OR_RETURN(core::DeviceCsr uploaded, std::move(upload));
+  const uint64_t bytes = device->memory_used_bytes() - used_before;
+  span.ArgNum("bytes", bytes);
+
+  if (options_.max_entries == 0 || bytes > capacity_) {
+    // Uncacheable: serve this job from a one-shot owned upload.
+    return core::ResidentCsr(std::move(uploaded));
+  }
+  while (entries_.size() >= options_.max_entries ||
+         stats_.resident_bytes + bytes > capacity_) {
+    if (EvictForSpace(1) == 0) {
+      // Every remaining entry is pinned; don't cache this one.
+      return core::ResidentCsr(std::move(uploaded));
+    }
+  }
+
+  Entry entry;
+  entry.csr = std::make_shared<core::DeviceCsr>(std::move(uploaded));
+  entry.bytes = bytes;
+  stats_.resident_bytes += bytes;
+  auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+  (void)inserted;
+  return PinEntry(pos->first, pos->second);
+}
+
+}  // namespace adgraph::serve

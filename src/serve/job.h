@@ -96,9 +96,16 @@ struct JobOutcome {
   JobPayload payload;
   std::string device_name;        ///< arch that executed (or rejected) it
   double modeled_ms = 0;          ///< modeled device kernel time of the job
+  /// Modeled host<->device (PCIe) transfer time of the job.  A residency
+  /// cache hit makes this collapse: the staged graph was already on the
+  /// device, so only the result readback transfers.
+  double modeled_transfer_ms = 0;
   double queue_wall_ms = 0;       ///< host wall time spent waiting in queue
   double exec_wall_ms = 0;        ///< host wall time resident on the device
   uint64_t estimated_bytes = 0;   ///< admission-control working-set estimate
+  /// True when the job's staged graph was served from the worker's
+  /// residency cache rather than built + uploaded.
+  bool cache_hit = false;
   /// Aggregated kernel profile of exactly this job's launches.
   prof::AlgoProfile profile;
 };

@@ -25,6 +25,13 @@ const Options& Params(const JobSpec& spec) {
   return std::get<Options>(spec.params);
 }
 
+/// graph_variant for the algorithms whose staged layout doesn't depend on
+/// the job parameters (everything except triangle counting).
+std::function<core::GraphVariant(const JobSpec&)> Always(
+    core::GraphVariant variant) {
+  return [variant](const JobSpec&) { return variant; };
+}
+
 std::vector<AlgorithmHandler> BuildRegistry() {
   std::vector<AlgorithmHandler> reg(std::variant_size_v<JobParams>);
   auto add = [&reg](AlgorithmHandler h) {
@@ -35,12 +42,14 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kBfs,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
                  auto r,
-                 core::RunBfs(d, *s.graph, Params<core::BfsOptions>(s)));
+                 core::RunBfs(d, *s.graph, Params<core::BfsOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -53,12 +62,14 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kSssp,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
                  auto r,
-                 core::RunSssp(d, *s.graph, Params<core::SsspOptions>(s)));
+                 core::RunSssp(d, *s.graph, Params<core::SsspOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -71,12 +82,15 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kPageRank,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunPageRank(d, *s.graph,
-                                           Params<core::PageRankOptions>(s)));
+                 auto r, core::RunPageRank(
+                             d, *s.graph, Params<core::PageRankOptions>(s),
+                             res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kPullTranspose),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -90,12 +104,19 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kTriangleCount,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
                  auto r,
-                 core::RunTriangleCount(d, *s.graph,
-                                        Params<core::TcOptions>(s)));
+                 core::RunTriangleCount(d, *s.graph, Params<core::TcOptions>(s),
+                                        res));
              return JobPayload(std::move(r));
+           },
+       .graph_variant =
+           [](const JobSpec& s) {
+             return Params<core::TcOptions>(s).orient
+                        ? core::GraphVariant::kTcOriented
+                        : core::GraphVariant::kSymSimple;
            },
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -111,12 +132,14 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kConnectedComponents,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
                  auto r, core::RunConnectedComponents(
-                             d, *s.graph, Params<core::CcOptions>(s)));
+                             d, *s.graph, Params<core::CcOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kSymSimple),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -128,12 +151,14 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kKCore,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r,
-                 core::RunKCore(d, *s.graph, Params<core::KCoreOptions>(s)));
+                 auto r, core::RunKCore(d, *s.graph,
+                                        Params<core::KCoreOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kSymSimple),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -146,12 +171,15 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kJaccard,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
                  auto r, core::RunJaccard(d, *s.graph,
-                                          Params<core::JaccardOptions>(s)));
+                                          Params<core::JaccardOptions>(s),
+                                          res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -163,12 +191,15 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kWidestPath,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunWidestPath(
-                             d, *s.graph, Params<core::WidestPathOptions>(s)));
+                 auto r,
+                 core::RunWidestPath(d, *s.graph,
+                                     Params<core::WidestPathOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -180,12 +211,15 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kColoring,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunGraphColoring(
-                             d, *s.graph, Params<core::ColoringOptions>(s)));
+                 auto r,
+                 core::RunGraphColoring(d, *s.graph,
+                                        Params<core::ColoringOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kSymSimple),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -197,12 +231,14 @@ std::vector<AlgorithmHandler> BuildRegistry() {
   add({.algo = Algorithm::kEsbv,
        .name = {},
        .run =
-           [](vgpu::Device* d, const JobSpec& s) -> Result<JobPayload> {
+           [](vgpu::Device* d, const JobSpec& s,
+              core::GraphResidency* res) -> Result<JobPayload> {
              ADGRAPH_ASSIGN_OR_RETURN(
                  auto r, core::ExtractSubgraphByVertex(
-                             d, *s.graph, Params<core::EsbvOptions>(s)));
+                             d, *s.graph, Params<core::EsbvOptions>(s), res));
              return JobPayload(std::move(r));
            },
+       .graph_variant = Always(core::GraphVariant::kCscWeighted),
        .estimate_device_bytes =
            [](const JobSpec& s) {
              const auto& g = *s.graph;
@@ -234,6 +270,10 @@ const AlgorithmHandler& GetHandler(Algorithm algo) {
 
 uint64_t EstimateJobDeviceBytes(const JobSpec& spec) {
   return GetHandler(spec.algorithm()).estimate_device_bytes(spec);
+}
+
+core::GraphVariant GraphVariantFor(const JobSpec& spec) {
+  return GetHandler(spec.algorithm()).graph_variant(spec);
 }
 
 Status ValidateJobSpec(const JobSpec& spec) {

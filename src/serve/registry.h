@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/residency.h"
 #include "serve/job.h"
 #include "util/status.h"
 #include "vgpu/device.h"
@@ -22,9 +23,17 @@ struct AlgorithmHandler {
   Algorithm algo;
   std::string_view name;
 
-  /// Executes the job's algorithm on `device` (graph upload included) and
-  /// returns the result payload.  Propagates core/ errors unchanged.
-  std::function<Result<JobPayload>(vgpu::Device*, const JobSpec&)> run;
+  /// Executes the job's algorithm on `device` (graph staging included) and
+  /// returns the result payload.  Propagates core/ errors unchanged.  The
+  /// residency provider is the worker's graph cache, or null for the
+  /// upload-per-run behavior (results are byte-identical either way).
+  std::function<Result<JobPayload>(vgpu::Device*, const JobSpec&,
+                                   core::GraphResidency*)>
+      run;
+
+  /// The device-graph variant the algorithm stages (cache key half; for
+  /// admission's residency discount and the scheduler's pre-admission pin).
+  std::function<core::GraphVariant(const JobSpec&)> graph_variant;
 
   /// Conservative upper bound on the bytes of device memory the job will
   /// have live at its peak, mirroring the actual Alloc sequence of the
@@ -47,6 +56,9 @@ const AlgorithmHandler& GetHandler(Algorithm algo);
 
 /// Convenience: the registry's working-set estimate for `spec`.
 uint64_t EstimateJobDeviceBytes(const JobSpec& spec);
+
+/// Convenience: the device-graph variant `spec`'s algorithm will stage.
+core::GraphVariant GraphVariantFor(const JobSpec& spec);
 
 /// Validates a spec independent of any device: non-null non-empty graph,
 /// source vertices in range, ESBV weight requirement.  The scheduler calls

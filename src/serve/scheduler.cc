@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "prof/metrics.h"
 #include "prof/session.h"
 #include "serve/admission.h"
 #include "serve/registry.h"
@@ -14,19 +15,14 @@ namespace {
 
 constexpr size_t kNone = static_cast<size_t>(-1);
 
+/// Below this uptime the wall-clock rates are meaningless noise (a
+/// Snapshot() taken right after Create()); report them as zero instead of
+/// dividing by (near-)nothing.
+constexpr double kMinUptimeMs = 1e-3;
+
 double MsBetween(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
-/// Nearest-rank percentile (p in [0,1]) of an unsorted sample copy.
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  size_t rank = static_cast<size_t>(
-      std::min<double>(static_cast<double>(values.size() - 1),
-                       std::llround(p * static_cast<double>(values.size() - 1))));
-  std::nth_element(values.begin(), values.begin() + rank, values.end());
-  return values[rank];
 }
 
 }  // namespace
@@ -133,6 +129,10 @@ void Scheduler::WorkerLoop(Worker* worker) {
   // creates) stays confined to its owner, which is the whole concurrency
   // story of the pool.
   vgpu::Device device(*worker->slot.arch, worker->slot.options);
+  // The residency cache shares the device's confinement: constructed after
+  // it (so destroyed first, while the device can still free buffers) and
+  // touched only from this thread.
+  GraphCache cache(&device, options_.cache);
   worker->trace_track = trace::RegisterTrack("worker " + worker->arch_name);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -155,13 +155,19 @@ void Scheduler::WorkerLoop(Worker* worker) {
     }
 
     std::promise<JobOutcome> promise = std::move(job.promise);
-    JobOutcome outcome = Execute(worker, &device, std::move(job));
+    JobOutcome outcome = Execute(worker, &device, &cache, std::move(job));
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
       running_ -= 1;
       worker->busy_wall_ms += outcome.exec_wall_ms;
       worker->modeled_ms += outcome.modeled_ms;
+      const GraphCache::Stats& cs = cache.stats();
+      worker->cache_hits = cs.hits;
+      worker->cache_misses = cs.misses;
+      worker->cache_evictions = cs.evictions;
+      worker->cache_bytes_evicted = cs.bytes_evicted;
+      worker->cache_resident_bytes = cs.resident_bytes;
       if (outcome.status.ok()) {
         completed_ += 1;
         worker->jobs_completed += 1;
@@ -182,7 +188,7 @@ void Scheduler::WorkerLoop(Worker* worker) {
 }
 
 JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
-                              PendingJob job) {
+                              GraphCache* cache, PendingJob job) {
   JobOutcome outcome;
   outcome.job_id = job.id;
   outcome.tag = std::move(job.spec.tag);
@@ -209,11 +215,26 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
   job_span.ArgNum("job_id", job.id);
   if (!outcome.tag.empty()) job_span.Arg("tag", outcome.tag);
 
+  // Pin the job's own resident graph (if any) before admission, so that
+  // eviction-for-space can free every *other* unpinned entry but never the
+  // one this job is about to read.  Not a hit: Acquire re-pins and counts.
+  core::ResidentCsr self_pin;
+  if (cache != nullptr && cache->enabled()) {
+    self_pin =
+        cache->PinIfResident(*job.spec.graph, GraphVariantFor(job.spec));
+  }
+
   AdmissionDecision decision;
   {
     trace::Span admission_span(worker->trace_track, "admission", "serve");
-    decision = CheckAdmission(*device, job.spec, options_.admission_headroom);
+    decision =
+        CheckAdmission(*device, job.spec, options_.admission_headroom, cache);
     admission_span.ArgNum("estimated_bytes", decision.estimated_bytes);
+    admission_span.ArgNum("resident_bytes", decision.resident_bytes);
+    admission_span.ArgNum("charged_bytes", decision.charged_bytes);
+    if (decision.evicted_bytes > 0) {
+      admission_span.ArgNum("evicted_bytes", decision.evicted_bytes);
+    }
     admission_span.Arg("admit", decision.admit ? "true" : "false");
   }
   outcome.estimated_bytes = decision.estimated_bytes;
@@ -227,8 +248,14 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
   const AlgorithmHandler& handler = GetHandler(job.spec.algorithm());
   prof::Session session(device);
   double modeled_before = device->elapsed_ms();
-  Result<JobPayload> payload = handler.run(device, job.spec);
+  double transfer_before = device->transfer_ms();
+  uint64_t hits_before = cache != nullptr ? cache->stats().hits : 0;
+  Result<JobPayload> payload = handler.run(
+      device, job.spec,
+      (cache != nullptr && cache->enabled()) ? cache : nullptr);
   outcome.modeled_ms = device->elapsed_ms() - modeled_before;
+  outcome.modeled_transfer_ms = device->transfer_ms() - transfer_before;
+  outcome.cache_hit = cache != nullptr && cache->stats().hits > hits_before;
   outcome.profile = session.Finish();
   if (payload.ok()) {
     outcome.status = Status::OK();
@@ -262,7 +289,9 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
                      ? "ok"
                      : std::string(StatusCodeToString(outcome.status.code())));
     job_span.ArgNum("modeled_ms", outcome.modeled_ms);
+    job_span.ArgNum("modeled_transfer_ms", outcome.modeled_transfer_ms);
     job_span.ArgNum("queue_wall_ms", outcome.queue_wall_ms);
+    job_span.Arg("cache", outcome.cache_hit ? "hit" : "miss");
   }
   return outcome;
 }
@@ -329,14 +358,16 @@ prof::ServerStats Scheduler::Snapshot() const {
   stats.jobs_queued = queue_.size();
   stats.jobs_running = running_;
   stats.uptime_ms = MsBetween(started_at_, Clock::now());
-  stats.jobs_per_sec = stats.uptime_ms > 0
+  // Guard the rates against a zero/near-zero uptime (an immediate snapshot
+  // after Create()): 0, not inf/NaN or an absurd spike.
+  stats.jobs_per_sec = stats.uptime_ms >= kMinUptimeMs
                            ? 1000.0 * static_cast<double>(completed_) /
                                  stats.uptime_ms
                            : 0;
-  stats.p50_modeled_ms = Percentile(modeled_latencies_ms_, 0.50);
-  stats.p95_modeled_ms = Percentile(modeled_latencies_ms_, 0.95);
-  stats.p50_wall_ms = Percentile(wall_latencies_ms_, 0.50);
-  stats.p95_wall_ms = Percentile(wall_latencies_ms_, 0.95);
+  stats.p50_modeled_ms = prof::Percentile(modeled_latencies_ms_, 0.50);
+  stats.p95_modeled_ms = prof::Percentile(modeled_latencies_ms_, 0.95);
+  stats.p50_wall_ms = prof::Percentile(wall_latencies_ms_, 0.50);
+  stats.p95_wall_ms = prof::Percentile(wall_latencies_ms_, 0.95);
   for (const auto& worker : workers_) {
     prof::DeviceStats d;
     d.name = worker->arch_name;
@@ -346,9 +377,23 @@ prof::ServerStats Scheduler::Snapshot() const {
     d.jobs_rejected = worker->jobs_rejected;
     d.busy_wall_ms = worker->busy_wall_ms;
     d.modeled_ms = worker->modeled_ms;
+    // Clamped: busy time is measured with a different clock granularity
+    // than uptime, so the raw ratio can poke past 1.0 on short windows.
     d.utilization =
-        stats.uptime_ms > 0 ? worker->busy_wall_ms / stats.uptime_ms : 0;
+        stats.uptime_ms >= kMinUptimeMs
+            ? std::clamp(worker->busy_wall_ms / stats.uptime_ms, 0.0, 1.0)
+            : 0;
     d.memory_capacity_bytes = worker->memory_capacity_bytes;
+    d.cache_hits = worker->cache_hits;
+    d.cache_misses = worker->cache_misses;
+    d.cache_evictions = worker->cache_evictions;
+    d.cache_bytes_evicted = worker->cache_bytes_evicted;
+    d.cache_resident_bytes = worker->cache_resident_bytes;
+    stats.cache_hits += d.cache_hits;
+    stats.cache_misses += d.cache_misses;
+    stats.cache_evictions += d.cache_evictions;
+    stats.cache_bytes_evicted += d.cache_bytes_evicted;
+    stats.cache_resident_bytes += d.cache_resident_bytes;
     stats.devices.push_back(std::move(d));
   }
   return stats;

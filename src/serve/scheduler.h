@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "prof/server_stats.h"
+#include "serve/graph_cache.h"
 #include "serve/job.h"
 #include "trace/trace.h"
 #include "util/status.h"
@@ -65,6 +66,11 @@ class Scheduler {
     /// of functional simulation (EXPERIMENTS.md; the simulator burns host
     /// CPU where real hardware would idle the host).
     double device_occupancy_floor_ms = 0;
+    /// Per-worker graph residency cache (DESIGN.md §2.6).  Each worker
+    /// owns one GraphCache beside its device; disable via `cache.enabled`
+    /// for the upload-per-run behavior (results are byte-identical either
+    /// way).
+    GraphCache::Options cache;
     /// Per-session tracing: when `trace.enabled`, the scheduler attaches a
     /// private trace::Collector for its lifetime and — if `trace.path` is
     /// non-empty — writes the Chrome trace-event JSON there at Shutdown().
@@ -132,6 +138,13 @@ class Scheduler {
     double busy_wall_ms = 0;
     double modeled_ms = 0;
     uint64_t memory_capacity_bytes = 0;
+    /// Mirror of the worker-thread-owned GraphCache::Stats, refreshed
+    /// under mutex_ after every job so Snapshot() can read it safely.
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t cache_bytes_evicted = 0;
+    uint64_t cache_resident_bytes = 0;
   };
 
   explicit Scheduler(Options options);
@@ -139,7 +152,8 @@ class Scheduler {
   void WorkerLoop(Worker* worker);
   /// Runs one job on the worker's device (admission + execution +
   /// profiling); never throws, always returns a resolved outcome.
-  JobOutcome Execute(Worker* worker, vgpu::Device* device, PendingJob job);
+  JobOutcome Execute(Worker* worker, vgpu::Device* device, GraphCache* cache,
+                     PendingJob job);
   /// Index of the first queued job this worker may take, or npos.
   size_t FindRunnableLocked(const Worker& worker) const;
 

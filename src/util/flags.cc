@@ -1,6 +1,9 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/logging.h"
 
 namespace adgraph {
 
@@ -43,13 +46,36 @@ std::string Flags::GetString(const std::string& key,
 int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(text.c_str(), &end, 10);
+  // Reject empty/non-numeric input, trailing junk ("12x"), and overflow —
+  // strtoll with a null end pointer would silently return 0 (or a clamped
+  // extreme) for all of these.
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    ADGRAPH_LOG(Warning) << "flag --" << key << "='" << text
+                         << "' is not a valid integer; using default "
+                         << default_value;
+    return default_value;
+  }
+  return static_cast<int64_t>(parsed);
 }
 
 double Flags::GetDouble(const std::string& key, double default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    ADGRAPH_LOG(Warning) << "flag --" << key << "='" << text
+                         << "' is not a valid number; using default "
+                         << default_value;
+    return default_value;
+  }
+  return parsed;
 }
 
 bool Flags::GetBool(const std::string& key, bool default_value) const {

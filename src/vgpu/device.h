@@ -115,6 +115,7 @@ class Device {
 
   uint64_t memory_capacity_bytes() const { return mem_.capacity_bytes(); }
   uint64_t memory_used_bytes() const { return mem_.used_bytes(); }
+  uint64_t memory_free_bytes() const { return mem_.free_bytes(); }
   uint64_t memory_peak_bytes() const { return mem_.peak_used_bytes(); }
 
   // ====================== Kernel launch ==================================

@@ -57,6 +57,10 @@ class AddressSpace {
 
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
+  /// Bytes still allocatable.  The allocator enforces only the used-bytes
+  /// budget (the bump pointer may pass capacity), so free bytes fully
+  /// determine whether an allocation of that size can succeed.
+  uint64_t free_bytes() const { return capacity_ - used_; }
   uint64_t peak_used_bytes() const { return peak_used_; }
   size_t num_allocations() const { return live_.size(); }
 

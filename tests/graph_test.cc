@@ -409,6 +409,93 @@ TEST(IoTest, MatrixMarketRejectsGarbage) {
   std::remove(path.c_str());
 }
 
+// Regression: corrupt input used to be silently mis-read — vertex ids
+// beyond the 32-bit vid_t range were truncated by the cast and trailing
+// junk on edge lines was dropped.  All of these must now fail with
+// kInvalidArgument.
+
+Result<CooGraph> ReadEdgeListText(const char* name, const std::string& text) {
+  std::string path = TempPath(name);
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  auto result = ReadEdgeList(path);
+  std::remove(path.c_str());
+  return result;
+}
+
+Result<CooGraph> ReadMtxText(const char* name, const std::string& text) {
+  std::string path = TempPath(name);
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  auto result = ReadMatrixMarket(path);
+  std::remove(path.c_str());
+  return result;
+}
+
+TEST(IoTest, EdgeListRejectsMalformedLine) {
+  auto result = ReadEdgeListText("adgraph_bad1.txt", "0 1\nfoo bar\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status().ToString();
+}
+
+TEST(IoTest, EdgeListRejectsTrailingJunk) {
+  auto result = ReadEdgeListText("adgraph_bad2.txt", "0 1 junk\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // Junk *after* a valid weight is rejected too.
+  auto result2 = ReadEdgeListText("adgraph_bad3.txt", "0 1 2.5 extra\n");
+  ASSERT_FALSE(result2.ok());
+  EXPECT_TRUE(result2.status().IsInvalidArgument());
+}
+
+TEST(IoTest, EdgeListRejectsOutOfRangeVertexId) {
+  // 2^33: far beyond vid_t; the old loader wrapped it to a small id.
+  auto result = ReadEdgeListText("adgraph_bad4.txt", "0 8589934592\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(IoTest, MatrixMarketRejectsMalformedSizeLine) {
+  auto result = ReadMtxText("adgraph_bad5.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n3 three 2\n1 2\n2 3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(IoTest, MatrixMarketRejectsTruncatedEntries) {
+  auto result = ReadMtxText("adgraph_bad6.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n3 3 2\n1 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(IoTest, MatrixMarketRejectsOutOfBoundsIndex) {
+  auto result = ReadMtxText("adgraph_bad7.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n3 3 1\n4 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  auto zero = ReadMtxText("adgraph_bad8.mtx",
+                          "%%MatrixMarket matrix coordinate pattern "
+                          "general\n3 3 1\n0 1\n");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_TRUE(zero.status().IsInvalidArgument());
+}
+
+TEST(IoTest, MatrixMarketRejectsOversizedDimensions) {
+  auto result = ReadMtxText("adgraph_bad9.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n8589934592 2 1\n1 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
 TEST(IoTest, BinaryCsrRoundTripsExactly) {
   auto coo = GenerateRmat({.scale = 9, .edge_factor = 6, .seed = 17}).value();
   AttachRandomWeights(&coo, 0.0, 1.0, 18);

@@ -192,5 +192,44 @@ TEST(SessionTest, WindowsTheKernelLog) {
   EXPECT_EQ(dev.kernel_log().size(), 3u);
 }
 
+// ---------------------------------------------------------- Percentile
+//
+// Pins the nearest-rank definition: the value at 1-based sorted rank
+// ceil(p*n), clamped to [1, n].  The previous scheduler-local
+// implementation rounded p*(n-1), which e.g. returned the *minimum* of a
+// two-sample distribution for p95.
+
+TEST(PercentileTest, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.95), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleReturnsItForAnyP) {
+  EXPECT_DOUBLE_EQ(Percentile({3.25}, 0.0), 3.25);
+  EXPECT_DOUBLE_EQ(Percentile({3.25}, 0.5), 3.25);
+  EXPECT_DOUBLE_EQ(Percentile({3.25}, 0.95), 3.25);
+  EXPECT_DOUBLE_EQ(Percentile({3.25}, 1.0), 3.25);
+}
+
+TEST(PercentileTest, TwoSamples) {
+  // ceil(0.5 * 2) = 1 -> the smaller; ceil(0.95 * 2) = 2 -> the larger.
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0}, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile({20.0, 10.0}, 0.95), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile({20.0, 10.0}, 1.0), 20.0);
+}
+
+TEST(PercentileTest, P95OfTwentyIsNineteenthValue) {
+  // ceil(0.95 * 20) = 19: exactly 95% of the sample is <= the result.
+  std::vector<double> values;
+  for (int i = 20; i >= 1; --i) values.push_back(i);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.95), 19.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.50), 10.0);
+}
+
+TEST(PercentileTest, OutOfRangePClamped) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.5), 3.0);
+}
+
 }  // namespace
 }  // namespace adgraph::prof

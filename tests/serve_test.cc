@@ -8,11 +8,16 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "core/host_ref.h"
+#include "core/residency.h"
 #include "graph/csr.h"
 #include "graph/generate.h"
 #include "prof/report.h"
 #include "serve/admission.h"
+#include "serve/graph_cache.h"
 #include "serve/job.h"
 #include "serve/registry.h"
 #include "serve/scheduler.h"
@@ -25,9 +30,10 @@ namespace {
 using graph::CsrGraph;
 
 /// Shared small test graph: symmetric, weighted R-MAT.
-std::shared_ptr<const CsrGraph> TestGraph(uint32_t scale = 8) {
+std::shared_ptr<const CsrGraph> TestGraph(uint32_t scale = 8,
+                                          uint64_t seed = 42) {
   auto coo = graph::GenerateRmat({.scale = scale, .edge_factor = 8.0,
-                                  .seed = 42}).value();
+                                  .seed = seed}).value();
   graph::AttachRandomWeights(&coo, 0.1, 1.0, 7);
   graph::CsrBuildOptions options;
   options.remove_duplicates = true;
@@ -189,7 +195,7 @@ TEST(SchedulerTest, ConcurrentSubmissionMatchesSerial) {
         << "job " << i << ": " << outcome.status.ToString();
     JobSpec spec = make_job(i);
     auto serial =
-        GetHandler(spec.algorithm()).run(&serial_device, spec);
+        GetHandler(spec.algorithm()).run(&serial_device, spec, nullptr);
     ASSERT_TRUE(serial.ok());
     EXPECT_EQ(FingerprintPayload(outcome.payload),
               FingerprintPayload(*serial))
@@ -340,6 +346,298 @@ TEST(SchedulerTest, ShutdownFailsQueuedJobsButFinishesRunning) {
   EXPECT_EQ(ok + failed, 6);
   // Submitting after shutdown fails cleanly.
   EXPECT_FALSE(scheduler->Submit(BfsJob(g, 0)).ok());
+}
+
+// Regression: a Snapshot() taken immediately after Create() used to divide
+// by a near-zero uptime, producing absurd jobs_per_sec / utilization values.
+TEST(ServerStatsTest, SnapshotImmediatelyAfterCreateHasSaneRates) {
+  auto scheduler = Scheduler::Create({}).value();
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_TRUE(std::isfinite(stats.jobs_per_sec));
+  EXPECT_DOUBLE_EQ(stats.jobs_per_sec, 0.0) << "no jobs have completed";
+  for (const auto& d : stats.devices) {
+    EXPECT_TRUE(std::isfinite(d.utilization)) << d.name;
+    EXPECT_GE(d.utilization, 0.0) << d.name;
+    EXPECT_LE(d.utilization, 1.0) << d.name;
+  }
+}
+
+// ---------------------------------------------------------- graph cache
+
+TEST(GraphCacheTest, RepeatAcquireHitsAndSkipsTransfer) {
+  vgpu::Device device(vgpu::A100Config());
+  GraphCache cache(&device, {});
+  auto g = TestGraph(7);
+
+  auto first = cache.Acquire(&device, *g, core::GraphVariant::kAsIs);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->from_cache());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().resident_bytes, 0u);
+  const double transfer_after_miss = device.transfer_ms();
+  EXPECT_GT(transfer_after_miss, 0) << "the miss models a PCIe upload";
+
+  auto second = cache.Acquire(&device, *g, core::GraphVariant::kAsIs);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(device.transfer_ms(), transfer_after_miss)
+      << "a hit must not re-upload";
+  EXPECT_EQ(&**first, &**second) << "both handles pin the same DeviceCsr";
+
+  // A different *variant* of the same graph is a distinct entry.
+  auto sym = cache.Acquire(&device, *g, core::GraphVariant::kSymSimple);
+  ASSERT_TRUE(sym.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.num_entries(), 2u);
+}
+
+TEST(GraphCacheTest, ContentKeyedAcrossGraphObjects) {
+  vgpu::Device device(vgpu::A100Config());
+  GraphCache cache(&device, {});
+  auto a = TestGraph(7);
+  auto b = TestGraph(7);  // distinct object, identical content
+  ASSERT_NE(a.get(), b.get());
+  { auto h = cache.Acquire(&device, *a, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok()); }
+  auto h = cache.Acquire(&device, *b, core::GraphVariant::kAsIs);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(cache.stats().hits, 1u) << "residency is content-addressed";
+}
+
+TEST(GraphCacheTest, EvictsLeastRecentlyUsedUnderBytePressure) {
+  vgpu::Device device(vgpu::A100Config());
+  auto a = TestGraph(7, 1);
+  auto b = TestGraph(7, 2);
+  auto c = TestGraph(7, 3);
+
+  // Measure one upload, then budget the cache for two entries at most.
+  uint64_t one_entry;
+  {
+    GraphCache probe(&device, {});
+    auto h = probe.Acquire(&device, *a, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok());
+    one_entry = probe.stats().resident_bytes;
+  }
+  GraphCache::Options options;
+  options.capacity_bytes = one_entry * 2 + one_entry / 2;
+  GraphCache cache(&device, options);
+
+  { auto h = cache.Acquire(&device, *a, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok()); }
+  { auto h = cache.Acquire(&device, *b, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok()); }
+  // Touch `a` so `b` becomes the LRU victim.
+  { auto h = cache.Acquire(&device, *a, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(cache.num_entries(), 2u);
+
+  { auto h = cache.Acquire(&device, *c, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(cache.num_entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_GT(cache.stats().bytes_evicted, 0u);
+  EXPECT_GT(cache.ResidentBytesFor(*a, core::GraphVariant::kAsIs), 0u)
+      << "recently used entry survives";
+  EXPECT_EQ(cache.ResidentBytesFor(*b, core::GraphVariant::kAsIs), 0u)
+      << "LRU entry was evicted";
+}
+
+TEST(GraphCacheTest, PinnedEntriesAreNeverEvicted) {
+  vgpu::Device device(vgpu::A100Config());
+  GraphCache cache(&device, {});
+  auto g = TestGraph(7);
+  auto pin = cache.Acquire(&device, *g, core::GraphVariant::kAsIs);
+  ASSERT_TRUE(pin.ok());
+
+  const uint64_t used_while_pinned = device.memory_used_bytes();
+  EXPECT_EQ(cache.EvictForSpace(std::numeric_limits<uint64_t>::max()), 0u)
+      << "a pinned entry must survive even an evict-everything request";
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(device.memory_used_bytes(), used_while_pinned);
+
+  pin = core::ResidentCsr();  // drop the handle: unpin
+  EXPECT_GT(cache.EvictForSpace(std::numeric_limits<uint64_t>::max()), 0u);
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_LT(device.memory_used_bytes(), used_while_pinned)
+      << "eviction frees the device buffers";
+}
+
+TEST(GraphCacheTest, AdmissionChargesOnlyNonResidentBytes) {
+  vgpu::Device device(vgpu::A100Config());
+  GraphCache cache(&device, {});
+  auto g = TestGraph(8);
+  JobSpec spec = BfsJob(g, 0);
+
+  AdmissionDecision cold = CheckAdmission(device, spec, 1.0, &cache);
+  EXPECT_TRUE(cold.admit);
+  EXPECT_EQ(cold.resident_bytes, 0u);
+  EXPECT_EQ(cold.charged_bytes, cold.estimated_bytes);
+
+  { auto h = cache.Acquire(&device, *g, GraphVariantFor(spec));
+    ASSERT_TRUE(h.ok()); }
+  AdmissionDecision warm = CheckAdmission(device, spec, 1.0, &cache);
+  EXPECT_TRUE(warm.admit);
+  EXPECT_GT(warm.resident_bytes, 0u);
+  EXPECT_EQ(warm.charged_bytes, warm.estimated_bytes - warm.resident_bytes);
+}
+
+TEST(GraphCacheTest, AdmissionEvictsUnpinnedEntriesToAdmit) {
+  auto a = TestGraph(8, 5);
+  auto b = TestGraph(8, 6);
+  JobSpec spec_b = BfsJob(b, 0);
+  const uint64_t estimate = EstimateJobDeviceBytes(spec_b);
+
+  // Device with room for ~1.8 jobs: once `a` is cached, `b` only fits if
+  // admission control reclaims the cached copy.
+  vgpu::Device::Options dopt;
+  dopt.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      (1.8 * static_cast<double>(estimate));
+  vgpu::Device device(vgpu::A100Config(), dopt);
+  GraphCache::Options copt;
+  copt.capacity_fraction = 1.0;
+  GraphCache cache(&device, copt);
+
+  { auto h = cache.Acquire(&device, *a, core::GraphVariant::kAsIs);
+    ASSERT_TRUE(h.ok()) << h.status().ToString(); }
+  ASSERT_LT(device.memory_free_bytes(), estimate)
+      << "precondition: b does not fit beside the cached a";
+
+  AdmissionDecision decision = CheckAdmission(device, spec_b, 1.0, &cache);
+  EXPECT_TRUE(decision.admit) << decision.reason;
+  EXPECT_GT(decision.evicted_bytes, 0u);
+  EXPECT_EQ(cache.ResidentBytesFor(*a, core::GraphVariant::kAsIs), 0u);
+  EXPECT_GE(device.memory_free_bytes(), estimate);
+}
+
+TEST(SchedulerTest, RepeatedGraphServedFromCache) {
+  auto g = TestGraph(8);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  std::vector<JobOutcome> outcomes;
+  for (int i = 0; i < 4; ++i) {
+    outcomes.push_back(scheduler->Submit(BfsJob(g, i)).value().get());
+  }
+  for (const auto& o : outcomes) {
+    ASSERT_TRUE(o.status.ok()) << o.status.ToString();
+  }
+  EXPECT_FALSE(outcomes[0].cache_hit);
+  EXPECT_GT(outcomes[0].modeled_transfer_ms, 0);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE(outcomes[i].cache_hit) << "job " << i;
+    // Hits still download their result (D2H), but skip the graph upload.
+    EXPECT_LT(outcomes[i].modeled_transfer_ms,
+              outcomes[0].modeled_transfer_ms / 2)
+        << "job " << i;
+  }
+
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 3u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_GT(stats.cache_resident_bytes, 0u);
+  ASSERT_EQ(stats.devices.size(), 1u);
+  EXPECT_EQ(stats.devices[0].cache_hits, 3u);
+
+  std::string report = prof::FormatServerStats(stats);
+  EXPECT_NE(report.find("graph cache"), std::string::npos);
+}
+
+TEST(SchedulerTest, CacheOnAndOffProduceIdenticalResults) {
+  auto g = TestGraph(8);
+  auto jobs = [&]() -> std::vector<JobSpec> {
+    core::PageRankOptions pr;
+    pr.max_iterations = 10;
+    core::TcOptions tc;
+    std::vector<JobSpec> specs;
+    for (int repeat = 0; repeat < 2; ++repeat) {  // repeats exercise hits
+      specs.push_back(BfsJob(g, 3));
+      specs.push_back({.graph = g, .params = pr});
+      specs.push_back({.graph = g, .params = tc});
+      specs.push_back({.graph = g, .params = core::CcOptions{}});
+    }
+    return specs;
+  }();
+
+  auto run_all = [&](bool enabled) {
+    Scheduler::Options options;
+    options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+    options.cache.enabled = enabled;
+    auto scheduler = Scheduler::Create(std::move(options)).value();
+    std::vector<uint64_t> fingerprints;
+    for (const JobSpec& spec : jobs) {
+      JobOutcome outcome = scheduler->Submit(spec).value().get();
+      EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+      fingerprints.push_back(FingerprintPayload(outcome.payload));
+    }
+    prof::ServerStats stats = scheduler->Snapshot();
+    return std::make_pair(std::move(fingerprints), stats);
+  };
+
+  auto [on_fp, on_stats] = run_all(true);
+  auto [off_fp, off_stats] = run_all(false);
+  EXPECT_EQ(on_fp, off_fp) << "results must be byte-identical cache on/off";
+  EXPECT_GT(on_stats.cache_hits, 0u);
+  EXPECT_EQ(off_stats.cache_hits, 0u);
+  EXPECT_EQ(off_stats.cache_misses, 0u);
+  EXPECT_EQ(off_stats.cache_resident_bytes, 0u);
+}
+
+// Memory pressure end to end: a device sized for ~1.8 working sets serving
+// two alternating graphs must keep answering correctly, evicting between
+// jobs instead of dying of OOM or rejecting everything.
+TEST(SchedulerTest, CacheEvictionUnderMemoryPressureStaysCorrect) {
+  auto a = TestGraph(8, 11);
+  auto b = TestGraph(8, 12);
+  const uint64_t estimate = EstimateJobDeviceBytes(BfsJob(a, 0));
+
+  Scheduler::Options options;
+  Scheduler::DeviceSlot slot;
+  slot.arch = &vgpu::A100Config();
+  slot.options.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      (1.8 * static_cast<double>(estimate));
+  options.devices = {slot};
+  options.cache.capacity_fraction = 1.0;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  for (int i = 0; i < 6; ++i) {
+    const auto& g = (i % 2 == 0) ? a : b;
+    JobOutcome outcome = scheduler->Submit(BfsJob(g, 0)).value().get();
+    ASSERT_TRUE(outcome.status.ok()) << "job " << i << ": "
+                                     << outcome.status.ToString();
+    EXPECT_EQ(std::get<core::BfsResult>(outcome.payload).levels,
+              core::host_ref::BfsLevels(*g, 0))
+        << "job " << i;
+  }
+
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.jobs_completed, 6u);
+  EXPECT_GT(stats.cache_evictions, 0u)
+      << "both graphs cannot stay resident on this device";
+  EXPECT_GT(stats.cache_bytes_evicted, 0u);
+}
+
+TEST(SchedulerTest, CacheSpansAppearOnDeviceTrack) {
+  auto g = TestGraph(7);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.trace.enabled = true;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  scheduler->Submit(BfsJob(g, 0)).value().get();
+  scheduler->Submit(BfsJob(g, 1)).value().get();
+  scheduler->Drain();
+  bool saw_miss = false;
+  bool saw_hit = false;
+  for (const auto& event : scheduler->TraceEvents()) {
+    if (event.name == "cache.miss") saw_miss = true;
+    if (event.name == "cache.hit") saw_hit = true;
+  }
+  EXPECT_TRUE(saw_miss);
+  EXPECT_TRUE(saw_hit);
 }
 
 TEST(ServerStatsTest, FormatMentionsDevicesAndLatency) {

@@ -291,5 +291,69 @@ TEST(FlagsTest, BoolSpellings) {
   EXPECT_FALSE(flags->GetBool("d", true));
 }
 
+// Regression: GetInt/GetDouble used strtoll/strtod with a null end pointer,
+// so any unparsable value silently became 0 (and out-of-range input the
+// clamped extreme) instead of the caller's default.
+
+TEST(FlagsTest, GetIntRejectsEmptyValue) {
+  auto flags = ParseArgs({"--n="});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7), 7);
+}
+
+TEST(FlagsTest, GetIntRejectsNonNumeric) {
+  auto flags = ParseArgs({"--n=abc"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7), 7);
+}
+
+TEST(FlagsTest, GetIntRejectsPartialParse) {
+  auto flags = ParseArgs({"--n=12x"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7), 7);
+}
+
+TEST(FlagsTest, GetIntRejectsOutOfRange) {
+  auto flags = ParseArgs({"--n=99999999999999999999999999"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7), 7);
+}
+
+TEST(FlagsTest, GetIntAcceptsValidIncludingNegative) {
+  auto flags = ParseArgs({"--n=-42"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7), -42);
+}
+
+TEST(FlagsTest, GetDoubleRejectsEmptyValue) {
+  auto flags = ParseArgs({"--x="});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagsTest, GetDoubleRejectsNonNumeric) {
+  auto flags = ParseArgs({"--x=fast"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagsTest, GetDoubleRejectsPartialParse) {
+  auto flags = ParseArgs({"--x=3.5gb"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagsTest, GetDoubleRejectsOutOfRange) {
+  auto flags = ParseArgs({"--x=1e999"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagsTest, GetDoubleAcceptsScientific) {
+  auto flags = ParseArgs({"--x=1.25e2"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("x", 0), 125.0);
+}
+
 }  // namespace
 }  // namespace adgraph

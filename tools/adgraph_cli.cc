@@ -69,7 +69,7 @@ int Usage() {
                "           [--gpus=A100,V100,...] [--queue=N]\n"
                "           [--overflow=block|reject] [--headroom=F]\n"
                "           [--occupancy-floor-ms=F] [--memory-scale=F]\n"
-               "           [--trace=FILE]\n");
+               "           [--graph-cache=on|off] [--trace=FILE]\n");
   return 2;
 }
 
@@ -380,6 +380,16 @@ int ServeBatch(const Flags& flags) {
   options.admission_headroom = flags.GetDouble("headroom", 1.0);
   options.device_occupancy_floor_ms =
       flags.GetDouble("occupancy-floor-ms", 0.0);
+  // Per-worker graph residency cache (on by default; results are
+  // byte-identical either way — off restores upload-per-job behavior).
+  std::string cache_mode = flags.GetString("graph-cache", "on");
+  if (cache_mode != "on" && cache_mode != "off") {
+    std::fprintf(stderr,
+                 "serve-batch: --graph-cache must be 'on' or 'off', got '%s'\n",
+                 cache_mode.c_str());
+    return 1;
+  }
+  options.cache.enabled = cache_mode == "on";
   if (flags.Has("trace")) {
     options.trace.enabled = true;
     options.trace.path = flags.GetString("trace", "");
@@ -434,13 +444,14 @@ int ServeBatch(const Flags& flags) {
               : std::string(StatusCodeToString(outcome.status.code()))] += 1;
     if (outcome.status.ok()) {
       std::printf("%-12s %-8s %-6s ok      modeled %9.4f ms   wall %8.2f ms"
-                  "   queued %7.2f ms\n",
+                  "   queued %7.2f ms%s\n",
                   ("[" + outcome.tag + "]").c_str(),
                   serve::AlgorithmName(
                       static_cast<serve::Algorithm>(outcome.payload.index()))
                       .data(),
                   outcome.device_name.c_str(), outcome.modeled_ms,
-                  outcome.exec_wall_ms, outcome.queue_wall_ms);
+                  outcome.exec_wall_ms, outcome.queue_wall_ms,
+                  outcome.cache_hit ? "   [cached graph]" : "");
     } else {
       ++failures;
       std::printf("%-12s %-15s %s\n", ("[" + outcome.tag + "]").c_str(),
