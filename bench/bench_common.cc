@@ -92,6 +92,7 @@ std::string FormatTimeCell(const CellResult& cell) {
 
 std::string FormatMtepsCell(const CellResult& cell) {
   if (cell.oom) return "OOM";
+  if (cell.skipped) return "skipped";
   return FormatFixed(cell.mteps, 2);
 }
 
@@ -229,7 +230,15 @@ Result<CellResult> CellRunner::Compute(vgpu::Device* device,
       break;
     }
   }
-  cell.mteps = cell.time_ms > 0 ? proxy_edges / (cell.time_ms * 1e3) : 0;
+  if (cell.time_ms <= 0 || proxy_edges <= 0) {
+    // A zero-edge proxy or a sub-resolution runtime has no meaningful
+    // traversal rate; 0.0 + the skipped marker instead of inf/NaN or a
+    // fake rate.
+    cell.mteps = 0.0;
+    cell.skipped = true;
+  } else {
+    cell.mteps = proxy_edges / (cell.time_ms * 1e3);
+  }
   return cell;
 }
 
@@ -361,12 +370,15 @@ void CellRunner::LoadCache() {
     if (!std::getline(ss, kind, ';') || !std::getline(ss, key, ';')) continue;
     if (kind == "cell") {
       CellResult cell;
-      int oom = 0, sampled = 0;
+      int oom = 0, sampled = 0, skipped = 0;
       char sep;
+      // Five fields; pre-`skipped` cache lines fail the parse and the cell
+      // is recomputed rather than loaded with a guessed flag.
       if (ss >> oom >> sep >> cell.time_ms >> sep >> cell.mteps >> sep >>
-          sampled) {
+          sampled >> sep >> skipped) {
         cell.oom = oom != 0;
         cell.sampled = sampled != 0;
+        cell.skipped = skipped != 0;
         cell_cache_[key] = cell;
       }
     } else if (kind == "prof") {
@@ -390,7 +402,8 @@ void CellRunner::SaveCache() const {
   out.precision(17);
   for (const auto& [key, cell] : cell_cache_) {
     out << "cell;" << key << ';' << (cell.oom ? 1 : 0) << ',' << cell.time_ms
-        << ',' << cell.mteps << ',' << (cell.sampled ? 1 : 0) << '\n';
+        << ',' << cell.mteps << ',' << (cell.sampled ? 1 : 0) << ','
+        << (cell.skipped ? 1 : 0) << '\n';
   }
   for (const auto& [key, cell] : profile_cache_) {
     out << "prof;" << key << ';' << cell.time_ms << ',' << cell.fine.type1

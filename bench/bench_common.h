@@ -47,6 +47,10 @@ struct CellResult {
   double time_ms = 0;
   double mteps = 0;        ///< proxy edge count / runtime (paper convention)
   bool sampled = false;    ///< TC twitter-mpi sampled-simulation flag
+  /// Rate is undefined (zero-edge proxy or zero measured time — e.g. an
+  /// empty BFS frontier); mteps is 0.0 and the table cell prints "skipped"
+  /// instead of a fake 0.00 rate.
+  bool skipped = false;
 };
 
 /// One profiling cell (Table 6 / Figures 7-8): fine-grained counts and

@@ -65,6 +65,8 @@ adgraphStatus_t ToC(StatusCode code) {
       return ADGRAPH_STATUS_DEADLOCK;
     case StatusCode::kResourceExhausted:
       return ADGRAPH_STATUS_RESOURCE_EXHAUSTED;
+    case StatusCode::kUnavailable:
+      return ADGRAPH_STATUS_UNAVAILABLE;
   }
   return ADGRAPH_STATUS_INTERNAL_ERROR;
 }
@@ -134,6 +136,8 @@ const char* adgraphStatusGetString(adgraphStatus_t status) {
       return "ADGRAPH_STATUS_RESOURCE_EXHAUSTED";
     case ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH:
       return "ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH";
+    case ADGRAPH_STATUS_UNAVAILABLE:
+      return "ADGRAPH_STATUS_UNAVAILABLE";
   }
   return "ADGRAPH_STATUS_UNKNOWN";
 }
@@ -147,7 +151,7 @@ adgraphStatus_t adgraphGetVersion(int* major, int* minor, int* patch) {
 
 adgraphStatus_t adgraphStatusFromStatusCode(int status_code) {
   if (status_code < static_cast<int>(StatusCode::kOk) ||
-      status_code > static_cast<int>(StatusCode::kResourceExhausted)) {
+      status_code > static_cast<int>(StatusCode::kUnavailable)) {
     return ADGRAPH_STATUS_INTERNAL_ERROR;
   }
   return ToC(static_cast<StatusCode>(status_code));

@@ -66,6 +66,7 @@ typedef enum {
   ADGRAPH_STATUS_RESOURCE_EXHAUSTED = 11, /**< serving-layer resource limit */
   ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH = 12, /**< graph lacks required
                                                 structure or weights */
+  ADGRAPH_STATUS_UNAVAILABLE = 13,      /**< serving layer is shut down */
 } adgraphStatus_t;
 
 typedef struct adgraphContext* adgraphHandle_t;

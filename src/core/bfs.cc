@@ -3,18 +3,22 @@
 #include <algorithm>
 #include <string>
 
+#include "core/bfs_kernels.h"
 #include "core/residency.h"
 #include "trace/trace.h"
 #include "vgpu/ctx.h"
 #include "vgpu/kernel.h"
 
 namespace adgraph::core {
+// Kernel definitions live in core::detail (declared in core/bfs_kernels.h)
+// so the partitioned drivers in src/part/ can launch the identical kernels
+// per shard.
+namespace detail {
 namespace {
 
 using graph::eid_t;
 using graph::vid_t;
 using vgpu::Ctx;
-using vgpu::DevPtr;
 using vgpu::KernelTask;
 using vgpu::LaneMask;
 using vgpu::Lanes;
@@ -29,19 +33,11 @@ constexpr uint32_t kStageCapacity = 2048;
 /// Shared layout: [0] staging counter, [1] flush base, [2..] staged ids.
 constexpr uint32_t kStageHeaderWords = 2;
 
+}  // namespace
+
 uint32_t StageSharedBytes() {
   return (kStageCapacity + kStageHeaderWords) * sizeof(uint32_t);
 }
-
-struct BfsDeviceState {
-  DevPtr<eid_t> row;
-  DevPtr<vid_t> col;
-  DevPtr<uint32_t> levels;
-  DevPtr<vid_t> parents;  ///< null unless compute_parents
-  DevPtr<vid_t> frontier;
-  DevPtr<vid_t> next_frontier;
-  DevPtr<uint32_t> next_size;
-};
 
 /// Top-down frontier expansion with shared-memory staging.
 KernelTask TopDownKernel(Ctx& c, BfsDeviceState s, uint32_t frontier_size,
@@ -158,6 +154,19 @@ KernelTask LevelsToQueueKernel(Ctx& c, BfsDeviceState s, uint32_t num_vertices,
   });
   co_return;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::BfsDeviceState;
+using detail::BottomUpKernel;
+using detail::LevelsToQueueKernel;
+using detail::StageSharedBytes;
+using detail::TopDownKernel;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
 
 }  // namespace
 

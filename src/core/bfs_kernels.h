@@ -1,0 +1,43 @@
+#ifndef ADGRAPH_CORE_BFS_KERNELS_H_
+#define ADGRAPH_CORE_BFS_KERNELS_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::core::detail {
+
+/// Device-side state of the BFS kernels (bfs.cc).  Exposed so the
+/// partitioned drivers (src/part/) can launch the exact single-device
+/// kernels per shard — partitioned results are byte-identical because the
+/// per-shard compute *is* the single-device compute.
+struct BfsDeviceState {
+  vgpu::DevPtr<graph::eid_t> row;
+  vgpu::DevPtr<graph::vid_t> col;
+  vgpu::DevPtr<uint32_t> levels;
+  vgpu::DevPtr<graph::vid_t> parents;  ///< null unless compute_parents
+  vgpu::DevPtr<graph::vid_t> frontier;
+  vgpu::DevPtr<graph::vid_t> next_frontier;
+  vgpu::DevPtr<uint32_t> next_size;
+};
+
+/// Dynamic shared-memory bytes the top-down kernel's staging queue needs.
+uint32_t StageSharedBytes();
+
+/// Top-down frontier expansion with shared-memory staging (bfs.cc).
+vgpu::KernelTask TopDownKernel(vgpu::Ctx& c, BfsDeviceState s,
+                               uint32_t frontier_size, uint32_t level);
+
+/// Bottom-up sweep over unvisited vertices (bfs.cc).
+vgpu::KernelTask BottomUpKernel(vgpu::Ctx& c, BfsDeviceState s,
+                                uint32_t num_vertices, uint32_t level);
+
+/// Rebuilds an explicit frontier queue from the level array (bfs.cc).
+vgpu::KernelTask LevelsToQueueKernel(vgpu::Ctx& c, BfsDeviceState s,
+                                     uint32_t num_vertices, uint32_t level);
+
+}  // namespace adgraph::core::detail
+
+#endif  // ADGRAPH_CORE_BFS_KERNELS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/device_graph.h"
+#include "core/pagerank_kernels.h"
 #include "core/residency.h"
 #include "core/spmv.h"
 #include "trace/trace.h"
@@ -10,10 +11,12 @@
 #include "vgpu/kernel.h"
 
 namespace adgraph::core {
-namespace {
+// Kernel definitions live in core::detail (declared in
+// core/pagerank_kernels.h) so the partitioned driver in src/part/ can apply
+// the identical per-shard update.
+namespace detail {
 
 using graph::eid_t;
-using graph::vid_t;
 using vgpu::Ctx;
 using vgpu::DevPtr;
 using vgpu::KernelTask;
@@ -59,6 +62,16 @@ KernelTask DanglingSumKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<double> ranks,
   });
   co_return;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::ApplyDampingKernel;
+using detail::DanglingSumKernel;
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
 
 }  // namespace
 

@@ -1,5 +1,6 @@
 #include "graph/datasets.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace adgraph::graph {
@@ -73,8 +74,11 @@ Result<CsrGraph> Materialize(const DatasetSpec& spec, double extra_divisor) {
   double divisor = spec.scale_divisor * std::max(extra_divisor, 1.0);
   double target_v =
       static_cast<double>(spec.paper_vertices) / std::max(divisor, 1.0);
-  uint32_t k = static_cast<uint32_t>(std::lround(std::log2(target_v)));
-  params.scale = std::max(k, 8u);
+  // Clamp before the uint32_t cast: a divisor larger than the paper's
+  // vertex count makes target_v < 1, whose negative log2 would wrap the
+  // cast into a gigantic scale.
+  long k = std::lround(std::log2(std::max(target_v, 2.0)));
+  params.scale = static_cast<uint32_t>(std::clamp(k, 8l, 30l));
   double target_e = static_cast<double>(spec.paper_edges) / divisor;
   // Overshoot ~6%: duplicate edges and self loops removed during CSR
   // cleanup would otherwise leave the proxy short of its edge target.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/random.h"
@@ -97,15 +98,37 @@ Result<CooGraph> GenerateWattsStrogatz(vid_t num_vertices, uint32_t k,
   Rng rng(seed);
   CooGraph coo;
   coo.num_vertices = num_vertices;
+  // Undirected edges already emitted, keyed (min,max).  Rewiring must
+  // reject duplicates as well as self loops: a rewire that lands on an
+  // existing edge would silently collapse under CSR dedup, skewing the
+  // degree distribution the model is supposed to preserve.
+  std::unordered_set<uint64_t> present;
+  present.reserve(static_cast<size_t>(num_vertices) * (k / 2));
+  auto edge_key = [](vid_t a, vid_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
   for (vid_t u = 0; u < num_vertices; ++u) {
     for (uint32_t hop = 1; hop <= k / 2; ++hop) {
-      vid_t v = static_cast<vid_t>((u + hop) % num_vertices);
+      const vid_t lattice = static_cast<vid_t>((u + hop) % num_vertices);
+      vid_t v = lattice;
       if (rng.Bernoulli(beta)) {
-        // Rewire to a uniform random target (avoiding self loops).
-        vid_t w = u;
-        while (w == u) w = static_cast<vid_t>(rng.Uniform(num_vertices));
-        v = w;
+        // Rewire to a uniform random target that is neither u nor a
+        // neighbor yet; bounded retries keep generation O(1) per edge even
+        // on near-complete ring neighborhoods, falling back to the
+        // original lattice edge when no free target turns up.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const vid_t w = static_cast<vid_t>(rng.Uniform(num_vertices));
+          if (w == u || present.count(edge_key(u, w)) != 0) continue;
+          v = w;
+          break;
+        }
       }
+      // The fallback lattice edge can itself already exist (an earlier
+      // rewire may have landed on it); emitting it again would be the
+      // exact duplicate this fix removes.
+      if (present.count(edge_key(u, v)) != 0) continue;
+      present.insert(edge_key(u, v));
       coo.AddEdge(u, v);
       coo.AddEdge(v, u);
     }

@@ -1,0 +1,35 @@
+#include "part/engine.h"
+
+#include <utility>
+
+namespace adgraph::part {
+
+Result<std::unique_ptr<PartitionedEngine>> PartitionedEngine::Create(
+    const vgpu::ArchConfig& arch, Options options) {
+  if (options.num_devices == 0) {
+    return Status::InvalidArgument("partitioned engine needs >= 1 device");
+  }
+  ADGRAPH_RETURN_NOT_OK(vgpu::ValidateArchConfig(arch));
+  ADGRAPH_RETURN_NOT_OK(
+      vgpu::ValidateInterconnectConfig(options.interconnect));
+
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  devices.reserve(options.num_devices);
+  for (uint32_t i = 0; i < options.num_devices; ++i) {
+    devices.push_back(
+        std::make_unique<vgpu::Device>(arch, options.device_options));
+  }
+  auto interconnect = std::make_unique<vgpu::Interconnect>(
+      options.num_devices, options.interconnect);
+  return std::unique_ptr<PartitionedEngine>(new PartitionedEngine(
+      std::move(options), std::move(devices), std::move(interconnect)));
+}
+
+std::vector<double> PartitionedEngine::ElapsedSnapshot() const {
+  std::vector<double> out;
+  out.reserve(devices_.size());
+  for (const auto& d : devices_) out.push_back(d->elapsed_ms());
+  return out;
+}
+
+}  // namespace adgraph::part

@@ -1,0 +1,71 @@
+#ifndef ADGRAPH_PART_ENGINE_H_
+#define ADGRAPH_PART_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "part/partition.h"
+#include "util/status.h"
+#include "vgpu/arch.h"
+#include "vgpu/device.h"
+#include "vgpu/interconnect.h"
+
+namespace adgraph::part {
+
+/// \brief A pool of N identical simulated devices plus the interconnect
+/// that joins them — the execution substrate of the partitioned drivers
+/// (DESIGN.md §2.7).
+///
+/// All devices are driven by ONE host thread in bulk-synchronous rounds;
+/// "parallelism" across devices is modeled, not executed: a round's time is
+/// the maximum per-device kernel time plus the interconnect's exchange
+/// time.  Like vgpu::Device, an engine is single-threaded.
+class PartitionedEngine {
+ public:
+  struct Options {
+    uint32_t num_devices = 2;
+    vgpu::Device::Options device_options;
+    /// Link model joining the pool (NVLink-class by default — the
+    /// multi-GPU topology the paper's scale-out discussion assumes).
+    vgpu::InterconnectConfig interconnect = vgpu::NvlinkPreset();
+    PartitionStrategy strategy = PartitionStrategy::kUniform;
+  };
+
+  /// Validates the arch (vgpu::ValidateArchConfig) and interconnect
+  /// configs, then constructs the pool.
+  static Result<std::unique_ptr<PartitionedEngine>> Create(
+      const vgpu::ArchConfig& arch, Options options);
+
+  PartitionedEngine(const PartitionedEngine&) = delete;
+  PartitionedEngine& operator=(const PartitionedEngine&) = delete;
+
+  uint32_t num_devices() const {
+    return static_cast<uint32_t>(devices_.size());
+  }
+  vgpu::Device* device(uint32_t i) { return devices_[i].get(); }
+  vgpu::Interconnect& interconnect() { return *interconnect_; }
+  const vgpu::Interconnect& interconnect() const { return *interconnect_; }
+  const Options& options() const { return options_; }
+
+  /// Sum of elapsed_ms over the pool minus nothing — snapshot of each
+  /// device's modeled kernel clock, used by the drivers to compute a
+  /// round's max-over-devices compute time.
+  std::vector<double> ElapsedSnapshot() const;
+
+ private:
+  PartitionedEngine(Options options,
+                    std::vector<std::unique_ptr<vgpu::Device>> devices,
+                    std::unique_ptr<vgpu::Interconnect> interconnect)
+      : options_(std::move(options)),
+        devices_(std::move(devices)),
+        interconnect_(std::move(interconnect)) {}
+
+  Options options_;
+  std::vector<std::unique_ptr<vgpu::Device>> devices_;
+  std::unique_ptr<vgpu::Interconnect> interconnect_;
+};
+
+}  // namespace adgraph::part
+
+#endif  // ADGRAPH_PART_ENGINE_H_

@@ -1,0 +1,108 @@
+#include "part/partition.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace adgraph::part {
+
+using graph::eid_t;
+using graph::vid_t;
+
+const char* PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kUniform:
+      return "uniform";
+    case PartitionStrategy::kDegreeBalanced:
+      return "degree-balanced";
+  }
+  return "unknown";
+}
+
+uint32_t PartitionPlan::OwnerOf(graph::vid_t v) const {
+  ADGRAPH_CHECK(!boundaries.empty() && v < boundaries.back())
+      << "vertex outside the partitioned range";
+  // First boundary strictly greater than v, among boundaries[1..P], is the
+  // owner's upper edge.  Empty shards have no (lo <= v < hi) range, so no
+  // vertex ever maps to them.
+  auto it = std::upper_bound(boundaries.begin() + 1, boundaries.end(), v);
+  return static_cast<uint32_t>(it - (boundaries.begin() + 1));
+}
+
+Result<PartitionPlan> MakePartitionPlan(const graph::CsrGraph& g,
+                                        uint32_t num_shards,
+                                        PartitionStrategy strategy) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("partition into zero shards");
+  }
+  const vid_t n = g.num_vertices();
+  PartitionPlan plan;
+  plan.boundaries.assign(num_shards + 1, 0);
+  plan.boundaries[num_shards] = n;
+
+  switch (strategy) {
+    case PartitionStrategy::kUniform:
+      for (uint32_t s = 1; s < num_shards; ++s) {
+        plan.boundaries[s] = static_cast<vid_t>(
+            static_cast<uint64_t>(n) * s / num_shards);
+      }
+      break;
+    case PartitionStrategy::kDegreeBalanced: {
+      const std::vector<eid_t>& row = g.row_offsets();
+      const eid_t m = g.num_edges();
+      vid_t cursor = 0;
+      for (uint32_t s = 1; s < num_shards; ++s) {
+        const eid_t target = m * s / num_shards;
+        // row is non-decreasing; the first vertex whose prefix degree
+        // reaches the target closes shard s-1.  Searching from `cursor`
+        // keeps the boundaries non-decreasing by construction.
+        auto it = std::lower_bound(row.begin() + cursor, row.end(), target);
+        plan.boundaries[s] =
+            std::min(n, static_cast<vid_t>(it - row.begin()));
+        cursor = plan.boundaries[s];
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+Result<graph::CsrGraph> BuildShardGraph(const graph::CsrGraph& g,
+                                        const PartitionPlan& plan,
+                                        uint32_t shard) {
+  if (shard >= plan.num_shards()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range for a " +
+                                   std::to_string(plan.num_shards()) +
+                                   "-way plan");
+  }
+  if (plan.boundaries.back() != g.num_vertices()) {
+    return Status::InvalidArgument(
+        "partition plan does not cover this graph's vertex range");
+  }
+  const vid_t n = g.num_vertices();
+  const vid_t lo = plan.lo(shard);
+  const vid_t hi = plan.hi(shard);
+  const std::vector<eid_t>& row = g.row_offsets();
+  const eid_t base = row[lo];
+  const eid_t owned_edges = row[hi] - base;
+
+  std::vector<eid_t> shard_row(static_cast<size_t>(n) + 1, 0);
+  for (vid_t v = lo; v <= hi; ++v) shard_row[v] = row[v] - base;
+  for (vid_t v = hi + 1; v <= n; ++v) shard_row[v] = owned_edges;
+
+  const std::vector<vid_t>& col = g.col_indices();
+  std::vector<vid_t> shard_col(col.begin() + base,
+                               col.begin() + (base + owned_edges));
+  std::vector<graph::weight_t> shard_weights;
+  if (g.has_weights()) {
+    shard_weights.assign(g.weights().begin() + base,
+                         g.weights().begin() + (base + owned_edges));
+  }
+  return graph::CsrGraph::FromArrays(n, std::move(shard_row),
+                                     std::move(shard_col),
+                                     std::move(shard_weights));
+}
+
+}  // namespace adgraph::part

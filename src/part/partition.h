@@ -1,0 +1,65 @@
+#ifndef ADGRAPH_PART_PARTITION_H_
+#define ADGRAPH_PART_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace adgraph::part {
+
+/// How MakePartitionPlan places the shard boundaries.
+enum class PartitionStrategy : uint8_t {
+  /// Equal vertex counts per shard (n / P each).
+  kUniform = 0,
+  /// Equal *edge* counts per shard: boundaries split the cumulative degree
+  /// (row-offset) curve at m / P steps, the standard 1-D load-balancing fix
+  /// for power-law degree skew.
+  kDegreeBalanced,
+};
+
+/// Stable lower-case name ("uniform" / "degree-balanced").
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+/// \brief A 1-D vertex-range partition of [0, n) into P contiguous shards.
+///
+/// Shard s owns the half-open vertex range [boundaries[s], boundaries[s+1]).
+/// Empty shards (equal consecutive boundaries) are legal — a plan for more
+/// devices than vertices simply leaves trailing shards empty.
+struct PartitionPlan {
+  /// P+1 non-decreasing values; front() == 0, back() == num_vertices.
+  std::vector<graph::vid_t> boundaries;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(boundaries.size()) - 1;
+  }
+  graph::vid_t lo(uint32_t shard) const { return boundaries[shard]; }
+  graph::vid_t hi(uint32_t shard) const { return boundaries[shard + 1]; }
+  graph::vid_t shard_size(uint32_t shard) const {
+    return hi(shard) - lo(shard);
+  }
+
+  /// The shard owning vertex `v` (v must be < back()).
+  uint32_t OwnerOf(graph::vid_t v) const;
+};
+
+/// Builds a P-way plan over `g`.  Fails on num_shards == 0.
+Result<PartitionPlan> MakePartitionPlan(const graph::CsrGraph& g,
+                                        uint32_t num_shards,
+                                        PartitionStrategy strategy);
+
+/// \brief Materializes one shard's graph.
+///
+/// The shard keeps the *full* vertex id space [0, n) — column indices stay
+/// global and the single-device kernels run unchanged — but adjacency is
+/// copied only for owned rows; every non-owned row is empty.  Weights, when
+/// present, follow their edges.
+Result<graph::CsrGraph> BuildShardGraph(const graph::CsrGraph& g,
+                                        const PartitionPlan& plan,
+                                        uint32_t shard);
+
+}  // namespace adgraph::part
+
+#endif  // ADGRAPH_PART_PARTITION_H_

@@ -139,6 +139,14 @@ std::string FormatServerStats(const ServerStats& stats) {
                          (1024.0 * 1024.0),
                      1)
       << " MiB resident\n";
+  if (stats.gang_jobs_completed > 0) {
+    out << "  gang jobs: " << stats.gang_jobs_completed << " completed, "
+        << FormatFixed(static_cast<double>(stats.exchange_bytes_total) /
+                           (1024.0 * 1024.0),
+                       3)
+        << " MiB exchanged over " << stats.exchange_rounds_total
+        << " interconnect rounds\n";
+  }
 
   TablePrinter table({"device", "vendor", "done", "failed", "rejected",
                       "busy (ms)", "modeled (ms)", "util", "RAM",

@@ -18,8 +18,10 @@
 #include "core/triangle_count.h"
 #include "core/widest_path.h"
 #include "graph/csr.h"
+#include "part/partition.h"
 #include "prof/metrics.h"
 #include "util/status.h"
+#include "vgpu/interconnect.h"
 
 namespace adgraph::serve {
 
@@ -75,6 +77,16 @@ struct JobSpec {
   /// Free-form caller label echoed in the outcome (batch line number,
   /// request id, ...).
   std::string tag = {};
+  /// Gang execution (DESIGN.md §2.7): > 1 runs the job on a partitioned
+  /// engine of this many simulated devices of the executing worker's arch.
+  /// The scheduler reserves that many worker slots for the job's duration.
+  /// Only BFS (without compute_parents) and PageRank support gangs; other
+  /// algorithms fail validation.
+  uint32_t gang_devices = 1;
+  /// Link model of the gang's interconnect (ignored when gang_devices <= 1).
+  vgpu::InterconnectConfig gang_interconnect = vgpu::NvlinkPreset();
+  /// How the gang shards the vertex range.
+  part::PartitionStrategy gang_strategy = part::PartitionStrategy::kUniform;
 
   Algorithm algorithm() const {
     return static_cast<Algorithm>(params.index());
@@ -108,6 +120,11 @@ struct JobOutcome {
   bool cache_hit = false;
   /// Aggregated kernel profile of exactly this job's launches.
   prof::AlgoProfile profile;
+  // --- Gang execution (gang_devices > 1 in the spec) --------------------
+  uint32_t gang_devices = 1;      ///< devices the job actually ran on
+  uint64_t exchange_bytes = 0;    ///< peer bytes moved over the interconnect
+  uint64_t exchange_rounds = 0;   ///< bulk-synchronous exchange rounds
+  double exchange_ms = 0;         ///< modeled interconnect time
 };
 
 /// Modeled device time carried inside the payload (the per-algorithm

@@ -290,6 +290,22 @@ Status ValidateJobSpec(const JobSpec& spec) {
         " requires edge weights (attach them with WithUniformWeights or "
         "graph::AttachRandomWeights before submitting)");
   }
+  if (spec.gang_devices > 1) {
+    const Algorithm algo = spec.algorithm();
+    if (algo != Algorithm::kBfs && algo != Algorithm::kPageRank) {
+      return Status::InvalidArgument(
+          "gang execution supports bfs and pagerank, not " +
+          std::string(handler.name));
+    }
+    if (algo == Algorithm::kBfs &&
+        std::get<core::BfsOptions>(spec.params).compute_parents) {
+      return Status::InvalidArgument(
+          "gang bfs does not produce parents (partitioned traversal "
+          "reports levels only)");
+    }
+    ADGRAPH_RETURN_NOT_OK(
+        vgpu::ValidateInterconnectConfig(spec.gang_interconnect));
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "part/engine.h"
+#include "part/part_bfs.h"
+#include "part/part_pagerank.h"
 #include "prof/metrics.h"
 #include "prof/session.h"
 #include "serve/admission.h"
@@ -41,6 +44,10 @@ Result<std::unique_ptr<Scheduler>> Scheduler::Create(Options options) {
     if (slot.arch == nullptr) {
       return Status::InvalidArgument("device slot with null arch config");
     }
+    // Reject pathological configs (zero SMs, zero clock, non-finite
+    // bandwidth, ...) here, before a worker thread constructs a Device
+    // whose timing model would divide by them.
+    ADGRAPH_RETURN_NOT_OK(vgpu::ValidateArchConfig(*slot.arch));
   }
   options.queue_capacity = std::max<size_t>(options.queue_capacity, 1);
 
@@ -76,6 +83,12 @@ std::vector<std::string> Scheduler::device_names() const {
 
 Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
   ADGRAPH_RETURN_NOT_OK(ValidateJobSpec(spec));
+  if (spec.gang_devices > workers_.size()) {
+    return Status::InvalidArgument(
+        "gang of " + std::to_string(spec.gang_devices) +
+        " devices exceeds the pool (" + std::to_string(workers_.size()) +
+        " workers)");
+  }
   if (!spec.arch_preference.empty()) {
     bool found = false;
     for (const auto& worker : workers_) {
@@ -88,7 +101,11 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
-  if (shutdown_) return Status::Internal("scheduler is shut down");
+  // kUnavailable (not kInternal): the caller did nothing wrong — the pool
+  // went away.  Both shutdown checks below return it so a Submit racing
+  // Shutdown() gets one deterministic verdict whether it lost the race
+  // before or during the backpressure wait.
+  if (shutdown_) return Status::Unavailable("scheduler is shut down");
   if (queue_.size() >= options_.queue_capacity) {
     if (options_.overflow == OverflowPolicy::kReject) {
       rejected_backpressure_ += 1;
@@ -99,7 +116,11 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
     space_cv_.wait(lock, [this] {
       return shutdown_ || queue_.size() < options_.queue_capacity;
     });
-    if (shutdown_) return Status::Internal("scheduler shut down while waiting");
+    if (shutdown_) {
+      // The blocked submission never entered the queue; nothing (admission
+      // bytes, queue slot) is held on this path.
+      return Status::Unavailable("scheduler shut down while waiting");
+    }
   }
 
   PendingJob job;
@@ -116,9 +137,18 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
 }
 
 size_t Scheduler::FindRunnableLocked(const Worker& worker) const {
+  // Workers neither running a job nor reserved by a running gang.  The
+  // calling worker is idle, so available >= 1 unless a gang reserved it.
+  const uint64_t available = workers_.size() - running_ - gang_reserved_;
+  if (available == 0) return kNone;
   for (size_t i = 0; i < queue_.size(); ++i) {
     const std::string& pref = queue_[i].spec.arch_preference;
-    if (pref.empty() || pref == worker.arch_name) return i;
+    if (!pref.empty() && pref != worker.arch_name) continue;
+    const uint64_t gang = std::max<uint32_t>(1, queue_[i].spec.gang_devices);
+    // A gang needs its full complement of unreserved slots before it
+    // starts; smaller jobs behind it may overtake in the meantime.
+    if (gang > available) continue;
+    return i;
   }
   return kNone;
 }
@@ -151,15 +181,24 @@ void Scheduler::WorkerLoop(Worker* worker) {
       job = std::move(queue_[index]);
       queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
       running_ += 1;
+      if (job.spec.gang_devices > 1) {
+        gang_reserved_ += job.spec.gang_devices - 1;
+      }
       space_cv_.notify_one();
     }
 
+    const uint32_t gang_size = std::max<uint32_t>(1, job.spec.gang_devices);
     std::promise<JobOutcome> promise = std::move(job.promise);
     JobOutcome outcome = Execute(worker, &device, &cache, std::move(job));
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
       running_ -= 1;
+      if (gang_size > 1) {
+        gang_reserved_ -= gang_size - 1;
+        // Freed slots may unblock queued jobs (including other gangs).
+        queue_cv_.notify_all();
+      }
       worker->busy_wall_ms += outcome.exec_wall_ms;
       worker->modeled_ms += outcome.modeled_ms;
       const GraphCache::Stats& cs = cache.stats();
@@ -168,6 +207,15 @@ void Scheduler::WorkerLoop(Worker* worker) {
       worker->cache_evictions = cs.evictions;
       worker->cache_bytes_evicted = cs.bytes_evicted;
       worker->cache_resident_bytes = cs.resident_bytes;
+      if (gang_size > 1 && outcome.status.ok()) {
+        worker->gang_jobs += 1;
+        worker->exchange_bytes += outcome.exchange_bytes;
+        worker->exchange_rounds += outcome.exchange_rounds;
+      }
+      // A finished job frees a slot, which can make a queued gang runnable
+      // for *other* idle workers — availability is part of their wait
+      // predicate now, so they must be re-woken.
+      if (!queue_.empty()) queue_cv_.notify_all();
       if (outcome.status.ok()) {
         completed_ += 1;
         worker->jobs_completed += 1;
@@ -214,6 +262,34 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
       "job:" + std::string(AlgorithmName(job.spec.algorithm())), "serve");
   job_span.ArgNum("job_id", job.id);
   if (!outcome.tag.empty()) job_span.Arg("tag", outcome.tag);
+
+  if (job.spec.gang_devices > 1) {
+    // Gang path: N fresh devices on this thread, no residency cache (each
+    // engine device stages its own shard) and no single-device admission
+    // estimate — a mid-run OOM still resolves gracefully below.
+    job_span.ArgNum("gang_devices",
+                    static_cast<uint64_t>(job.spec.gang_devices));
+    Status gang_status = RunGang(worker, job.spec, &outcome);
+    if (gang_status.ok()) {
+      outcome.status = Status::OK();
+    } else if (gang_status.IsOutOfMemory()) {
+      outcome.status = Status::ResourceExhausted(
+          "gang device OOM: " + gang_status.message());
+    } else {
+      outcome.status = gang_status;
+    }
+    outcome.exec_wall_ms = MsBetween(exec_start, Clock::now());
+    if (job_span.active()) {
+      job_span.Arg("status", outcome.status.ok()
+                                 ? "ok"
+                                 : std::string(StatusCodeToString(
+                                       outcome.status.code())));
+      job_span.ArgNum("modeled_ms", outcome.modeled_ms);
+      job_span.ArgNum("exchange_bytes", outcome.exchange_bytes);
+      job_span.ArgNum("exchange_rounds", outcome.exchange_rounds);
+    }
+    return outcome;
+  }
 
   // Pin the job's own resident graph (if any) before admission, so that
   // eviction-for-space can free every *other* unpinned entry but never the
@@ -296,6 +372,75 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
   return outcome;
 }
 
+Status Scheduler::RunGang(Worker* worker, const JobSpec& spec,
+                          JobOutcome* outcome) {
+  part::PartitionedEngine::Options engine_options;
+  engine_options.num_devices = spec.gang_devices;
+  engine_options.device_options = worker->slot.options;
+  engine_options.interconnect = spec.gang_interconnect;
+  engine_options.strategy = spec.gang_strategy;
+  ADGRAPH_ASSIGN_OR_RETURN(
+      auto engine,
+      part::PartitionedEngine::Create(*worker->slot.arch, engine_options));
+  ADGRAPH_ASSIGN_OR_RETURN(
+      part::PartitionPlan plan,
+      part::MakePartitionPlan(*spec.graph, spec.gang_devices,
+                              spec.gang_strategy));
+  outcome->gang_devices = spec.gang_devices;
+
+  switch (spec.algorithm()) {
+    case Algorithm::kBfs: {
+      const auto& o = std::get<core::BfsOptions>(spec.params);
+      part::PartBfsOptions part_options;
+      part_options.source = o.source;
+      part_options.block_size = o.block_size;
+      ADGRAPH_ASSIGN_OR_RETURN(
+          part::PartBfsResult r,
+          part::RunPartitionedBfs(engine.get(), *spec.graph, plan,
+                                  part_options));
+      outcome->modeled_ms = r.time_ms;
+      outcome->exchange_bytes = r.exchange_bytes;
+      outcome->exchange_rounds = r.rounds;
+      outcome->exchange_ms = r.exchange_ms;
+      core::BfsResult payload;
+      payload.levels = std::move(r.levels);
+      payload.depth = r.depth;
+      payload.vertices_visited = r.vertices_visited;
+      payload.top_down_iterations = r.rounds;
+      payload.time_ms = r.time_ms;
+      outcome->payload = JobPayload(std::move(payload));
+      return Status::OK();
+    }
+    case Algorithm::kPageRank: {
+      const auto& o = std::get<core::PageRankOptions>(spec.params);
+      part::PartPageRankOptions part_options;
+      part_options.alpha = o.alpha;
+      part_options.max_iterations = o.max_iterations;
+      part_options.tolerance = o.tolerance;
+      part_options.block_size = o.block_size;
+      ADGRAPH_ASSIGN_OR_RETURN(
+          part::PartPageRankResult r,
+          part::RunPartitionedPageRank(engine.get(), *spec.graph, plan,
+                                       part_options));
+      outcome->modeled_ms = r.time_ms;
+      outcome->exchange_bytes = r.exchange_bytes;
+      outcome->exchange_rounds = r.iterations;
+      outcome->exchange_ms = r.exchange_ms;
+      core::PageRankResult payload;
+      payload.ranks = std::move(r.ranks);
+      payload.iterations = r.iterations;
+      payload.l1_delta = r.l1_delta;
+      payload.time_ms = r.time_ms;
+      outcome->payload = JobPayload(std::move(payload));
+      return Status::OK();
+    }
+    default:
+      // ValidateJobSpec admits only the two cases above.
+      return Status::Internal("gang execution reached an unsupported "
+                              "algorithm past validation");
+  }
+}
+
 void Scheduler::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] {
@@ -337,7 +482,8 @@ void Scheduler::Shutdown() {
     JobOutcome outcome;
     outcome.job_id = job.id;
     outcome.tag = std::move(job.spec.tag);
-    outcome.status = Status::Internal("scheduler shut down before the job ran");
+    outcome.status =
+        Status::Unavailable("scheduler shut down before the job ran");
     job.promise.set_value(std::move(outcome));
   }
 }
@@ -389,11 +535,17 @@ prof::ServerStats Scheduler::Snapshot() const {
     d.cache_evictions = worker->cache_evictions;
     d.cache_bytes_evicted = worker->cache_bytes_evicted;
     d.cache_resident_bytes = worker->cache_resident_bytes;
+    d.gang_jobs = worker->gang_jobs;
+    d.exchange_bytes = worker->exchange_bytes;
+    d.exchange_rounds = worker->exchange_rounds;
     stats.cache_hits += d.cache_hits;
     stats.cache_misses += d.cache_misses;
     stats.cache_evictions += d.cache_evictions;
     stats.cache_bytes_evicted += d.cache_bytes_evicted;
     stats.cache_resident_bytes += d.cache_resident_bytes;
+    stats.gang_jobs_completed += d.gang_jobs;
+    stats.exchange_bytes_total += d.exchange_bytes;
+    stats.exchange_rounds_total += d.exchange_rounds;
     stats.devices.push_back(std::move(d));
   }
   return stats;

@@ -91,17 +91,19 @@ class Scheduler {
   /// JobOutcome — *always*, even when the job itself fails or is rejected
   /// by admission control (outcome.status carries the verdict).
   ///
-  /// Submit itself fails only for malformed specs (kInvalidArgument), an
-  /// arch preference naming no pooled device (kNotFound), a full queue
-  /// under OverflowPolicy::kReject (kResourceExhausted), or a shut-down
-  /// pool (kInternal).
+  /// Submit itself fails only for malformed specs (kInvalidArgument,
+  /// including a gang larger than the pool), an arch preference naming no
+  /// pooled device (kNotFound), a full queue under OverflowPolicy::kReject
+  /// (kResourceExhausted), or a shut-down pool (kUnavailable) — the last
+  /// deterministically, whether the shutdown happened before Submit or
+  /// while Submit was blocked waiting for queue space.
   Result<std::future<JobOutcome>> Submit(JobSpec spec);
 
   /// Blocks until every accepted job has completed and the queue is empty.
   void Drain();
 
   /// Stops the workers: waits for in-flight jobs, fails the still-queued
-  /// ones with kInternal.  Idempotent; the destructor calls it.
+  /// ones with kUnavailable.  Idempotent; the destructor calls it.
   void Shutdown();
 
   /// Point-in-time statistics snapshot (thread-safe).
@@ -145,6 +147,10 @@ class Scheduler {
     uint64_t cache_evictions = 0;
     uint64_t cache_bytes_evicted = 0;
     uint64_t cache_resident_bytes = 0;
+    // Gang execution (DESIGN.md §2.7), updated after each gang job.
+    uint64_t gang_jobs = 0;
+    uint64_t exchange_bytes = 0;
+    uint64_t exchange_rounds = 0;
   };
 
   explicit Scheduler(Options options);
@@ -154,7 +160,14 @@ class Scheduler {
   /// profiling); never throws, always returns a resolved outcome.
   JobOutcome Execute(Worker* worker, vgpu::Device* device, GraphCache* cache,
                      PendingJob job);
-  /// Index of the first queued job this worker may take, or npos.
+  /// Gang-execution path of Execute: builds a partitioned engine of
+  /// spec.gang_devices fresh devices (worker's arch) on the calling worker
+  /// thread, runs the partitioned driver, fills the payload and exchange
+  /// stats.  Returns the job-level verdict.
+  Status RunGang(Worker* worker, const JobSpec& spec, JobOutcome* outcome);
+  /// Index of the first queued job this worker may take — one whose arch
+  /// preference matches and whose gang fits the unreserved workers — or
+  /// npos.
   size_t FindRunnableLocked(const Worker& worker) const;
 
   Options options_;
@@ -180,6 +193,10 @@ class Scheduler {
   uint64_t rejected_admission_ = 0;
   uint64_t rejected_backpressure_ = 0;
   uint64_t running_ = 0;
+  /// Worker slots held by running gang jobs beyond the slot of the worker
+  /// driving each gang (a gang of N reserves N-1 extra slots, so pool
+  /// capacity modeling stays honest while one thread simulates N devices).
+  uint64_t gang_reserved_ = 0;
   std::vector<double> modeled_latencies_ms_;
   std::vector<double> wall_latencies_ms_;
 };

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Deadlock";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -29,6 +29,11 @@ enum class StatusCode {
   /// is the *scheduler's* verdict, issued gracefully without crashing the
   /// pool (the paper's twitter-mpi ESBV OOM, served politely).
   kResourceExhausted = 10,
+  /// The serving layer is (or went) down: Submit() on a shut-down
+  /// scheduler, or a job orphaned in the queue when Shutdown() ran.
+  /// Distinct from kInternal — the caller did nothing wrong and may retry
+  /// against a live pool.
+  kUnavailable = 11,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Out of memory").
@@ -89,6 +94,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -100,6 +108,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// The error message, or "" for an OK status.
   const std::string& message() const {

@@ -1,5 +1,7 @@
 #include "vgpu/arch.h"
 
+#include <cmath>
+
 namespace adgraph::vgpu {
 namespace {
 
@@ -111,6 +113,44 @@ ArchConfig MakeZ100L() {
 }
 
 }  // namespace
+
+Status ValidateArchConfig(const ArchConfig& config) {
+  auto bad = [&](const std::string& what) {
+    return Status::InvalidArgument("arch config '" + config.name + "': " +
+                                   what);
+  };
+  auto positive_finite = [](double v) {
+    return std::isfinite(v) && v > 0;
+  };
+  if (config.num_sms == 0) return bad("num_sms must be positive");
+  if (config.warp_width == 0 || config.warp_width > 64) {
+    return bad("warp_width must be in [1,64]");
+  }
+  if (config.schedulers_per_sm == 0) {
+    return bad("schedulers_per_sm must be positive");
+  }
+  if (config.lanes_per_sm == 0) return bad("lanes_per_sm must be positive");
+  if (config.max_warps_per_sm == 0) {
+    return bad("max_warps_per_sm must be positive");
+  }
+  if (!positive_finite(config.clock_ghz)) {
+    return bad("clock_ghz must be positive and finite");
+  }
+  if (!positive_finite(config.dram_bandwidth_gbps)) {
+    return bad("dram_bandwidth_gbps must be positive and finite");
+  }
+  if (!positive_finite(config.l2_bandwidth_gbps)) {
+    return bad("l2_bandwidth_gbps must be positive and finite");
+  }
+  if (config.launch_overhead_us < 0 ||
+      !std::isfinite(config.launch_overhead_us)) {
+    return bad("launch_overhead_us must be non-negative and finite");
+  }
+  if (config.cache_line_bytes == 0 || config.mem_segment_bytes == 0) {
+    return bad("cache geometry must be positive");
+  }
+  return Status::OK();
+}
 
 const ArchConfig& V100Config() {
   static const ArchConfig* config = new ArchConfig(MakeV100());

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace adgraph::vgpu {
 
 /// Execution paradigm of the simulated GPU (paper §2.2–§2.4).
@@ -86,6 +88,15 @@ struct ArchConfig {
   /// the threads per issue slot of a warp-32 (Hypothesis 1's mechanism).
   uint32_t threads_per_issue() const { return warp_width; }
 };
+
+/// Validates an ArchConfig at the point it enters the system (scheduler
+/// pool construction, partitioned-engine creation, CLI/bench custom archs).
+/// The timing model divides by clock_ghz, num_sms, schedulers_per_sm,
+/// lanes_per_sm and the two bandwidth figures, so a zero / negative /
+/// non-finite value would turn every cycle count into inf/NaN and poison
+/// the MTEPS tables downstream; such configs are rejected with
+/// kInvalidArgument instead.
+Status ValidateArchConfig(const ArchConfig& config);
 
 /// Built-in configs reproducing paper Table 3.  References stay valid for
 /// the program lifetime.

@@ -32,6 +32,9 @@ void KernelCounters::Merge(const KernelCounters& other) {
   smem_bytes += other.smem_bytes;
   memory_latency_cycles += other.memory_latency_cycles;
   simt_overlap_saved_cycles += other.simt_overlap_saved_cycles;
+  peer_bytes_sent += other.peer_bytes_sent;
+  peer_bytes_received += other.peer_bytes_received;
+  peer_exchanges += other.peer_exchanges;
   loop_lane_iters_possible += other.loop_lane_iters_possible;
   loop_lane_iters_useful += other.loop_lane_iters_useful;
   blocks_launched += other.blocks_launched;
@@ -68,6 +71,9 @@ void KernelCounters::Scale(uint64_t factor) {
   smem_bytes *= factor;
   memory_latency_cycles *= static_cast<double>(factor);
   simt_overlap_saved_cycles *= static_cast<double>(factor);
+  peer_bytes_sent *= factor;
+  peer_bytes_received *= factor;
+  peer_exchanges *= factor;
   loop_lane_iters_possible *= factor;
   loop_lane_iters_useful *= factor;
   blocks_launched *= factor;

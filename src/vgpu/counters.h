@@ -54,6 +54,11 @@ struct KernelCounters {
   double memory_latency_cycles = 0;      ///< accumulated unhidden latency
   double simt_overlap_saved_cycles = 0;  ///< latency hidden by SIMT ITS
 
+  // --- Peer interconnect (multi-device partitioned execution) -------------
+  uint64_t peer_bytes_sent = 0;      ///< bytes shipped to other devices
+  uint64_t peer_bytes_received = 0;  ///< bytes arriving from other devices
+  uint64_t peer_exchanges = 0;       ///< bulk-synchronous exchange rounds
+
   // --- Loop / load-imbalance bookkeeping -----------------------------------
   uint64_t loop_lane_iters_possible = 0;  ///< max-trip x active lanes
   uint64_t loop_lane_iters_useful = 0;    ///< actual per-lane trips

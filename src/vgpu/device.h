@@ -106,6 +106,30 @@ class Device {
     return Status::OK();
   }
 
+  /// Raw device-memory read without PCIe transfer accounting — the leg of
+  /// a peer (device-to-device) copy whose bytes are charged to the
+  /// Interconnect model by rt::PeerCopy, not to this device's transfer
+  /// clock.  Not for host readbacks; use CopyToHost for those.
+  template <typename T>
+  Status ReadForPeer(T* dst, DevPtr<T> src, uint64_t count) {
+    if (src.is_null() && count > 0) {
+      return Status::InvalidArgument("ReadForPeer from null pointer");
+    }
+    mem_.Read(src.addr, dst, count * sizeof(T));
+    return Status::OK();
+  }
+
+  /// Raw device-memory write without PCIe transfer accounting (the arrival
+  /// leg of a peer copy; see ReadForPeer).
+  template <typename T>
+  Status WriteFromPeer(DevPtr<T> dst, const T* src, uint64_t count) {
+    if (dst.is_null() && count > 0) {
+      return Status::InvalidArgument("WriteFromPeer to null pointer");
+    }
+    mem_.Write(dst.addr, src, count * sizeof(T));
+    return Status::OK();
+  }
+
   /// Byte-fill (cudaMemset semantics).
   template <typename T>
   Status Memset(DevPtr<T> ptr, uint8_t byte, uint64_t count) {

@@ -1,0 +1,101 @@
+#include "vgpu/interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/trace.h"
+#include "util/logging.h"
+
+namespace adgraph::vgpu {
+
+InterconnectConfig PciePreset() {
+  InterconnectConfig c;
+  c.name = "pcie";
+  c.link_gbps = 16.0;
+  c.latency_us = 5.0;
+  return c;
+}
+
+InterconnectConfig NvlinkPreset() {
+  InterconnectConfig c;
+  c.name = "nvlink";
+  c.link_gbps = 300.0;
+  c.latency_us = 1.3;
+  return c;
+}
+
+Result<InterconnectConfig> InterconnectPresetByName(const std::string& name) {
+  if (name == "pcie") return PciePreset();
+  if (name == "nvlink") return NvlinkPreset();
+  return Status::NotFound("unknown interconnect preset '" + name +
+                          "' (expected pcie or nvlink)");
+}
+
+Status ValidateInterconnectConfig(const InterconnectConfig& config) {
+  if (!std::isfinite(config.link_gbps) || config.link_gbps <= 0) {
+    return Status::InvalidArgument("interconnect '" + config.name +
+                                   "': link_gbps must be positive and finite");
+  }
+  if (!std::isfinite(config.latency_us) || config.latency_us < 0) {
+    return Status::InvalidArgument(
+        "interconnect '" + config.name +
+        "': latency_us must be non-negative and finite");
+  }
+  return Status::OK();
+}
+
+Interconnect::Interconnect(uint32_t num_devices, InterconnectConfig config)
+    : num_devices_(num_devices),
+      config_(std::move(config)),
+      pending_(static_cast<size_t>(num_devices) * num_devices, 0),
+      pair_bytes_(static_cast<size_t>(num_devices) * num_devices, 0) {
+  ADGRAPH_CHECK(num_devices > 0) << "interconnect over an empty pool";
+  trace_track_ = trace::RegisterTrack("interconnect " + config_.name);
+}
+
+void Interconnect::AccountTransfer(uint32_t src, uint32_t dst,
+                                   uint64_t bytes) {
+  ADGRAPH_CHECK(src < num_devices_ && dst < num_devices_)
+      << "peer transfer outside the device pool";
+  if (src == dst || bytes == 0) return;
+  pending_[static_cast<size_t>(src) * num_devices_ + dst] += bytes;
+}
+
+Interconnect::RoundStats Interconnect::EndRound(const std::string& label) {
+  RoundStats round;
+  uint64_t busiest_link = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    round.bytes += pending_[i];
+    busiest_link = std::max(busiest_link, pending_[i]);
+    pair_bytes_[i] += pending_[i];
+  }
+  if (round.bytes > 0) {
+    // Links drain in parallel; the round completes when the busiest
+    // directed pair finishes: latency + bytes / bandwidth.
+    round.modeled_ms = config_.latency_us * 1e-3 +
+                       static_cast<double>(busiest_link) /
+                           (config_.link_gbps * 1e6);
+    if (trace::Enabled()) {
+      trace::Span span(trace_track_, "exchange:" + label, "exchange");
+      span.ArgNum("bytes", round.bytes);
+      span.ArgNum("busiest_link_bytes", busiest_link);
+      span.ArgNum("modeled_ms", round.modeled_ms);
+      span.End();
+    }
+    total_rounds_ += 1;
+  }
+  total_bytes_ += round.bytes;
+  total_modeled_ms_ += round.modeled_ms;
+  std::fill(pending_.begin(), pending_.end(), 0);
+  return round;
+}
+
+KernelCounters Interconnect::CounterRecord() const {
+  KernelCounters counters;
+  counters.peer_bytes_sent = total_bytes_;
+  counters.peer_bytes_received = total_bytes_;
+  counters.peer_exchanges = total_rounds_;
+  return counters;
+}
+
+}  // namespace adgraph::vgpu

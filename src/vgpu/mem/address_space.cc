@@ -86,12 +86,14 @@ Status AddressSpace::Free(uint64_t addr) {
 }
 
 void AddressSpace::Read(uint64_t addr, void* out, uint64_t bytes) const {
+  if (bytes == 0) return;  // memcpy with a null `out` is UB even for 0 bytes
   ADGRAPH_CHECK(addr + bytes <= backing_.size())
       << "device read out of bounds: addr=" << addr << " bytes=" << bytes;
   std::memcpy(out, backing_.data() + addr, bytes);
 }
 
 void AddressSpace::Write(uint64_t addr, const void* data, uint64_t bytes) {
+  if (bytes == 0) return;  // e.g. uploading an empty shard's CSR (null data())
   EnsureBacking(addr + bytes);
   std::memcpy(backing_.data() + addr, data, bytes);
 }

@@ -1,0 +1,75 @@
+// Smoke tests of the shared bench harness (bench/bench_common): the MTEPS
+// cell computation must never emit inf/nan into CSV rows — a zero-edge
+// proxy or a zero measured time produces a 0.0 rate with the `skipped`
+// marker, and the table formatter prints "skipped" instead of a fake rate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "graph/datasets.h"
+#include "vgpu/arch.h"
+
+namespace adgraph::bench {
+namespace {
+
+TEST(CellFormatTest, SkippedAndOomMarkersWinOverNumbers) {
+  CellResult cell;
+  cell.time_ms = 1.5;
+  cell.mteps = 123.456;
+  EXPECT_EQ(FormatMtepsCell(cell), "123.46");
+
+  cell.skipped = true;
+  EXPECT_EQ(FormatMtepsCell(cell), "skipped");
+
+  cell.skipped = false;
+  cell.oom = true;
+  EXPECT_EQ(FormatMtepsCell(cell), "OOM");
+  EXPECT_EQ(FormatTimeCell(cell), "OOM");
+}
+
+TEST(CellRunnerTest, ZeroEdgeProxyIsSkippedNotNan) {
+  // A spec whose proxy materializes with vertices but (after dedup) zero
+  // edges: paper_edges / scale_divisor rounds the edge factor to nothing.
+  graph::DatasetSpec spec;
+  spec.name = "zero-edge-proxy";
+  spec.category = "test";
+  spec.paper_vertices = 512;
+  spec.paper_edges = 4;
+  spec.paper_max_degree = 1;
+  spec.scale_divisor = 1000;
+  spec.recipe.seed = 7;
+
+  BenchConfig config;
+  config.out_dir = ::testing::TempDir() + "bench_common_test";
+  EnsureOutDir(config);
+  CellRunner runner(config);
+
+  auto cell = runner.Run(vgpu::A100Config(), spec, Algo::kBfs);
+  ASSERT_TRUE(cell.ok()) << cell.status().ToString();
+  EXPECT_TRUE(cell->skipped);
+  EXPECT_DOUBLE_EQ(cell->mteps, 0.0);
+  EXPECT_TRUE(std::isfinite(cell->mteps));
+  EXPECT_TRUE(std::isfinite(cell->time_ms));
+  EXPECT_EQ(FormatMtepsCell(*cell), "skipped");
+}
+
+TEST(CellRunnerTest, NormalProxyIsNotSkipped) {
+  graph::DatasetSpec spec = graph::FindDataset("web-Stanford").value();
+  BenchConfig config;
+  config.extra_divisor = 16;  // keep the unit test fast
+  config.out_dir = ::testing::TempDir() + "bench_common_test";
+  EnsureOutDir(config);
+  CellRunner runner(config);
+
+  auto cell = runner.Run(vgpu::A100Config(), spec, Algo::kBfs);
+  ASSERT_TRUE(cell.ok()) << cell.status().ToString();
+  EXPECT_FALSE(cell->skipped);
+  EXPECT_GT(cell->mteps, 0.0);
+  EXPECT_TRUE(std::isfinite(cell->mteps));
+}
+
+}  // namespace
+}  // namespace adgraph::bench

@@ -640,6 +640,123 @@ TEST(SchedulerTest, CacheSpansAppearOnDeviceTrack) {
   EXPECT_TRUE(saw_hit);
 }
 
+// Regression: Submit racing Shutdown used to touch freed queue state; now
+// every loser of the race gets a deterministic kUnavailable (from Submit
+// itself or as the queued job's outcome) and nothing crashes.  Run under
+// TSan in CI.
+TEST(SchedulerTest, SubmitRacingShutdownGetsUnavailable) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}},
+                     {.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 4;
+  options.overflow =
+      Scheduler::OverflowPolicy::kReject;  // submitters must not block
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 8;
+  std::vector<std::thread> submitters;
+  std::mutex mu;
+  std::vector<Result<std::future<JobOutcome>>> submitted;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        auto result = scheduler->Submit(
+            BfsJob(g, static_cast<graph::vid_t>((t * kJobsPerThread + i) %
+                                                g->num_vertices())));
+        std::lock_guard<std::mutex> lock(mu);
+        submitted.push_back(std::move(result));
+      }
+    });
+  }
+  scheduler->Shutdown();  // races the submitters by design
+  for (auto& thread : submitters) thread.join();
+
+  ASSERT_EQ(submitted.size(),
+            static_cast<size_t>(kThreads * kJobsPerThread));
+  for (auto& result : submitted) {
+    if (!result.ok()) {
+      // Lost the race before enqueueing (or bounced off the full queue).
+      EXPECT_TRUE(result.status().code() == StatusCode::kUnavailable ||
+                  result.status().code() == StatusCode::kResourceExhausted)
+          << result.status().ToString();
+      continue;
+    }
+    JobOutcome outcome = result->get();  // accepted futures all resolve
+    if (!outcome.status.ok()) {
+      EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable)
+          << outcome.status.ToString();
+    }
+  }
+}
+
+TEST(SchedulerTest, CreateRejectsPathologicalArch) {
+  static vgpu::ArchConfig broken = vgpu::A100Config();
+  broken.num_sms = 0;
+  Scheduler::Options options;
+  options.devices = {{.arch = &broken, .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options));
+  ASSERT_FALSE(scheduler.ok());
+  EXPECT_EQ(scheduler.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, GangJobMatchesSingleDeviceAndReportsExchange) {
+  auto g = TestGraph(8);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}},
+                     {.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  // Gangs only support top-down traversal, so the single-device baseline
+  // must run top-down too for the payloads to be byte-identical.  Start at
+  // the biggest hub so the traversal actually crosses the shard boundary
+  // (an unlucky low-degree source could be isolated).
+  graph::vid_t source = 0;
+  for (graph::vid_t v = 0; v < g->num_vertices(); ++v) {
+    if (g->degree(v) > g->degree(source)) source = v;
+  }
+  core::BfsOptions bfs;
+  bfs.source = source;
+  bfs.direction_optimizing = false;
+  JobSpec single{.graph = g, .params = bfs, .tag = "bfs-single"};
+  JobOutcome single_outcome = scheduler->Submit(single).value().get();
+  ASSERT_TRUE(single_outcome.status.ok())
+      << single_outcome.status.ToString();
+
+  JobSpec gang{.graph = g, .params = bfs, .tag = "bfs-gang"};
+  gang.gang_devices = 2;
+  JobOutcome gang_outcome = scheduler->Submit(gang).value().get();
+  ASSERT_TRUE(gang_outcome.status.ok()) << gang_outcome.status.ToString();
+  scheduler->Drain();
+
+  EXPECT_EQ(gang_outcome.gang_devices, 2u);
+  EXPECT_GT(gang_outcome.exchange_bytes, 0u);
+  EXPECT_GT(gang_outcome.exchange_rounds, 0u);
+  EXPECT_EQ(FingerprintPayload(gang_outcome.payload),
+            FingerprintPayload(single_outcome.payload))
+      << "partitioned gang BFS must match the single-device payload";
+
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.gang_jobs_completed, 1u);
+  EXPECT_EQ(stats.exchange_bytes_total, gang_outcome.exchange_bytes);
+  EXPECT_EQ(stats.exchange_rounds_total, gang_outcome.exchange_rounds);
+}
+
+TEST(SchedulerTest, GangLargerThanPoolRejected) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  core::BfsOptions bfs;
+  bfs.direction_optimizing = false;
+  JobSpec gang{.graph = g, .params = bfs};
+  gang.gang_devices = 4;
+  auto result = scheduler->Submit(gang);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ServerStatsTest, FormatMentionsDevicesAndLatency) {
   auto g = TestGraph(6);
   Scheduler::Options options;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "vgpu/arch.h"
 #include "vgpu/counters.h"
 #include "vgpu/timing.h"
@@ -42,6 +44,42 @@ TEST(ArchConfigTest, PaperGpusOrderedAsTable3) {
   EXPECT_EQ(gpus[1]->name, "V100");
   EXPECT_EQ(gpus[2]->name, "Z100L");
   EXPECT_EQ(gpus[3]->name, "A100");
+}
+
+// Regression: a pathological custom arch (zero SMs, zero clock, zero or
+// non-finite bandwidth) used to turn every cycle count into inf/NaN and
+// poison the MTEPS tables downstream.  ValidateArchConfig rejects such
+// configs wherever they enter the system (scheduler pool construction,
+// partitioned-engine creation, CLI custom archs).
+TEST(ArchConfigTest, ValidateRejectsPathologicalConfigs) {
+  EXPECT_TRUE(ValidateArchConfig(A100Config()).ok());
+  EXPECT_TRUE(ValidateArchConfig(V100Config()).ok());
+  EXPECT_TRUE(ValidateArchConfig(Z100Config()).ok());
+  EXPECT_TRUE(ValidateArchConfig(Z100LConfig()).ok());
+
+  auto mutate = [](auto&& set) {
+    ArchConfig config = A100Config();
+    set(config);
+    return ValidateArchConfig(config);
+  };
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.num_sms = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.clock_ghz = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.clock_ghz = -1.2; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.dram_bandwidth_gbps = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.l2_bandwidth_gbps = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) {
+              c.dram_bandwidth_gbps = std::numeric_limits<double>::quiet_NaN();
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.schedulers_per_sm = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mutate([](ArchConfig& c) { c.lanes_per_sm = 0; }).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(TimingTest, FixedOverheadFloorsTinyKernels) {

@@ -43,6 +43,9 @@
 #include "graph/generate.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "part/engine.h"
+#include "part/part_bfs.h"
+#include "part/part_pagerank.h"
 #include "prof/report.h"
 #include "serve/job.h"
 #include "serve/registry.h"
@@ -65,6 +68,9 @@ int Usage() {
                "           --extra-divisor=F (dataset)  --profile\n"
                "           --undirected  --weights=random\n"
                "           --trace=FILE (Chrome trace-event JSON + summary)\n"
+               "           --devices=N (bfs/pagerank: partitioned execution\n"
+               "             over N simulated devices; --interconnect=pcie|\n"
+               "             nvlink, --partition=uniform|degree)\n"
                "or:    adgraph_cli serve-batch --jobs=FILE <graph source>\n"
                "           [--gpus=A100,V100,...] [--queue=N]\n"
                "           [--overflow=block|reject] [--headroom=F]\n"
@@ -132,11 +138,15 @@ Status RunAlgo(const Flags& flags, vgpu::Device* device,
     options.source = source;
     options.assume_symmetric = flags.GetBool("undirected", false);
     ADGRAPH_ASSIGN_OR_RETURN(auto r, core::RunBfs(device, g, options));
+    // A zero modeled time (empty frontier / trivial graph) has no rate.
+    const double mteps =
+        r.time_ms > 0 ? static_cast<double>(g.num_edges()) / (r.time_ms * 1e3)
+                      : 0.0;
     std::printf("bfs: visited %llu / %u vertices, depth %u, %.4f ms "
-                "(%.1f MTEPS)\n",
+                "(%.1f MTEPS%s)\n",
                 static_cast<unsigned long long>(r.vertices_visited),
-                g.num_vertices(), r.depth, r.time_ms,
-                static_cast<double>(g.num_edges()) / (r.time_ms * 1e3));
+                g.num_vertices(), r.depth, r.time_ms, mteps,
+                r.time_ms > 0 ? "" : ", rate skipped");
   } else if (algo == "sssp") {
     ADGRAPH_ASSIGN_OR_RETURN(auto r,
                              core::RunSssp(device, g, {.source = source}));
@@ -205,6 +215,78 @@ Status RunAlgo(const Flags& flags, vgpu::Device* device,
                 static_cast<unsigned long long>(r.subgraph_edges), r.time_ms);
   } else {
     return Status::InvalidArgument("unknown algorithm '" + algo + "'");
+  }
+  return Status::OK();
+}
+
+// --- partitioned (multi-device) --------------------------------------------
+
+/// `--devices=N` path: shards the graph 1-D by vertex range over N simulated
+/// devices of the chosen arch and runs the bulk-synchronous partitioned
+/// driver (bfs or pagerank), printing the interconnect exchange breakdown.
+Status RunPartitioned(const Flags& flags, const vgpu::ArchConfig& arch,
+                      const graph::CsrGraph& g, uint32_t num_devices) {
+  const std::string algo = flags.GetString("algo", "");
+  if (algo != "bfs" && algo != "pagerank") {
+    return Status::InvalidArgument(
+        "--devices=N supports bfs and pagerank, not '" + algo + "'");
+  }
+
+  part::PartitionedEngine::Options options;
+  options.num_devices = num_devices;
+  const std::string link = flags.GetString("interconnect", "nvlink");
+  ADGRAPH_ASSIGN_OR_RETURN(options.interconnect,
+                           vgpu::InterconnectPresetByName(link));
+  const std::string strategy = flags.GetString("partition", "uniform");
+  if (strategy == "degree") {
+    options.strategy = part::PartitionStrategy::kDegreeBalanced;
+  } else if (strategy != "uniform") {
+    return Status::InvalidArgument(
+        "--partition must be 'uniform' or 'degree', got '" + strategy + "'");
+  }
+  ADGRAPH_ASSIGN_OR_RETURN(auto engine,
+                           part::PartitionedEngine::Create(arch, options));
+  ADGRAPH_ASSIGN_OR_RETURN(
+      part::PartitionPlan plan,
+      part::MakePartitionPlan(g, num_devices, options.strategy));
+  std::printf("partition: %u x %s shards (%s), interconnect %s\n", num_devices,
+              arch.name.c_str(), part::PartitionStrategyName(options.strategy),
+              options.interconnect.name.c_str());
+
+  if (algo == "bfs") {
+    part::PartBfsOptions bfs;
+    bfs.source = static_cast<graph::vid_t>(flags.GetInt("source", 0));
+    ADGRAPH_ASSIGN_OR_RETURN(auto r,
+                             part::RunPartitionedBfs(engine.get(), g, plan, bfs));
+    const double mteps =
+        r.time_ms > 0 ? static_cast<double>(g.num_edges()) / (r.time_ms * 1e3)
+                      : 0.0;
+    std::printf("bfs[%uD]: visited %llu / %u vertices, depth %u, %u rounds\n",
+                num_devices,
+                static_cast<unsigned long long>(r.vertices_visited),
+                g.num_vertices(), r.depth, r.rounds);
+    std::printf("  modeled %.4f ms = compute %.4f ms + exchange %.4f ms "
+                "(%.1f MTEPS%s)\n",
+                r.time_ms, r.compute_ms, r.exchange_ms, mteps,
+                r.time_ms > 0 ? "" : ", rate skipped");
+    std::printf("  exchange: %llu bytes over %zu rounds\n",
+                static_cast<unsigned long long>(r.exchange_bytes),
+                r.round_exchange_bytes.size());
+  } else {
+    part::PartPageRankOptions pr;
+    pr.max_iterations = static_cast<uint32_t>(flags.GetInt("iters", 50));
+    ADGRAPH_ASSIGN_OR_RETURN(
+        auto r, part::RunPartitionedPageRank(engine.get(), g, plan, pr));
+    graph::vid_t best = 0;
+    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (r.ranks[v] > r.ranks[best]) best = v;
+    }
+    std::printf("pagerank[%uD]: %u iterations, top vertex %u (%.3e)\n",
+                num_devices, r.iterations, best, r.ranks[best]);
+    std::printf("  modeled %.4f ms = compute %.4f ms + exchange %.4f ms\n",
+                r.time_ms, r.compute_ms, r.exchange_ms);
+    std::printf("  exchange: %llu bytes\n",
+                static_cast<unsigned long long>(r.exchange_bytes));
   }
   return Status::OK();
 }
@@ -417,6 +499,23 @@ int ServeBatch(const Flags& flags) {
     spec.params = BuildJobParams(line, shared->num_vertices());
     auto arch_it = line.kv.find("arch");
     if (arch_it != line.kv.end()) spec.arch_preference = arch_it->second;
+    // `devices=N` on a bfs/pagerank job line runs it as a gang over N
+    // same-arch devices; the scheduler reserves that many worker slots.
+    auto devices_it = line.kv.find("devices");
+    if (devices_it != line.kv.end()) {
+      spec.gang_devices =
+          static_cast<uint32_t>(std::stoll(devices_it->second));
+    }
+    auto ic_it = line.kv.find("interconnect");
+    if (ic_it != line.kv.end()) {
+      auto preset = vgpu::InterconnectPresetByName(ic_it->second);
+      if (!preset.ok()) {
+        std::fprintf(stderr, "jobs line %d: %s\n", line.line_number,
+                     preset.status().ToString().c_str());
+        return 1;
+      }
+      spec.gang_interconnect = *preset;
+    }
     auto tag_it = line.kv.find("tag");
     spec.tag = tag_it != line.kv.end()
                    ? tag_it->second
@@ -443,6 +542,16 @@ int ServeBatch(const Flags& flags) {
               ? "ok"
               : std::string(StatusCodeToString(outcome.status.code()))] += 1;
     if (outcome.status.ok()) {
+      std::string suffix;
+      if (outcome.cache_hit) suffix += "   [cached graph]";
+      if (outcome.gang_devices > 1) {
+        char gang[96];
+        std::snprintf(gang, sizeof(gang),
+                      "   [gang %u dev, %.1f KB exchanged / %llu rounds]",
+                      outcome.gang_devices, outcome.exchange_bytes / 1024.0,
+                      static_cast<unsigned long long>(outcome.exchange_rounds));
+        suffix += gang;
+      }
       std::printf("%-12s %-8s %-6s ok      modeled %9.4f ms   wall %8.2f ms"
                   "   queued %7.2f ms%s\n",
                   ("[" + outcome.tag + "]").c_str(),
@@ -450,8 +559,7 @@ int ServeBatch(const Flags& flags) {
                       static_cast<serve::Algorithm>(outcome.payload.index()))
                       .data(),
                   outcome.device_name.c_str(), outcome.modeled_ms,
-                  outcome.exec_wall_ms, outcome.queue_wall_ms,
-                  outcome.cache_hit ? "   [cached graph]" : "");
+                  outcome.exec_wall_ms, outcome.queue_wall_ms, suffix.c_str());
     } else {
       ++failures;
       std::printf("%-12s %-15s %s\n", ("[" + outcome.tag + "]").c_str(),
@@ -515,6 +623,27 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "trace: %s\n", trace_status.ToString().c_str());
       return 1;
     }
+  }
+
+  const uint32_t num_devices =
+      static_cast<uint32_t>(flags.GetInt("devices", 1));
+  if (num_devices > 1) {
+    Status status = RunPartitioned(flags, *arch, g, num_devices);
+    if (flags.Has("trace")) {
+      Status trace_status = trace::Stop();
+      if (!trace_status.ok()) {
+        std::fprintf(stderr, "trace: %s\n", trace_status.ToString().c_str());
+      }
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (flags.Has("trace")) {
+      std::cout << prof::FormatTraceSummary(trace::GlobalEvents());
+      std::printf("trace: %s\n", flags.GetString("trace", "").c_str());
+    }
+    return 0;
   }
 
   vgpu::Device device(*arch);
