@@ -1,0 +1,120 @@
+#include "obs/alerts.h"
+
+#include <sstream>
+
+namespace adgraph::obs {
+
+Result<AlertRule> ParseAlertRule(const std::string& line) {
+  std::istringstream in(line);
+  AlertRule rule;
+  std::string op;
+  if (!(in >> rule.metric >> op)) {
+    return Status::InvalidArgument("alert rule '" + line +
+                                   "': expected 'METRIC OP THRESHOLD [for N]'");
+  }
+  if (op == ">") {
+    rule.op = AlertRule::Op::kGreaterThan;
+  } else if (op == "<") {
+    rule.op = AlertRule::Op::kLessThan;
+  } else {
+    return Status::InvalidArgument("alert rule '" + line + "': operator '" +
+                                   op + "' is not '>' or '<'");
+  }
+  if (!(in >> rule.threshold)) {
+    return Status::InvalidArgument("alert rule '" + line +
+                                   "': threshold is not a number");
+  }
+  std::string keyword;
+  if (in >> keyword) {
+    int64_t n = 0;
+    if (keyword != "for" || !(in >> n) || n < 1) {
+      return Status::InvalidArgument("alert rule '" + line +
+                                     "': trailing clause must be 'for N' "
+                                     "with N >= 1");
+    }
+    rule.for_samples = static_cast<uint32_t>(n);
+    std::string extra;
+    if (in >> extra) {
+      return Status::InvalidArgument("alert rule '" + line +
+                                     "': unexpected token '" + extra + "'");
+    }
+  }
+  rule.name = rule.metric + " " + op + " " +
+              [&] {
+                std::ostringstream t;
+                t << rule.threshold;
+                return t.str();
+              }();
+  if (rule.for_samples > 1) {
+    rule.name += " for " + std::to_string(rule.for_samples);
+  }
+  return rule;
+}
+
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& text) {
+  std::vector<AlertRule> rules;
+  std::istringstream in(text);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    auto rule = ParseAlertRule(line.substr(first));
+    if (!rule.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(number) + ": " +
+                                     rule.status().message());
+    }
+    rules.push_back(std::move(*rule));
+  }
+  return rules;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules) {
+  states_.reserve(rules.size());
+  for (AlertRule& rule : rules) {
+    RuleState state;
+    if (rule.for_samples < 1) rule.for_samples = 1;
+    state.rule = std::move(rule);
+    states_.push_back(std::move(state));
+  }
+}
+
+std::vector<AlertEvent> AlertEngine::Evaluate(
+    double ts_ms, const std::map<std::string, double>& values) {
+  std::vector<AlertEvent> events;
+  for (RuleState& state : states_) {
+    auto it = values.find(state.rule.metric);
+    if (it == values.end()) continue;
+    const double value = it->second;
+    const bool breach = state.rule.op == AlertRule::Op::kGreaterThan
+                            ? value > state.rule.threshold
+                            : value < state.rule.threshold;
+    if (breach) {
+      state.breach_streak += 1;
+      state.ok_streak = 0;
+      if (!state.firing && state.breach_streak >= state.rule.for_samples) {
+        state.firing = true;
+        state.times_fired += 1;
+        events.push_back({state.rule.name, state.rule.metric,
+                          AlertEvent::State::kFiring, value,
+                          state.rule.threshold, ts_ms});
+      }
+    } else {
+      state.breach_streak = 0;
+      if (state.firing) {
+        state.ok_streak += 1;
+        if (state.ok_streak >= state.rule.for_samples) {
+          state.firing = false;
+          state.ok_streak = 0;
+          events.push_back({state.rule.name, state.rule.metric,
+                            AlertEvent::State::kResolved, value,
+                            state.rule.threshold, ts_ms});
+        }
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace adgraph::obs

@@ -1,0 +1,93 @@
+#ifndef ADGRAPH_OBS_ALERTS_H_
+#define ADGRAPH_OBS_ALERTS_H_
+
+/// \file
+/// Threshold alert rules over sampled metrics (DESIGN.md §2.9).
+///
+/// Rule syntax (one rule per line; blank lines and `#` comments skipped):
+///
+///     METRIC OP THRESHOLD [for N]
+///
+///     queue_depth > 48 for 3
+///     p95_latency_ms > 250
+///     cache_hit_ratio < 0.5 for 10
+///     utilization < 0.2 for 5
+///
+/// METRIC names a value from the sampler's per-tick alert-input map (the
+/// scheduler publishes queue_depth, jobs_running, p95_latency_ms,
+/// p95_modeled_ms, cache_hit_ratio, utilization, jobs_per_sec,
+/// jobs_failed — see DESIGN.md §2.9 for the full list), OP is `>` or `<`,
+/// and `for N` demands N consecutive breaching samples before the rule
+/// fires (default 1).
+///
+/// Firing state has symmetric hysteresis: a firing rule resolves only
+/// after the same N consecutive non-breaching samples, so a value
+/// oscillating around the threshold cannot flap the alert every tick.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adgraph::obs {
+
+struct AlertRule {
+  std::string name;        ///< display name; defaults to the rule text
+  std::string metric;      ///< alert-input key, e.g. "queue_depth"
+  enum class Op { kGreaterThan, kLessThan } op = Op::kGreaterThan;
+  double threshold = 0;
+  /// Consecutive breaching samples required to fire (and, symmetrically,
+  /// consecutive clean samples required to resolve).  Min 1.
+  uint32_t for_samples = 1;
+};
+
+/// Parses one `METRIC OP THRESHOLD [for N]` line.
+Result<AlertRule> ParseAlertRule(const std::string& line);
+
+/// Parses a whole rules file body; empty input yields an empty rule set.
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& text);
+
+/// One firing/resolved transition, as recorded in the sample batch, the
+/// trace's `alerts` track and stderr.
+struct AlertEvent {
+  std::string rule;    ///< AlertRule::name
+  std::string metric;
+  enum class State { kFiring, kResolved } state = State::kFiring;
+  double value = 0;      ///< the observed value at the transition
+  double threshold = 0;
+  double ts_ms = 0;      ///< sampler timestamp of the transition
+};
+
+/// \brief Evaluates a rule set against successive sample ticks, tracking
+/// per-rule firing state.  Single-threaded (driven by the sampler thread);
+/// the sampler serializes access.
+class AlertEngine {
+ public:
+  struct RuleState {
+    AlertRule rule;
+    bool firing = false;
+    uint32_t breach_streak = 0;  ///< consecutive breaching samples
+    uint32_t ok_streak = 0;      ///< consecutive clean samples while firing
+    uint64_t times_fired = 0;    ///< lifetime count of kFiring transitions
+  };
+
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  /// Feeds one tick's values; returns the transitions (possibly empty).
+  /// Rules whose metric is absent from `values` are left untouched — a
+  /// missing input is no evidence either way.
+  std::vector<AlertEvent> Evaluate(double ts_ms,
+                                   const std::map<std::string, double>& values);
+
+  const std::vector<RuleState>& states() const { return states_; }
+  size_t num_rules() const { return states_.size(); }
+
+ private:
+  std::vector<RuleState> states_;
+};
+
+}  // namespace adgraph::obs
+
+#endif  // ADGRAPH_OBS_ALERTS_H_

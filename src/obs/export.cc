@@ -1,0 +1,240 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace adgraph::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal; Prometheus and JSON both accept it.
+/// Non-finite values (a gauge fed a degenerate ratio) become 0 so neither
+/// format ever sees NaN/Inf literals.
+std::string FormatValue(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void AppendLabels(std::string* out, const LabelSet& labels,
+                  const char* extra_key = nullptr,
+                  const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += k;
+    *out += "=\"";
+    *out += EscapeLabelValue(v);
+    *out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) *out += ',';
+    *out += extra_key;
+    *out += "=\"";
+    *out += EscapeLabelValue(extra_value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendJsonLabels(std::string* out, const LabelSet& labels) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    AppendJsonString(out, k);
+    *out += ':';
+    AppendJsonString(out, v);
+  }
+  *out += '}';
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Result<ExportFormat> ParseExportFormat(const std::string& name) {
+  if (name == "prom" || name == "prometheus") return ExportFormat::kPrometheus;
+  if (name == "jsonl") return ExportFormat::kJsonl;
+  return Status::InvalidArgument("unknown metrics format '" + name +
+                                 "' (expected 'prom' or 'jsonl')");
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char ch : value) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const std::vector<FamilySnapshot>& families) {
+  std::string out;
+  for (const FamilySnapshot& family : families) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + family.name + " ";
+    out += KindName(family.kind);
+    out += '\n';
+    for (const SeriesSnapshot& series : family.series) {
+      if (family.kind != MetricKind::kHistogram) {
+        out += family.name;
+        AppendLabels(&out, series.labels);
+        out += ' ';
+        out += FormatValue(series.value);
+        out += '\n';
+        continue;
+      }
+      // Histogram triplet: cumulative buckets, then _sum and _count.
+      const HistogramSnapshot& h = series.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::string le =
+            i < h.bounds.size() ? FormatValue(h.bounds[i]) : "+Inf";
+        out += family.name;
+        out += "_bucket";
+        AppendLabels(&out, series.labels, "le", le);
+        out += ' ';
+        out += std::to_string(cumulative);
+        out += '\n';
+      }
+      out += family.name;
+      out += "_sum";
+      AppendLabels(&out, series.labels);
+      out += ' ';
+      out += FormatValue(h.sum);
+      out += '\n';
+      out += family.name;
+      out += "_count";
+      AppendLabels(&out, series.labels);
+      out += ' ';
+      out += std::to_string(h.count);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ToJsonLine(const SampleBatch& batch) {
+  std::string out = "{\"seq\":" + std::to_string(batch.sequence) +
+                    ",\"ts_ms\":" + FormatValue(batch.ts_ms);
+  if (!batch.alerts.empty()) {
+    out += ",\"alerts\":[";
+    for (size_t i = 0; i < batch.alerts.size(); ++i) {
+      const AlertEvent& event = batch.alerts[i];
+      if (i) out += ',';
+      out += "{\"rule\":";
+      AppendJsonString(&out, event.rule);
+      out += ",\"state\":";
+      AppendJsonString(&out, event.state == AlertEvent::State::kFiring
+                                 ? "firing"
+                                 : "resolved");
+      out += ",\"metric\":";
+      AppendJsonString(&out, event.metric);
+      out += ",\"value\":" + FormatValue(event.value) +
+             ",\"threshold\":" + FormatValue(event.threshold) + "}";
+    }
+    out += ']';
+  }
+  out += ",\"metrics\":[";
+  bool first_family = true;
+  for (const FamilySnapshot& family : batch.families) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, family.name);
+    out += ",\"kind\":";
+    AppendJsonString(&out, KindName(family.kind));
+    out += ",\"series\":[";
+    for (size_t i = 0; i < family.series.size(); ++i) {
+      const SeriesSnapshot& series = family.series[i];
+      if (i) out += ',';
+      out += "{\"labels\":";
+      AppendJsonLabels(&out, series.labels);
+      if (family.kind == MetricKind::kHistogram) {
+        const HistogramSnapshot& h = series.histogram;
+        out += ",\"count\":" + std::to_string(h.count) +
+               ",\"sum\":" + FormatValue(h.sum) + ",\"buckets\":[";
+        for (size_t b = 0; b < h.counts.size(); ++b) {
+          if (b) out += ',';
+          out += "[";
+          if (b < h.bounds.size()) {
+            out += FormatValue(h.bounds[b]);
+          } else {
+            out += "\"+Inf\"";
+          }
+          out += ',' + std::to_string(h.counts[b]) + ']';
+        }
+        out += ']';
+      } else {
+        out += ",\"value\":" + FormatValue(series.value);
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace adgraph::obs

@@ -1,0 +1,56 @@
+#ifndef ADGRAPH_OBS_EXPORT_H_
+#define ADGRAPH_OBS_EXPORT_H_
+
+/// \file
+/// Metric exposition formats (DESIGN.md §2.9):
+///
+///   - Prometheus text exposition — what a /metrics endpoint serves; one
+///     `# HELP` / `# TYPE` header per family, one sample line per series,
+///     histograms expanded into the `_bucket`/`_sum`/`_count` triplet with
+///     cumulative `le` buckets ending in `+Inf`.
+///   - JSONL — one complete sample batch (a timestamped scrape plus any
+///     alert transitions) per line, so a million-sample run stays
+///     streamable with `jq`/pandas and an interrupted run stays parseable
+///     up to its last full line.
+
+#include <string>
+#include <vector>
+
+#include "obs/alerts.h"
+#include "obs/registry.h"
+#include "util/status.h"
+
+namespace adgraph::obs {
+
+enum class ExportFormat { kPrometheus, kJsonl };
+
+/// "prom" / "jsonl" <-> ExportFormat (CLI flag surface).
+Result<ExportFormat> ParseExportFormat(const std::string& name);
+
+/// One timestamped scrape: what the sampler pushes into its ring each
+/// tick.  `alerts` holds only the transitions (fired/resolved) that
+/// happened on this tick, not steady state.
+struct SampleBatch {
+  uint64_t sequence = 0;   ///< monotone tick number (survives ring wrap)
+  double ts_ms = 0;        ///< milliseconds since the sampler started
+  std::vector<FamilySnapshot> families;
+  std::vector<AlertEvent> alerts;
+};
+
+/// Prometheus label-value escaping: backslash, double-quote and newline.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Renders families in Prometheus text exposition format (version 0.0.4).
+/// Families appear in the given order — scrapes put `build_info` first.
+std::string ToPrometheusText(const std::vector<FamilySnapshot>& families);
+
+/// Renders one sample batch as a single JSON line (no trailing newline).
+std::string ToJsonLine(const SampleBatch& batch);
+
+/// Writes `content` to `path`, failing with kIOError on an unopenable or
+/// short write.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace adgraph::obs
+
+#endif  // ADGRAPH_OBS_EXPORT_H_

@@ -1,0 +1,227 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+namespace adgraph::obs {
+
+namespace {
+
+/// Shard index for the calling thread: a hashed thread id, stable for the
+/// thread's lifetime.  Workers therefore land on (mostly) distinct cache
+/// lines without any registration protocol.
+size_t ThisThreadShard(size_t num_shards) {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shard % num_shards;
+}
+
+/// Canonical map key of a label set: sorted `k=v` joined by \x1f (a byte
+/// that cannot appear in a well-formed label, so keys never collide).
+std::string LabelKey(const LabelSet& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+// --- Counter ---------------------------------------------------------------
+
+void Counter::Increment(uint64_t n) {
+  shards_[ThisThreadShard(kShards)].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+void Gauge::Add(double d) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(const HistogramOptions& options) {
+  const size_t n = std::max<size_t>(options.num_buckets, 1);
+  const double growth = options.growth > 1.0 ? options.growth : 2.0;
+  double bound = options.first_bound > 0 ? options.first_bound : 0.001;
+  bounds_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  // n finite buckets + the +Inf overflow bucket.
+  for (size_t i = 0; i < n + 1; ++i) buckets_.emplace_back(0);
+}
+
+void Histogram::Observe(double v) {
+  const size_t index = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snapshot.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (bounds.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.bounds != bounds || other.counts.size() != counts.size()) return;
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && counts[i] > 0) {
+      if (i + 1 == counts.size()) {
+        // +Inf bucket: the best finite statement is the largest bound.
+        return bounds.empty() ? 0 : bounds.back();
+      }
+      const double upper = bounds[i];
+      const double lower = i == 0 ? 0 : bounds[i - 1];
+      const uint64_t below = cumulative - counts[i];
+      const double within =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry::Series* Registry::GetSeries(const std::string& name,
+                                      const std::string& help,
+                                      MetricKind kind, LabelSet labels,
+                                      const HistogramOptions& options) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = nullptr;
+  auto it = family_index_.find(name);
+  if (it != family_index_.end()) {
+    family = &families_[it->second];
+    if (family->kind != kind) return nullptr;
+  } else {
+    family_index_[name] = families_.size();
+    families_.emplace_back();
+    family = &families_.back();
+    family->name = name;
+    family->help = help;
+    family->kind = kind;
+    family->histogram_options = options;
+  }
+  const std::string key = LabelKey(labels);
+  auto series_it = family->by_label.find(key);
+  if (series_it != family->by_label.end()) {
+    return &family->series[series_it->second];
+  }
+  family->by_label[key] = family->series.size();
+  family->series.emplace_back();
+  Series* series = &family->series.back();
+  series->labels = std::move(labels);
+  if (kind == MetricKind::kHistogram) {
+    series->histogram = std::make_unique<Histogram>(family->histogram_options);
+  }
+  return series;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const std::string& help,
+                              LabelSet labels) {
+  Series* series =
+      GetSeries(name, help, MetricKind::kCounter, std::move(labels), {});
+  return series != nullptr ? &series->counter : nullptr;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          LabelSet labels) {
+  Series* series =
+      GetSeries(name, help, MetricKind::kGauge, std::move(labels), {});
+  return series != nullptr ? &series->gauge : nullptr;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help, LabelSet labels,
+                                  const HistogramOptions& options) {
+  Series* series =
+      GetSeries(name, help, MetricKind::kHistogram, std::move(labels), options);
+  return series != nullptr ? series->histogram.get() : nullptr;
+}
+
+std::vector<FamilySnapshot> Registry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> snapshot;
+  snapshot.reserve(families_.size());
+  for (const Family& family : families_) {
+    FamilySnapshot fs;
+    fs.name = family.name;
+    fs.help = family.help;
+    fs.kind = family.kind;
+    fs.series.reserve(family.series.size());
+    for (const Series& series : family.series) {
+      SeriesSnapshot ss;
+      ss.labels = series.labels;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          ss.value = static_cast<double>(series.counter.Value());
+          break;
+        case MetricKind::kGauge:
+          ss.value = series.gauge.Value();
+          break;
+        case MetricKind::kHistogram:
+          ss.histogram = series.histogram->Snapshot();
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snapshot.push_back(std::move(fs));
+  }
+  return snapshot;
+}
+
+size_t Registry::num_families() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+}  // namespace adgraph::obs

@@ -1,0 +1,199 @@
+#ifndef ADGRAPH_OBS_REGISTRY_H_
+#define ADGRAPH_OBS_REGISTRY_H_
+
+/// \file
+/// Live metrics registry (DESIGN.md §2.9): typed, labeled metric families
+/// — monotonic Counter, Gauge, fixed-exponential-bucket Histogram — built
+/// for cheap concurrent updates from the serve pool's worker threads.
+///
+/// Concurrency model: registration (rare) takes the registry mutex;
+/// updates (hot path, once per job or per queue transition) touch only
+/// relaxed atomics — counters additionally spread across cache-line-padded
+/// per-thread shards that are merged at scrape time, so eight workers
+/// bumping the same family never contend on one line.  Scrape() walks the
+/// families under the mutex reading the atomics, which makes a concurrent
+/// scrape during a job storm safe (and ThreadSanitizer-clean) by
+/// construction.
+///
+/// Handles returned by Get*() are stable for the registry's lifetime
+/// (deque storage, never reallocated); callers cache the pointer once and
+/// update lock-free forever after — the Prometheus client-library usage
+/// pattern.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adgraph::obs {
+
+/// One metric series' identity within a family: sorted key/value pairs,
+/// e.g. {{"algo","bfs"},{"device","A100"},{"worker","2"}}.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonic counter, sharded across cache-line-padded atomic cells
+/// keyed by thread id; Value() merges the shards.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1);
+  /// Sum over all shards.  Monotonic between calls as long as callers only
+  /// Increment (the class offers nothing else).
+  uint64_t Value() const;
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// \brief Last-value gauge.  Set/Add are single relaxed atomics (gauges are
+/// refreshed by one sampler or owned by one worker; sharding would only
+/// blur "last value" semantics).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Bucket layout of a Histogram: upper bounds grow exponentially,
+/// bound[i] = first_bound * growth^i, with an implicit +Inf bucket after
+/// the last — fixed memory regardless of how many observations arrive
+/// (the reason the scheduler's latency path uses this instead of an
+/// unbounded sample vector).
+struct HistogramOptions {
+  double first_bound = 0.001;  ///< upper bound of bucket 0 (e.g. ms)
+  double growth = 2.0;         ///< ratio between consecutive bounds (>1)
+  size_t num_buckets = 26;     ///< finite buckets (excludes +Inf)
+};
+
+/// Point-in-time copy of a histogram's state.  Also the merge unit: two
+/// snapshots with identical bounds (e.g. per-worker latency histograms)
+/// add together into a pool-wide distribution.
+struct HistogramSnapshot {
+  std::vector<double> bounds;     ///< finite upper bounds, ascending
+  std::vector<uint64_t> counts;   ///< bounds.size()+1 entries; last = +Inf
+  uint64_t count = 0;             ///< total observations
+  double sum = 0;                 ///< sum of observed values
+
+  /// Adds `other` in (bounds must match; mismatched layouts are a
+  /// programming error and are ignored).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within the
+  /// bucket holding rank ceil(q*count) — the standard Prometheus
+  /// histogram_quantile estimate.  0 when empty; observations in the +Inf
+  /// bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+};
+
+/// \brief Fixed-exponential-bucket histogram.  Observe() is two relaxed
+/// atomic adds (bucket + sum); bucket search is a branch-free walk of the
+/// precomputed bounds.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options);
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size()+1 cells; the extra one is +Inf.
+  std::deque<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Scrape-time copy of one labeled series.
+struct SeriesSnapshot {
+  LabelSet labels;
+  double value = 0;               ///< counter / gauge value
+  HistogramSnapshot histogram;    ///< populated for histogram families
+};
+
+/// Scrape-time copy of one metric family (all series sharing a name).
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<SeriesSnapshot> series;
+};
+
+/// \brief The registry: owns every family and series, hands out stable
+/// update handles, and produces consistent-enough snapshots on demand.
+///
+/// Families appear in Scrape() output in registration order (so a
+/// `build_info` gauge registered first leads every exposition), series
+/// within a family likewise.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the series handle for (name, labels), creating family and/or
+  /// series on first use.  `help` is recorded on family creation and
+  /// ignored afterwards.  Returns nullptr if `name` already names a family
+  /// of a different kind (a programming error surfaced softly).
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      LabelSet labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  LabelSet labels = {});
+  /// `options` applies on family creation; later calls reuse the family's
+  /// layout (so every series of a family merges cleanly).
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          LabelSet labels = {},
+                          const HistogramOptions& options = {});
+
+  /// Copies every family and series.  Safe to call while workers update
+  /// handles concurrently; each value is an atomic read (counters sum
+  /// their shards), so a scrape is per-series consistent.
+  std::vector<FamilySnapshot> Scrape() const;
+
+  size_t num_families() const;
+
+ private:
+  struct Series {
+    LabelSet labels;
+    // Exactly one is populated, per the family kind.  deque-stored so the
+    // pointers handed out stay valid as series are added.
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    HistogramOptions histogram_options;
+    std::deque<Series> series;              ///< registration order
+    std::map<std::string, size_t> by_label; ///< canonical label key -> index
+  };
+
+  Series* GetSeries(const std::string& name, const std::string& help,
+                    MetricKind kind, LabelSet labels,
+                    const HistogramOptions& options);
+
+  mutable std::mutex mutex_;
+  std::deque<Family> families_;             ///< registration order
+  std::map<std::string, size_t> family_index_;
+};
+
+}  // namespace adgraph::obs
+
+#endif  // ADGRAPH_OBS_REGISTRY_H_

@@ -1,0 +1,169 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace adgraph::obs {
+
+// --- SampleRing ------------------------------------------------------------
+
+SampleRing::SampleRing(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void SampleRing::Push(SampleBatch batch) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(batch));
+    return;
+  }
+  ring_[next_] = std::move(batch);
+  next_ = (next_ + 1) % ring_.size();
+  dropped_ += 1;
+}
+
+std::vector<SampleBatch> SampleRing::Batches() const {
+  std::vector<SampleBatch> batches;
+  batches.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    batches.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return batches;
+}
+
+// --- Sampler ---------------------------------------------------------------
+
+Sampler::Sampler(const Registry* registry, SamplerOptions options, PollFn poll,
+                 AlertSink alert_sink)
+    : registry_(registry),
+      options_(std::move(options)),
+      poll_(std::move(poll)),
+      alert_sink_(std::move(alert_sink)),
+      engine_(options_.alert_rules),
+      started_at_(std::chrono::steady_clock::now()),
+      ring_(options_.ring_capacity) {
+  options_.interval_ms = std::max(options_.interval_ms, 1.0);
+}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Sampler::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    const auto interval = std::chrono::duration<double, std::milli>(
+        options_.interval_ms);
+    if (stop_cv_.wait_for(lock, interval,
+                          [this] { return stop_requested_; })) {
+      return;
+    }
+    // Tick without holding the sampler mutex: poll_ re-enters the
+    // embedding layer (the scheduler's Snapshot() takes its own lock).
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void Sampler::SampleNow() {
+  const double ts_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - started_at_)
+                           .count();
+  std::map<std::string, double> values;
+  if (poll_) values = poll_();
+  SampleBatch batch;
+  batch.ts_ms = ts_ms;
+  batch.families = registry_->Scrape();
+  std::vector<AlertEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = engine_.Evaluate(ts_ms, values);
+    batch.sequence = sequence_++;
+    batch.alerts = events;
+    for (const AlertEvent& event : events) alert_log_.push_back(event);
+    ring_.Push(std::move(batch));
+  }
+  for (const AlertEvent& event : events) {
+    if (!options_.quiet) {
+      std::fprintf(stderr, "[alert] %s %s (value %.6g, threshold %.6g)\n",
+                   event.rule.c_str(),
+                   event.state == AlertEvent::State::kFiring ? "FIRING"
+                                                             : "resolved",
+                   event.value, event.threshold);
+    }
+    if (alert_sink_) alert_sink_(event);
+  }
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample: the exported series always covers the end-of-run state
+  // (queue drained, workers idle), whatever phase the interval was in.
+  SampleNow();
+  if (!options_.path.empty()) {
+    Status status = WriteTo(options_.path, options_.format);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+std::vector<SampleBatch> Sampler::Batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.Batches();
+}
+
+SampleBatch Sampler::Latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto batches = ring_.Batches();
+  return batches.empty() ? SampleBatch{} : std::move(batches.back());
+}
+
+std::vector<AlertEvent> Sampler::AlertLog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alert_log_;
+}
+
+uint64_t Sampler::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sequence_;
+}
+
+uint64_t Sampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.dropped();
+}
+
+Status Sampler::WriteTo(const std::string& path, ExportFormat format) const {
+  std::vector<SampleBatch> batches;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batches = ring_.Batches();
+  }
+  if (format == ExportFormat::kPrometheus) {
+    // A /metrics endpoint serves the latest scrape; so does the file.
+    std::string text;
+    if (!batches.empty()) text = ToPrometheusText(batches.back().families);
+    return WriteTextFile(path, text);
+  }
+  std::string lines;
+  for (const SampleBatch& batch : batches) {
+    lines += ToJsonLine(batch);
+    lines += '\n';
+  }
+  return WriteTextFile(path, lines);
+}
+
+}  // namespace adgraph::obs

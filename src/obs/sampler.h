@@ -1,0 +1,141 @@
+#ifndef ADGRAPH_OBS_SAMPLER_H_
+#define ADGRAPH_OBS_SAMPLER_H_
+
+/// \file
+/// Background time-series sampler (DESIGN.md §2.9): a thread that, at a
+/// configurable interval, (1) calls a caller-supplied poll function — the
+/// hook where the serve scheduler refreshes its gauges and publishes the
+/// alert-input values, (2) scrapes the registry into a SampleBatch, (3)
+/// runs the alert-rule engine over the inputs, and (4) pushes the batch
+/// into a bounded overwrite-oldest ring (the trace collector's design,
+/// applied to metrics).
+///
+/// Alert transitions are delivered three ways: recorded in the batch,
+/// printed to stderr, and forwarded to an optional sink callback (the
+/// scheduler uses it to drop instant events onto the trace's `alerts`
+/// track).
+///
+/// Stop() takes one final sample before joining, so the exported series
+/// always includes the end-of-run state; if the options name a path, the
+/// file is written then (Prometheus text = the final scrape; JSONL = every
+/// ring batch, one line each).
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alerts.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "util/status.h"
+
+namespace adgraph::obs {
+
+/// \brief Bounded batch ring, overwrite-oldest.  Not internally
+/// synchronized — the sampler guards it with its own mutex (and tests
+/// drive it single-threaded).
+class SampleRing {
+ public:
+  explicit SampleRing(size_t capacity);
+
+  void Push(SampleBatch batch);
+  /// Batches oldest-first.
+  std::vector<SampleBatch> Batches() const;
+  /// Batches evicted to make room since construction.
+  uint64_t dropped() const { return dropped_; }
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<SampleBatch> ring_;
+  size_t capacity_;
+  size_t next_ = 0;  ///< write cursor once full
+  uint64_t dropped_ = 0;
+};
+
+struct SamplerOptions {
+  /// Master switch, mirrored from the embedding option struct; the Sampler
+  /// itself is only constructed when true.
+  bool enabled = false;
+  /// Poll period.  Clamped to >= 1 ms.
+  double interval_ms = 100;
+  /// Ring capacity in batches (overwrite-oldest beyond this).
+  size_t ring_capacity = 600;
+  /// If non-empty, the metrics are exported here at Stop().
+  std::string path;
+  ExportFormat format = ExportFormat::kPrometheus;
+  std::vector<AlertRule> alert_rules;
+  /// Suppress the stderr line per alert transition (tests).
+  bool quiet = false;
+};
+
+class Sampler {
+ public:
+  /// Called on the sampler thread at the start of every tick: refresh
+  /// gauges, return the alert-input values.
+  using PollFn = std::function<std::map<std::string, double>()>;
+  /// Called on the sampler thread for every alert transition.
+  using AlertSink = std::function<void(const AlertEvent&)>;
+
+  /// `registry` must outlive the sampler.  The thread starts in Start();
+  /// the destructor calls Stop().
+  Sampler(const Registry* registry, SamplerOptions options, PollFn poll,
+          AlertSink alert_sink = nullptr);
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void Start();
+  /// Joins the thread after one final sample, then writes the export file
+  /// if configured.  Idempotent.
+  void Stop();
+
+  /// Takes one sample synchronously on the calling thread (also what the
+  /// background thread does each tick).  Usable before Start or after
+  /// Stop; tests drive the whole pipeline through this without timing.
+  void SampleNow();
+
+  std::vector<SampleBatch> Batches() const;
+  /// Latest batch (empty families when no sample was ever taken).
+  SampleBatch Latest() const;
+  /// Every alert transition since construction, in order (unbounded, but
+  /// transitions are rare by construction — hysteresis dedups flapping).
+  std::vector<AlertEvent> AlertLog() const;
+  uint64_t samples_taken() const;
+  uint64_t dropped() const;
+  const std::vector<AlertEngine::RuleState>& alert_states() const {
+    return engine_.states();
+  }
+
+  /// Writes the current contents in `format` to `path` (on demand; Stop()
+  /// does this automatically when options_.path is set).
+  Status WriteTo(const std::string& path, ExportFormat format) const;
+
+ private:
+  void Loop();
+
+  const Registry* registry_;
+  SamplerOptions options_;
+  PollFn poll_;
+  AlertSink alert_sink_;
+  AlertEngine engine_;  ///< touched only under mutex_ (tick + accessors)
+
+  std::chrono::steady_clock::time_point started_at_;
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  uint64_t sequence_ = 0;
+  SampleRing ring_;
+  std::vector<AlertEvent> alert_log_;
+};
+
+}  // namespace adgraph::obs
+
+#endif  // ADGRAPH_OBS_SAMPLER_H_

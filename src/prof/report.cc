@@ -119,9 +119,11 @@ std::string FormatServerStats(const ServerStats& stats) {
       << "  throughput: " << FormatFixed(stats.jobs_per_sec, 2)
       << " jobs/s\n"
       << "  modeled latency: p50 " << FormatFixed(stats.p50_modeled_ms, 4)
-      << " ms, p95 " << FormatFixed(stats.p95_modeled_ms, 4) << " ms\n"
+      << " ms, p95 " << FormatFixed(stats.p95_modeled_ms, 4) << " ms, p99 "
+      << FormatFixed(stats.p99_modeled_ms, 4) << " ms\n"
       << "  wall latency:    p50 " << FormatFixed(stats.p50_wall_ms, 2)
-      << " ms, p95 " << FormatFixed(stats.p95_wall_ms, 2) << " ms\n";
+      << " ms, p95 " << FormatFixed(stats.p95_wall_ms, 2) << " ms, p99 "
+      << FormatFixed(stats.p99_wall_ms, 2) << " ms\n";
   const uint64_t lookups = stats.cache_hits + stats.cache_misses;
   out << "  graph cache: " << stats.cache_hits << " hits / " << lookups
       << " lookups ("
@@ -219,6 +221,7 @@ std::string FormatTraceSummary(
     uint64_t count = 0;
     double total_us = 0;
     double p95_us = 0;
+    double p99_us = 0;
   };
   std::vector<NameGroup> ranked;
   ranked.reserve(by_name.size());
@@ -227,7 +230,8 @@ std::string FormatTraceSummary(
     g.name = name;
     g.count = durations.size();
     for (double d : durations) g.total_us += d;
-    g.p95_us = Percentile(std::move(durations), 0.95);
+    g.p95_us = Percentile(durations, 0.95);
+    g.p99_us = Percentile(std::move(durations), 0.99);
     ranked.push_back(std::move(g));
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -235,13 +239,75 @@ std::string FormatTraceSummary(
   });
   constexpr size_t kTop = 10;
   out << "Top spans by total duration:\n";
-  TablePrinter top({"span", "count", "total (ms)", "p95 (ms)"});
+  TablePrinter top({"span", "count", "total (ms)", "p95 (ms)", "p99 (ms)"});
   for (size_t i = 0; i < std::min(kTop, ranked.size()); ++i) {
     top.AddRow({ranked[i].name, std::to_string(ranked[i].count),
                 FormatFixed(ranked[i].total_us / 1000.0, 3),
-                FormatFixed(ranked[i].p95_us / 1000.0, 3)});
+                FormatFixed(ranked[i].p95_us / 1000.0, 3),
+                FormatFixed(ranked[i].p99_us / 1000.0, 3)});
   }
   top.Print(out);
+  return out.str();
+}
+
+std::string FormatMetricsReport(const std::vector<obs::SampleBatch>& batches,
+                                const std::vector<obs::AlertEvent>& alert_log,
+                                uint64_t dropped_batches) {
+  std::ostringstream out;
+  if (batches.empty()) {
+    out << "Metrics: no samples collected\n";
+    return out.str();
+  }
+  const obs::SampleBatch& latest = batches.back();
+  out << "Metrics: " << batches.size() << " sample batches retained ("
+      << dropped_batches << " overwritten), last at "
+      << FormatFixed(latest.ts_ms, 1) << " ms\n";
+
+  // Latest values of the headline families, one row per labeled series.
+  // Histograms render as count/sum plus the estimated p95.
+  TablePrinter table({"series", "value"});
+  size_t rows = 0;
+  constexpr size_t kMaxRows = 40;
+  for (const obs::FamilySnapshot& family : latest.families) {
+    for (const obs::SeriesSnapshot& series : family.series) {
+      if (rows >= kMaxRows) break;
+      std::string name = family.name;
+      if (!series.labels.empty()) {
+        name += '{';
+        for (size_t i = 0; i < series.labels.size(); ++i) {
+          if (i) name += ',';
+          name += series.labels[i].first + "=" + series.labels[i].second;
+        }
+        name += '}';
+      }
+      std::string value;
+      if (family.kind == obs::MetricKind::kHistogram) {
+        value = std::to_string(series.histogram.count) + " obs, p95 " +
+                FormatFixed(series.histogram.Quantile(0.95), 3);
+      } else {
+        value = FormatFixed(series.value, 3);
+      }
+      table.AddRow({name, value});
+      ++rows;
+    }
+  }
+  table.Print(out);
+
+  if (!alert_log.empty()) {
+    out << "Alert transitions:\n";
+    TablePrinter alerts({"t (ms)", "rule", "state", "value", "threshold"});
+    for (const obs::AlertEvent& event : alert_log) {
+      alerts.AddRow({FormatFixed(event.ts_ms, 1), event.rule,
+                     event.state == obs::AlertEvent::State::kFiring
+                         ? "FIRING"
+                         : "resolved",
+                     FormatFixed(event.value, 3),
+                     FormatFixed(event.threshold, 3)});
+    }
+    alerts.Print(out);
+  } else {
+    out << "Alerts: none fired\n";
+  }
   return out.str();
 }
 

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/alerts.h"
+#include "obs/export.h"
 #include "prof/server_stats.h"
 #include "trace/trace.h"
 #include "util/status.h"
@@ -37,6 +39,15 @@ std::string FormatServerStats(const ServerStats& stats);
 /// by total duration — a readable answer to "where did the time go"
 /// without loading Perfetto.
 std::string FormatTraceSummary(const std::vector<trace::TraceEvent>& events);
+
+/// Human-readable tail of a metrics sampling session (DESIGN.md §2.9):
+/// sample/drop counts, the latest batch's headline series (jobs, queue,
+/// cache, per-worker instruction/DRAM counters), and every alert
+/// transition of the run — the serve report's answer to "what did the
+/// sampler see" without opening the exported file.
+std::string FormatMetricsReport(const std::vector<obs::SampleBatch>& batches,
+                                const std::vector<obs::AlertEvent>& alert_log,
+                                uint64_t dropped_batches);
 
 }  // namespace adgraph::prof
 

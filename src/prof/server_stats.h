@@ -55,11 +55,15 @@ struct ServerStats {
   double uptime_ms = 0;           ///< wall time since the pool started
   /// Wall-clock completed-jobs throughput over the pool lifetime.
   double jobs_per_sec = 0;
-  // Latency distribution over completed jobs.
+  // Latency distribution over completed jobs.  Estimated from the
+  // fixed-memory exponential-bucket histograms (obs::Histogram) the
+  // scheduler keeps per worker — bounded state even for million-job runs.
   double p50_modeled_ms = 0;      ///< median modeled device time per job
   double p95_modeled_ms = 0;
+  double p99_modeled_ms = 0;
   double p50_wall_ms = 0;         ///< median submit->done wall latency
   double p95_wall_ms = 0;
+  double p99_wall_ms = 0;
   // Graph residency cache, summed over the per-device caches.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "capi/adgraph.h"
 #include "part/engine.h"
 #include "part/part_bfs.h"
 #include "part/part_pagerank.h"
@@ -17,6 +19,23 @@ namespace adgraph::serve {
 namespace {
 
 constexpr size_t kNone = static_cast<size_t>(-1);
+
+/// Latency histogram layout shared by every worker's modeled/wall/queue
+/// series: 1 us to ~67 s in doubling buckets.  Identical layouts are what
+/// make the per-worker histograms mergeable into pool-wide percentiles.
+obs::HistogramOptions LatencyBuckets() {
+  obs::HistogramOptions options;
+  options.first_bound = 0.001;  // ms
+  options.growth = 2.0;
+  options.num_buckets = 26;
+  return options;
+}
+
+std::string VersionString() {
+  return std::to_string(ADGRAPH_VERSION_MAJOR) + "." +
+         std::to_string(ADGRAPH_VERSION_MINOR) + "." +
+         std::to_string(ADGRAPH_VERSION_PATCH);
+}
 
 /// Below this uptime the wall-clock rates are meaningless noise (a
 /// Snapshot() taken right after Create()); report them as zero instead of
@@ -63,13 +82,131 @@ Result<std::unique_ptr<Scheduler>> Scheduler::Create(Options options) {
     worker->arch_name = slot.arch->name;
     scheduler->workers_.push_back(std::move(worker));
   }
+  // Metric series exist before any thread runs: registration is the only
+  // registry operation that locks, so doing it all here keeps the worker
+  // hot path down to relaxed atomics on cached handles.
+  scheduler->RegisterMetrics();
+  if (scheduler->options_.metrics.enabled) {
+    Scheduler* s = scheduler.get();
+    scheduler->sampler_ = std::make_unique<obs::Sampler>(
+        &scheduler->registry_, scheduler->options_.metrics,
+        [s] { return s->PollMetrics(); },
+        [s](const obs::AlertEvent& event) {
+          if (!trace::Enabled()) return;
+          uint64_t track = s->alerts_track_.load(std::memory_order_relaxed);
+          if (track == 0) {
+            track = trace::RegisterTrack("alerts");
+            s->alerts_track_.store(track, std::memory_order_relaxed);
+          }
+          char value[32];
+          std::snprintf(value, sizeof(value), "%.3f", event.value);
+          trace::EmitInstant(
+              track, "alert:" + event.rule, "alert",
+              {{"state",
+                event.state == obs::AlertEvent::State::kFiring ? "firing"
+                                                               : "resolved",
+                false},
+               {"value", value, true},
+               {"metric", event.metric, false}});
+        });
+  }
   // Start the threads only after the worker array is final (threads index
   // into it).
   for (auto& worker : scheduler->workers_) {
     Worker* w = worker.get();
     w->thread = std::thread([s = scheduler.get(), w] { s->WorkerLoop(w); });
   }
+  if (scheduler->sampler_) scheduler->sampler_->Start();
   return scheduler;
+}
+
+void Scheduler::RegisterMetrics() {
+  const std::string version = VersionString();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = *workers_[i];
+    const obs::LabelSet id = {{"worker", std::to_string(i)},
+                              {"device", worker.arch_name}};
+    // build_info leads every scrape so dashboards can tell runs (and
+    // pools) apart before reading a single sample.
+    registry_.GetGauge("adgraph_build_info",
+                       "Library version and device inventory; value is "
+                       "always 1.",
+                       {{"version", version},
+                        {"worker", std::to_string(i)},
+                        {"device", worker.arch_name},
+                        {"vendor", worker.slot.arch->vendor}})
+        ->Set(1);
+  }
+  metric_submitted_ = registry_.GetCounter(
+      "adgraph_jobs_submitted_total", "Jobs accepted into the queue.");
+  metric_rejected_backpressure_ = registry_.GetCounter(
+      "adgraph_jobs_rejected_backpressure_total",
+      "Submissions refused because the bounded queue was full.");
+  metric_queue_depth_ = registry_.GetGauge(
+      "adgraph_queue_depth", "Jobs waiting in the submission queue.");
+  metric_jobs_running_ = registry_.GetGauge(
+      "adgraph_jobs_running", "Jobs resident on a device right now.");
+  metric_uptime_ms_ =
+      registry_.GetGauge("adgraph_uptime_ms", "Pool uptime, milliseconds.");
+  metric_jobs_per_sec_ = registry_.GetGauge(
+      "adgraph_jobs_per_sec", "Completed-job throughput over the lifetime.");
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = *workers_[i];
+    const obs::LabelSet id = {{"worker", std::to_string(i)},
+                              {"device", worker.arch_name}};
+    WorkerMetricHandles& m = worker.metrics;
+    m.jobs_completed = registry_.GetCounter(
+        "adgraph_jobs_completed_total", "Jobs finished OK.", id);
+    m.jobs_failed = registry_.GetCounter(
+        "adgraph_jobs_failed_total", "Jobs that ended with a non-OK status.",
+        id);
+    m.jobs_rejected = registry_.GetCounter(
+        "adgraph_jobs_rejected_admission_total",
+        "Jobs rejected by memory-aware admission control.", id);
+    m.cache_hits = registry_.GetCounter(
+        "adgraph_cache_hits_total",
+        "Graph residency cache: Acquire() served from device memory.", id);
+    m.cache_misses = registry_.GetCounter(
+        "adgraph_cache_misses_total",
+        "Graph residency cache: Acquire() had to build and upload.", id);
+    m.cache_evictions = registry_.GetCounter(
+        "adgraph_cache_evictions_total",
+        "Graph residency cache: entries evicted (LRU / for space).", id);
+    m.cache_resident_bytes = registry_.GetGauge(
+        "adgraph_cache_resident_bytes",
+        "Graph residency cache: device bytes currently cached.", id);
+    m.busy_wall_ms = registry_.GetGauge(
+        "adgraph_worker_busy_ms", "Wall time spent executing jobs.", id);
+    m.utilization = registry_.GetGauge(
+        "adgraph_worker_utilization",
+        "busy_wall_ms / uptime, clamped to [0,1].", id);
+    m.warp_inst = registry_.GetCounter(
+        "adgraph_device_warp_inst_total",
+        "Warp instructions issued by completed jobs (Table 6 Type 1).", id);
+    m.dram_bytes = registry_.GetCounter(
+        "adgraph_device_dram_bytes_total",
+        "Modeled DRAM traffic (read+write bytes) of completed jobs.", id);
+    m.l2_hits = registry_.GetCounter("adgraph_device_l2_hits_total",
+                                     "L2 hits of completed jobs.", id);
+    m.l2_misses = registry_.GetCounter("adgraph_device_l2_misses_total",
+                                       "L2 misses of completed jobs.", id);
+    m.exchange_bytes = registry_.GetCounter(
+        "adgraph_exchange_bytes_total",
+        "Interconnect bytes moved by gang jobs this worker drove.", id);
+    m.exchange_rounds = registry_.GetCounter(
+        "adgraph_exchange_rounds_total",
+        "Bulk-synchronous exchange rounds of gang jobs.", id);
+    m.modeled_latency = registry_.GetHistogram(
+        "adgraph_job_modeled_ms", "Modeled device time per completed job.",
+        id, LatencyBuckets());
+    m.wall_latency = registry_.GetHistogram(
+        "adgraph_job_latency_ms",
+        "Submit-to-done wall latency per completed job.", id,
+        LatencyBuckets());
+    m.queue_wait = registry_.GetHistogram(
+        "adgraph_queue_wait_ms", "Queue wait before execution, every job.",
+        id, LatencyBuckets());
+  }
 }
 
 Scheduler::~Scheduler() { Shutdown(); }
@@ -109,6 +246,7 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
   if (queue_.size() >= options_.queue_capacity) {
     if (options_.overflow == OverflowPolicy::kReject) {
       rejected_backpressure_ += 1;
+      metric_rejected_backpressure_->Increment();
       return Status::ResourceExhausted(
           "submission queue full (" +
           std::to_string(options_.queue_capacity) + " jobs queued)");
@@ -130,6 +268,7 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
   std::future<JobOutcome> future = job.promise.get_future();
   queue_.push_back(std::move(job));
   submitted_ += 1;
+  metric_submitted_->Increment();
   // notify_all: the woken worker must also *match* the job's arch
   // preference, so waking just one could strand a pinned job.
   queue_cv_.notify_all();
@@ -168,6 +307,18 @@ void Scheduler::WorkerLoop(Worker* worker) {
     std::lock_guard<std::mutex> lock(mutex_);
     worker->memory_capacity_bytes = device.memory_capacity_bytes();
   }
+  // Cache stats are lifetime-absolute; the registry counters are
+  // monotonic, so the worker keeps the last published values and adds the
+  // delta after each job.  Thread-confined, like the cache itself.
+  GraphCache::Stats published_cache;
+  // Per-algorithm completion counters ({algo, worker, device} labels) are
+  // registered lazily on first sight of each algorithm; the handle is then
+  // memoized here so steady state never touches the registry lock.
+  std::map<Algorithm, obs::Counter*> by_algo;
+  size_t worker_index = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].get() == worker) worker_index = i;
+  }
 
   for (;;) {
     PendingJob job;
@@ -188,8 +339,50 @@ void Scheduler::WorkerLoop(Worker* worker) {
     }
 
     const uint32_t gang_size = std::max<uint32_t>(1, job.spec.gang_devices);
+    const Algorithm algo = job.spec.algorithm();
     std::promise<JobOutcome> promise = std::move(job.promise);
     JobOutcome outcome = Execute(worker, &device, &cache, std::move(job));
+
+    // Registry updates first — lock-free, and outside mutex_ so a
+    // concurrent scrape never waits on the stats bookkeeping below.
+    WorkerMetricHandles& m = worker->metrics;
+    m.queue_wait->Observe(outcome.queue_wall_ms);
+    if (outcome.status.ok()) {
+      m.jobs_completed->Increment();
+      m.modeled_latency->Observe(outcome.modeled_ms);
+      m.wall_latency->Observe(outcome.queue_wall_ms + outcome.exec_wall_ms);
+      const vgpu::KernelCounters& kc = outcome.profile.counters;
+      m.warp_inst->Increment(kc.warp_inst_issued);
+      m.dram_bytes->Increment(kc.dram_read_bytes + kc.dram_write_bytes);
+      m.l2_hits->Increment(kc.l2_hits);
+      m.l2_misses->Increment(kc.l2_misses);
+      if (gang_size > 1) {
+        m.exchange_bytes->Increment(outcome.exchange_bytes);
+        m.exchange_rounds->Increment(outcome.exchange_rounds);
+      }
+      auto it = by_algo.find(algo);
+      if (it == by_algo.end()) {
+        obs::Counter* counter = registry_.GetCounter(
+            "adgraph_jobs_by_algo_total", "Completed jobs per algorithm.",
+            {{"algo", std::string(AlgorithmName(algo))},
+             {"worker", std::to_string(worker_index)},
+             {"device", worker->arch_name}});
+        it = by_algo.emplace(algo, counter).first;
+      }
+      it->second->Increment();
+    } else if (outcome.status.IsResourceExhausted()) {
+      m.jobs_rejected->Increment();
+    } else {
+      m.jobs_failed->Increment();
+    }
+    {
+      const GraphCache::Stats& cs = cache.stats();
+      m.cache_hits->Increment(cs.hits - published_cache.hits);
+      m.cache_misses->Increment(cs.misses - published_cache.misses);
+      m.cache_evictions->Increment(cs.evictions - published_cache.evictions);
+      m.cache_resident_bytes->Set(static_cast<double>(cs.resident_bytes));
+      published_cache = cs;
+    }
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -219,9 +412,6 @@ void Scheduler::WorkerLoop(Worker* worker) {
       if (outcome.status.ok()) {
         completed_ += 1;
         worker->jobs_completed += 1;
-        modeled_latencies_ms_.push_back(outcome.modeled_ms);
-        wall_latencies_ms_.push_back(outcome.queue_wall_ms +
-                                     outcome.exec_wall_ms);
       } else if (outcome.status.IsResourceExhausted()) {
         rejected_admission_ += 1;
         worker->jobs_rejected += 1;
@@ -467,6 +657,12 @@ void Scheduler::Shutdown() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  if (sampler_) {
+    // Workers are done, trace collector still attached: the final sample
+    // (and any alert transition it causes) is complete and observable in
+    // the trace.  Stop() also writes Options::metrics.path.
+    sampler_->Stop();
+  }
   if (trace_collector_) {
     // Workers are quiet now; flush the session's trace before detaching.
     if (!options_.trace.path.empty()) {
@@ -510,10 +706,28 @@ prof::ServerStats Scheduler::Snapshot() const {
                            ? 1000.0 * static_cast<double>(completed_) /
                                  stats.uptime_ms
                            : 0;
-  stats.p50_modeled_ms = prof::Percentile(modeled_latencies_ms_, 0.50);
-  stats.p95_modeled_ms = prof::Percentile(modeled_latencies_ms_, 0.95);
-  stats.p50_wall_ms = prof::Percentile(wall_latencies_ms_, 0.50);
-  stats.p95_wall_ms = prof::Percentile(wall_latencies_ms_, 0.95);
+  // Pool-wide percentiles: merge the per-worker latency histograms
+  // (identical bucket layouts) and interpolate.  Fixed memory regardless
+  // of job count, at the price of bucket-resolution estimates — the trade
+  // DESIGN.md §2.9 documents.
+  obs::HistogramSnapshot modeled_merged;
+  obs::HistogramSnapshot wall_merged;
+  for (const auto& worker : workers_) {
+    modeled_merged.Merge(worker->metrics.modeled_latency->Snapshot());
+    wall_merged.Merge(worker->metrics.wall_latency->Snapshot());
+  }
+  stats.p50_modeled_ms = modeled_merged.Quantile(0.50);
+  stats.p95_modeled_ms = modeled_merged.Quantile(0.95);
+  stats.p99_modeled_ms = modeled_merged.Quantile(0.99);
+  stats.p50_wall_ms = wall_merged.Quantile(0.50);
+  stats.p95_wall_ms = wall_merged.Quantile(0.95);
+  stats.p99_wall_ms = wall_merged.Quantile(0.99);
+  // Registry gauges ride along with every snapshot: atomic stores, so the
+  // const promise (and thread-safety) of Snapshot() holds.
+  metric_queue_depth_->Set(static_cast<double>(stats.jobs_queued));
+  metric_jobs_running_->Set(static_cast<double>(stats.jobs_running));
+  metric_uptime_ms_->Set(stats.uptime_ms);
+  metric_jobs_per_sec_->Set(stats.jobs_per_sec);
   for (const auto& worker : workers_) {
     prof::DeviceStats d;
     d.name = worker->arch_name;
@@ -529,6 +743,8 @@ prof::ServerStats Scheduler::Snapshot() const {
         stats.uptime_ms >= kMinUptimeMs
             ? std::clamp(worker->busy_wall_ms / stats.uptime_ms, 0.0, 1.0)
             : 0;
+    worker->metrics.busy_wall_ms->Set(worker->busy_wall_ms);
+    worker->metrics.utilization->Set(d.utilization);
     d.memory_capacity_bytes = worker->memory_capacity_bytes;
     d.cache_hits = worker->cache_hits;
     d.cache_misses = worker->cache_misses;
@@ -549,6 +765,56 @@ prof::ServerStats Scheduler::Snapshot() const {
     stats.devices.push_back(std::move(d));
   }
   return stats;
+}
+
+std::map<std::string, double> Scheduler::PollMetrics() {
+  // Snapshot() refreshes the registry gauges as a side effect, so the
+  // sampler's scrape right after this call sees current values.
+  prof::ServerStats stats = Snapshot();
+  std::map<std::string, double> values;
+  values["queue_depth"] = static_cast<double>(stats.jobs_queued);
+  values["jobs_running"] = static_cast<double>(stats.jobs_running);
+  values["jobs_per_sec"] = stats.jobs_per_sec;
+  values["jobs_failed"] = static_cast<double>(stats.jobs_failed);
+  values["p95_latency_ms"] = stats.p95_wall_ms;
+  values["p95_modeled_ms"] = stats.p95_modeled_ms;
+  double utilization = 0;
+  for (const prof::DeviceStats& d : stats.devices) {
+    utilization += d.utilization;
+  }
+  values["utilization"] =
+      stats.devices.empty() ? 0 : utilization / stats.devices.size();
+  // Published only once there is evidence: a `cache_hit_ratio < R` rule
+  // must not fire on an idle pool that has served nothing yet.
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  if (lookups > 0) {
+    values["cache_hit_ratio"] =
+        static_cast<double>(stats.cache_hits) / static_cast<double>(lookups);
+  }
+  return values;
+}
+
+std::vector<obs::SampleBatch> Scheduler::MetricsBatches() const {
+  if (!sampler_) return {};
+  return sampler_->Batches();
+}
+
+std::vector<obs::AlertEvent> Scheduler::MetricsAlertLog() const {
+  if (!sampler_) return {};
+  return sampler_->AlertLog();
+}
+
+uint64_t Scheduler::MetricsDropped() const {
+  return sampler_ ? sampler_->dropped() : 0;
+}
+
+Status Scheduler::WriteMetrics(const std::string& path,
+                               obs::ExportFormat format) const {
+  if (!sampler_) {
+    return Status::Unavailable(
+        "metrics sampling is disabled (Options::metrics.enabled)");
+  }
+  return sampler_->WriteTo(path, format);
 }
 
 }  // namespace adgraph::serve

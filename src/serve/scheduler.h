@@ -1,10 +1,12 @@
 #ifndef ADGRAPH_SERVE_SCHEDULER_H_
 #define ADGRAPH_SERVE_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -12,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/sampler.h"
 #include "prof/server_stats.h"
 #include "serve/graph_cache.h"
 #include "serve/job.h"
@@ -77,6 +81,12 @@ class Scheduler {
     /// Spans land on one track per worker thread (queue-wait / job /
     /// admission) plus one per device (kernels, memcpys, algorithm phases).
     trace::TraceOptions trace;
+    /// Live metrics (DESIGN.md §2.9).  The labeled registry is always on —
+    /// worker-side updates are relaxed atomics, and the latency histograms
+    /// double as the ServerStats percentile source — but the background
+    /// sampler thread, its time-series ring, the alert-rule engine and the
+    /// shutdown export only exist when `metrics.enabled`.
+    obs::SamplerOptions metrics;
   };
 
   /// Builds the pool and starts one worker per device.  Fails on an empty
@@ -113,6 +123,23 @@ class Scheduler {
   /// Options::trace was disabled or after Shutdown().  Thread-safe.
   std::vector<trace::TraceEvent> TraceEvents() const;
 
+  /// The live metric registry (always populated: per-worker job/cache/
+  /// kernel-counter series, latency histograms, build_info).  Thread-safe
+  /// to Scrape() at any time; gauges are refreshed by Snapshot(), so call
+  /// that first for up-to-the-instant gauge values.
+  const obs::Registry& metrics_registry() const { return registry_; }
+
+  /// Time-series batches collected by the sampler, oldest first; empty
+  /// when Options::metrics was disabled.  Thread-safe.
+  std::vector<obs::SampleBatch> MetricsBatches() const;
+  /// Alert transitions since startup, in firing order.  Thread-safe.
+  std::vector<obs::AlertEvent> MetricsAlertLog() const;
+  /// Sample batches overwritten by the bounded ring.
+  uint64_t MetricsDropped() const;
+  /// On-demand export of the sampled series (kUnavailable when metrics
+  /// sampling is disabled; Shutdown() also writes Options::metrics.path).
+  Status WriteMetrics(const std::string& path, obs::ExportFormat format) const;
+
   size_t num_workers() const { return workers_.size(); }
   /// Arch names of the pooled devices, worker order.
   std::vector<std::string> device_names() const;
@@ -127,11 +154,39 @@ class Scheduler {
     Clock::time_point enqueued_at;
   };
 
+  /// Registry handles of one worker's labeled series, resolved once in
+  /// Create() (labels {worker=i, device=arch}); updates afterwards are
+  /// lock-free atomics on the worker thread.
+  struct WorkerMetricHandles {
+    obs::Counter* jobs_completed = nullptr;
+    obs::Counter* jobs_failed = nullptr;
+    obs::Counter* jobs_rejected = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Gauge* cache_resident_bytes = nullptr;
+    obs::Gauge* busy_wall_ms = nullptr;
+    obs::Gauge* utilization = nullptr;
+    // Per-job aggregated kernel counters (vgpu::KernelCounters), the
+    // instruction-rate surface of paper Table 6.
+    obs::Counter* warp_inst = nullptr;
+    obs::Counter* dram_bytes = nullptr;
+    obs::Counter* l2_hits = nullptr;
+    obs::Counter* l2_misses = nullptr;
+    // Partitioned-exchange interconnect traffic of gang jobs.
+    obs::Counter* exchange_bytes = nullptr;
+    obs::Counter* exchange_rounds = nullptr;
+    obs::Histogram* modeled_latency = nullptr;
+    obs::Histogram* wall_latency = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+  };
+
   struct Worker {
     explicit Worker(DeviceSlot s) : slot(std::move(s)) {}
     DeviceSlot slot;
     std::string arch_name;       ///< fixed at Create(); readable lock-free
     uint64_t trace_track = 0;    ///< set and read on the worker thread only
+    WorkerMetricHandles metrics; ///< fixed at Create(); atomically updated
     std::thread thread;
     // --- owned by mutex_ ---
     uint64_t jobs_completed = 0;
@@ -170,12 +225,40 @@ class Scheduler {
   /// npos.
   size_t FindRunnableLocked(const Worker& worker) const;
 
+  /// Registers build_info (first family of every scrape) and every
+  /// per-worker series; called from Create() before any thread starts.
+  void RegisterMetrics();
+  /// Sampler tick: refreshes the gauges via Snapshot() and returns the
+  /// alert-input values (queue_depth, p95_latency_ms, cache_hit_ratio,
+  /// utilization, ...).
+  std::map<std::string, double> PollMetrics();
+
   Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   /// Session trace sink; non-null iff options_.trace.enabled.  Created in
   /// Create() before the workers start, written out in Shutdown() after
   /// they join.
   std::unique_ptr<trace::Collector> trace_collector_;
+
+  /// Live metric registry — always constructed; the serve hot path updates
+  /// handles into it lock-free.  Declared before sampler_ (construction
+  /// order) and destroyed after it.
+  obs::Registry registry_;
+  // Pool-global handles (registered in Create()).
+  obs::Counter* metric_submitted_ = nullptr;
+  obs::Counter* metric_rejected_backpressure_ = nullptr;
+  obs::Gauge* metric_queue_depth_ = nullptr;
+  obs::Gauge* metric_jobs_running_ = nullptr;
+  obs::Gauge* metric_uptime_ms_ = nullptr;
+  obs::Gauge* metric_jobs_per_sec_ = nullptr;
+  /// Background sampler; non-null iff options_.metrics.enabled.  Started
+  /// after the workers in Create(), stopped after they join in Shutdown()
+  /// (while the trace collector is still attached, so alert instants from
+  /// the final sample land in the trace).
+  std::unique_ptr<obs::Sampler> sampler_;
+  /// Trace track carrying alert instant events; registered lazily with the
+  /// first alert transition.
+  std::atomic<uint64_t> alerts_track_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< workers: work available/shutdown
@@ -197,8 +280,8 @@ class Scheduler {
   /// driving each gang (a gang of N reserves N-1 extra slots, so pool
   /// capacity modeling stays honest while one thread simulates N devices).
   uint64_t gang_reserved_ = 0;
-  std::vector<double> modeled_latencies_ms_;
-  std::vector<double> wall_latencies_ms_;
+  // Latency percentiles come from the per-worker obs::Histogram handles
+  // (fixed memory for million-job runs), merged in Snapshot().
 };
 
 }  // namespace adgraph::serve

@@ -134,6 +134,19 @@ void Emit(TraceEvent event) {
   }
 }
 
+void EmitInstant(uint64_t track, std::string name, std::string category,
+                 std::vector<TraceArg> args) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = track;
+  event.ts_us = NowUs();
+  event.phase = 'i';
+  event.args = std::move(args);
+  Emit(std::move(event));
+}
+
 Status Start(TraceOptions options) {
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
@@ -223,11 +236,18 @@ void WriteChromeTraceJson(std::ostream& out,
   for (const TraceEvent& event : events) {
     if (!first) out << ",\n";
     first = false;
-    out << "{\"ph\":\"X\",\"name\":" << JsonString(event.name)
+    const bool instant = event.phase == 'i';
+    out << "{\"ph\":\"" << (instant ? 'i' : 'X')
+        << "\",\"name\":" << JsonString(event.name)
         << ",\"cat\":" << JsonString(event.category)
         << ",\"pid\":1,\"tid\":" << event.track
-        << ",\"ts\":" << JsonNumber(event.ts_us)
-        << ",\"dur\":" << JsonNumber(event.dur_us);
+        << ",\"ts\":" << JsonNumber(event.ts_us);
+    if (instant) {
+      // Thread-scoped instant marker; no duration field.
+      out << ",\"s\":\"t\"";
+    } else {
+      out << ",\"dur\":" << JsonNumber(event.dur_us);
+    }
     if (!event.args.empty()) {
       out << ",\"args\":{";
       for (size_t i = 0; i < event.args.size(); ++i) {

@@ -69,13 +69,16 @@ struct TraceArg {
   bool is_number = false;
 };
 
-/// One complete span ("ph":"X" in the Chrome trace-event format).
+/// One event: a complete span ("ph":"X" in the Chrome trace-event format)
+/// or, when `phase` is 'i', an instant marker ("ph":"i", zero duration) —
+/// what the metrics alert engine drops onto its `alerts` track.
 struct TraceEvent {
   std::string name;
-  std::string category;  ///< "kernel", "memcpy", "stream", "algo", "phase", "serve"
+  std::string category;  ///< "kernel", "memcpy", "stream", "algo", "phase", "serve", "alert"
   uint64_t track = 0;    ///< from RegisterTrack(); 0 = the host track
   double ts_us = 0;      ///< start, microseconds since the trace epoch
-  double dur_us = 0;
+  double dur_us = 0;     ///< 0 for instants
+  char phase = 'X';      ///< 'X' complete span, 'i' instant event
   std::vector<TraceArg> args;
 };
 
@@ -98,6 +101,12 @@ bool Enabled();
 
 /// Routes one event to every active sink.  No-op when nothing is active.
 void Emit(TraceEvent event);
+
+/// Emits an instant marker ("ph":"i") at the current time on `track`; the
+/// optional numeric args land unquoted, Perfetto-aggregatable.  No-op when
+/// tracing is disabled.
+void EmitInstant(uint64_t track, std::string name, std::string category,
+                 std::vector<TraceArg> args = {});
 
 // ---------------------------------------------------------------------------
 // Process-global window

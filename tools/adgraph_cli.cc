@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "capi/adgraph.h"
 #include "core/bfs.h"
 #include "core/coloring.h"
 #include "core/conn_components.h"
@@ -43,6 +44,8 @@
 #include "graph/generate.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "obs/alerts.h"
+#include "obs/export.h"
 #include "part/engine.h"
 #include "part/part_bfs.h"
 #include "part/part_pagerank.h"
@@ -60,6 +63,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
+               "adgraph_cli %d.%d.%d\n"
                "usage: adgraph_cli --algo=ALGO (--graph=FILE | "
                "--dataset=NAME | --generate=KIND) [options]\n"
                "  ALGO: bfs sssp pagerank tc cc kcore jaccard widest esbv color\n"
@@ -75,7 +79,12 @@ int Usage() {
                "           [--gpus=A100,V100,...] [--queue=N]\n"
                "           [--overflow=block|reject] [--headroom=F]\n"
                "           [--occupancy-floor-ms=F] [--memory-scale=F]\n"
-               "           [--graph-cache=on|off] [--trace=FILE]\n");
+               "           [--graph-cache=on|off] [--trace=FILE]\n"
+               "           [--metrics-out=FILE] [--metrics-format=prom|jsonl]\n"
+               "           [--metrics-interval-ms=N] [--alert-rules=FILE]\n"
+               "or:    adgraph_cli --version\n",
+               ADGRAPH_VERSION_MAJOR, ADGRAPH_VERSION_MINOR,
+               ADGRAPH_VERSION_PATCH);
   return 2;
 }
 
@@ -476,6 +485,42 @@ int ServeBatch(const Flags& flags) {
     options.trace.enabled = true;
     options.trace.path = flags.GetString("trace", "");
   }
+  // Any metrics flag switches the background sampler on; --metrics-out
+  // also makes Shutdown() export the series there.
+  const bool metrics_on = flags.Has("metrics-out") ||
+                          flags.Has("metrics-interval-ms") ||
+                          flags.Has("alert-rules");
+  if (metrics_on) {
+    options.metrics.enabled = true;
+    options.metrics.path = flags.GetString("metrics-out", "");
+    options.metrics.interval_ms =
+        flags.GetDouble("metrics-interval-ms", 100.0);
+    auto format =
+        obs::ParseExportFormat(flags.GetString("metrics-format", "prom"));
+    if (!format.ok()) {
+      std::fprintf(stderr, "serve-batch: %s\n",
+                   format.status().ToString().c_str());
+      return 1;
+    }
+    options.metrics.format = *format;
+    if (flags.Has("alert-rules")) {
+      std::ifstream rules_file(flags.GetString("alert-rules", ""));
+      if (!rules_file) {
+        std::fprintf(stderr, "cannot open alert-rules file '%s'\n",
+                     flags.GetString("alert-rules", "").c_str());
+        return 1;
+      }
+      std::stringstream text;
+      text << rules_file.rdbuf();
+      auto rules = obs::ParseAlertRules(text.str());
+      if (!rules.ok()) {
+        std::fprintf(stderr, "alert-rules: %s\n",
+                     rules.status().ToString().c_str());
+        return 1;
+      }
+      options.metrics.alert_rules = std::move(*rules);
+    }
+  }
 
   auto scheduler_result = serve::Scheduler::Create(std::move(options));
   if (!scheduler_result.ok()) {
@@ -580,6 +625,19 @@ int ServeBatch(const Flags& flags) {
                 prof::FormatTraceSummary(scheduler.TraceEvents()).c_str());
     std::printf("trace: %s\n", flags.GetString("trace", "").c_str());
   }
+  if (metrics_on) {
+    // Shutdown here (rather than at scope exit) so the sampler's final
+    // sample is taken and --metrics-out is written before we report on
+    // the series.  TraceEvents() was already consumed above.
+    scheduler.Shutdown();
+    std::printf("\n%s", prof::FormatMetricsReport(scheduler.MetricsBatches(),
+                                                  scheduler.MetricsAlertLog(),
+                                                  scheduler.MetricsDropped())
+                            .c_str());
+    if (flags.Has("metrics-out")) {
+      std::printf("metrics: %s\n", flags.GetString("metrics-out", "").c_str());
+    }
+  }
   // Any job that resolved non-OK — admission rejection, device failure, or
   // submit-level rejection — makes the batch exit non-zero, so scripted
   // callers do not have to parse the tally.
@@ -590,6 +648,12 @@ int Main(int argc, char** argv) {
   auto flags_result = Flags::Parse(argc, argv);
   if (!flags_result.ok()) return Usage();
   const Flags& flags = *flags_result;
+  if (flags.Has("version")) {
+    int major = 0, minor = 0, patch = 0;
+    adgraphGetVersion(&major, &minor, &patch);
+    std::printf("adgraph_cli %d.%d.%d\n", major, minor, patch);
+    return 0;
+  }
   if (!flags.positional().empty() && flags.positional()[0] == "serve-batch") {
     return ServeBatch(flags);
   }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition file (format 0.0.4).
+
+Used by CI against the serve-batch --metrics-out export: every line must be
+a comment, a sample, or blank; histogram bucket series must be cumulative
+(monotone non-decreasing in `le` order) and end with +Inf; `--require NAME`
+asserts that at least one sample of the family NAME is present.
+
+Usage:
+    validate_prom.py FILE [--require NAME]... [--min-series NAME=N]...
+
+Exit status 0 when the file parses cleanly and all requirements hold.
+"""
+
+import argparse
+import re
+import sys
+
+# metric_name{label="value",...} value  — labels optional; value is any
+# Prometheus float (including +Inf/-Inf/NaN, which the exporter never
+# emits but the format allows).
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^{}]*\})?'
+    r' (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$'
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+COMMENT_RE = re.compile(r'^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$')
+
+
+def parse_labels(text):
+    """{a="x",b="y"} -> sorted tuple of (key, value), le excluded."""
+    if not text:
+        return (), None
+    le = None
+    labels = []
+    for key, value in LABEL_RE.findall(text[1:-1]):
+        if key == 'le':
+            le = value
+        else:
+            labels.append((key, value))
+    return tuple(sorted(labels)), le
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('file')
+    parser.add_argument('--require', action='append', default=[],
+                        help='family name that must have >= 1 sample')
+    parser.add_argument('--min-series', action='append', default=[],
+                        metavar='NAME=N',
+                        help='family NAME must have >= N series')
+    args = parser.parse_args()
+
+    errors = []
+    families = {}          # family name -> number of sample lines
+    buckets = {}           # (family, labels) -> list of (le, count)
+    typed = {}             # family name -> TYPE
+
+    with open(args.file, encoding='utf-8') as handle:
+        for number, raw in enumerate(handle, 1):
+            line = raw.rstrip('\n')
+            if not line.strip():
+                continue
+            if line.startswith('#'):
+                if not COMMENT_RE.match(line):
+                    errors.append(f'line {number}: malformed comment: {line}')
+                elif line.startswith('# TYPE '):
+                    parts = line.split(' ')
+                    typed[parts[2]] = parts[3]
+                continue
+            match = SAMPLE_RE.match(line)
+            if not match:
+                errors.append(f'line {number}: not a valid sample: {line}')
+                continue
+            name = match.group('name')
+            labels, le = parse_labels(match.group('labels'))
+            value = float(match.group('value').replace('Inf', 'inf'))
+            base = re.sub(r'_(bucket|sum|count)$', '', name)
+            families[name] = families.get(name, 0) + 1
+            families.setdefault(base, families.get(base, 0))
+            if name.endswith('_bucket'):
+                if le is None:
+                    errors.append(f'line {number}: _bucket without le label')
+                    continue
+                buckets.setdefault((base, labels), []).append((le, value))
+
+    for (family, labels), series in sorted(buckets.items()):
+        les = [le for le, _ in series]
+        if les[-1] != '+Inf':
+            errors.append(f'{family}{dict(labels)}: buckets do not end '
+                          f'with +Inf (last le={les[-1]})')
+        bounds = [float(le.replace('+Inf', 'inf')) for le in les]
+        if bounds != sorted(bounds):
+            errors.append(f'{family}{dict(labels)}: le bounds not ascending')
+        counts = [count for _, count in series]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            errors.append(f'{family}{dict(labels)}: cumulative bucket counts '
+                          f'decrease: {counts}')
+
+    for name in args.require:
+        if families.get(name, 0) < 1 and families.get(name + '_bucket', 0) < 1:
+            errors.append(f'required family missing: {name}')
+    for spec in args.min_series:
+        name, _, minimum = spec.partition('=')
+        have = max(families.get(name, 0), families.get(name + '_bucket', 0))
+        if have < int(minimum):
+            errors.append(f'family {name}: {have} series, need {minimum}')
+
+    if errors:
+        for error in errors:
+            print(f'validate_prom: {error}', file=sys.stderr)
+        return 1
+    sample_count = sum(families.values())
+    print(f'validate_prom: OK — {len(typed)} typed families, '
+          f'{sample_count} samples, {len(buckets)} histogram series')
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())
