@@ -19,16 +19,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/bfs.h"
 #include "core/subgraph.h"
 #include "core/triangle_count.h"
 #include "graph/generate.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/tenant.h"
+#include "net/wire.h"
 #include "prof/report.h"
 #include "serve/job.h"
 #include "serve/registry.h"
@@ -297,6 +305,257 @@ int Main(int argc, char** argv) {
   std::printf("%smetrics overhead on modeled jobs/s: %.2f%% (acceptance "
               "bound: 5%%)\n",
               obs_rendered.str().c_str(), overhead_pct);
+
+  // --- TCP front door (DESIGN.md §2.10) -----------------------------------
+  //
+  // A high-frequency mixed-tenant workload replayed two ways: straight into
+  // Scheduler::Submit (in-process baseline) and over loopback TCP through
+  // net::Server with one session per tenant.  Four tenants across two
+  // priority classes; "capped" carries a deliberately tight token-bucket
+  // quota so the front door sheds its excess while the compliant tenants
+  // keep flowing.  Acceptance: socket jobs/s >= 80% of in-process at the
+  // same worker count; compliant-tenant p99 queue-wait within 1.5x of a
+  // solo run without the capped tenant; responses byte-identical
+  // (fingerprint) to the serial reference.
+  int net_job_count = static_cast<int>(flags.GetInt("net-jobs", 48));
+  int net_workers = static_cast<int>(flags.GetInt("net-workers", 4));
+  std::printf("\nTCP front door: %d jobs, 4 tenants / 2 priority classes, "
+              "%d workers\n",
+              net_job_count, net_workers);
+
+  std::vector<net::TenantConfig> tenants(4);
+  tenants[0] = {.name = "gold-a", .priority = 0, .weight = 2.0};
+  tenants[1] = {.name = "gold-b", .priority = 0, .weight = 1.0};
+  tenants[2] = {.name = "silver", .priority = 1, .weight = 1.0};
+  tenants[3] = {.name = "capped",
+                .rate_per_sec = 40.0,
+                .burst = 4.0,
+                .priority = 1,
+                .weight = 1.0};
+
+  struct NetJob {
+    int tenant = 0;
+    serve::Algorithm algo = serve::Algorithm::kBfs;
+    std::map<std::string, std::string> kv;
+    uint64_t serial_fp = 0;
+  };
+  std::vector<NetJob> net_jobs(net_job_count);
+  for (int i = 0; i < net_job_count; ++i) {
+    NetJob& job = net_jobs[i];
+    job.tenant = i % 4;
+    switch (i % 3) {
+      case 0:
+        job.algo = serve::Algorithm::kBfs;
+        job.kv["source"] = std::to_string((i * 97) % g->num_vertices());
+        job.kv["symmetric"] = "1";
+        break;
+      case 1:
+        job.algo = serve::Algorithm::kTriangleCount;
+        break;
+      default:
+        job.algo = serve::Algorithm::kEsbv;
+        job.kv["fraction"] = "0.3";
+        job.kv["seed"] = std::to_string(i);
+        break;
+    }
+    // Serial reference fingerprint via the *same* wire param mapping the
+    // server uses, so a mismatch can only come from the transport.
+    serve::JobSpec spec;
+    spec.graph = g;
+    spec.params = net::BuildJobParams(job.algo, job.kv, g->num_vertices())
+                      .value();
+    const auto& handler = serve::GetHandler(job.algo);
+    job.serial_fp = serve::FingerprintPayload(
+        handler.run(&serial_device, spec, nullptr).value());
+    serial_device.ResetCounters();
+  }
+
+  auto make_pool_options = [&](size_t queue_capacity) {
+    serve::Scheduler::Options options;
+    for (int w = 0; w < net_workers; ++w) {
+      options.devices.push_back({.arch = &vgpu::A100Config(), .options = {}});
+    }
+    options.queue_capacity = queue_capacity;
+    options.device_occupancy_floor_ms = floor_ms;
+    return options;
+  };
+  auto p99 = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<size_t>(std::ceil(0.99 * v.size())) - 1];
+  };
+
+  // In-process baseline: same jobs, same tenant QoS fields, no socket.
+  double inproc_jobs_per_sec = 0;
+  {
+    auto scheduler =
+        serve::Scheduler::Create(make_pool_options(net_jobs.size())).value();
+    auto start = Clock::now();
+    std::vector<std::future<serve::JobOutcome>> futures;
+    for (const NetJob& job : net_jobs) {
+      serve::JobSpec spec;
+      spec.graph = g;
+      spec.params =
+          net::BuildJobParams(job.algo, job.kv, g->num_vertices()).value();
+      const net::TenantConfig& t = tenants[job.tenant];
+      spec.tenant = t.name;
+      spec.priority = t.priority;
+      spec.fair_weight = t.weight;
+      futures.push_back(scheduler->Submit(spec).value());
+    }
+    size_t completed = 0;
+    for (auto& future : futures) {
+      if (future.get().status.ok()) ++completed;
+    }
+    double wall_ms = MsSince(start);
+    inproc_jobs_per_sec = 1e3 * completed / wall_ms;
+    scheduler->Drain();
+    std::printf("in-process baseline: %zu jobs in %.1f ms (%.1f jobs/s)\n",
+                completed, wall_ms, inproc_jobs_per_sec);
+  }
+
+  // Socket replay: one session per tenant, each on its own thread; submits
+  // are pipelined per session, then every job is polled to completion.
+  struct TenantRun {
+    int submitted = 0;
+    int completed = 0;
+    int rejected_quota = 0;
+    int shed = 0;
+    int failed = 0;
+    int mismatched = 0;
+    std::vector<double> queue_ms;
+  };
+  struct SocketRun {
+    double wall_ms = 0;
+    double jobs_per_sec = 0;
+    std::vector<TenantRun> per_tenant;
+  };
+  auto run_socket = [&](bool include_capped) -> SocketRun {
+    auto scheduler =
+        serve::Scheduler::Create(make_pool_options(net_jobs.size())).value();
+    net::ServerOptions server_options;
+    server_options.handler_threads = 2;
+    server_options.tenants = tenants;
+    net::Server::GraphMap graphs;
+    graphs["default"] = g;
+    auto server =
+        net::Server::Start(scheduler.get(), std::move(graphs), server_options)
+            .value();
+
+    SocketRun run;
+    run.per_tenant.resize(tenants.size());
+    std::mutex mu;
+    auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      if (!include_capped && tenants[t].name == "capped") continue;
+      threads.emplace_back([&, t] {
+        TenantRun local;
+        auto client =
+            net::Client::Connect("127.0.0.1", server->port()).value();
+        (void)client.Hello(tenants[t].name).value();
+        std::vector<std::pair<uint64_t, const NetJob*>> in_flight;
+        for (const NetJob& job : net_jobs) {
+          if (job.tenant != static_cast<int>(t)) continue;
+          net::Json request = net::Json::MakeObject();
+          request.Set("op", "SUBMIT");
+          request.Set("algo",
+                      std::string(serve::AlgorithmName(job.algo)));
+          net::Json params = net::Json::MakeObject();
+          for (const auto& [key, value] : job.kv) params.Set(key, value);
+          request.Set("params", std::move(params));
+          ++local.submitted;
+          net::Json response = client.Call(request).value();
+          if (!response.GetBool("ok", false)) {
+            ++local.rejected_quota;
+            continue;
+          }
+          in_flight.emplace_back(
+              static_cast<uint64_t>(response.GetNumber("job", 0)), &job);
+        }
+        for (const auto& [job_id, job] : in_flight) {
+          net::Json done = client.WaitJob(job_id).value();
+          std::string status = done.GetString("status", "?");
+          if (status == "ok") {
+            ++local.completed;
+            local.queue_ms.push_back(done.GetNumber("queue_ms", 0));
+            if (done.GetString("fingerprint", "") !=
+                net::FingerprintHex(job->serial_fp)) {
+              ++local.mismatched;
+            }
+          } else if (status == "deadline_exceeded") {
+            ++local.shed;
+          } else {
+            ++local.failed;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        run.per_tenant[t] = std::move(local);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    run.wall_ms = MsSince(start);
+    size_t completed = 0;
+    for (const TenantRun& t : run.per_tenant) completed += t.completed;
+    run.jobs_per_sec = 1e3 * completed / run.wall_ms;
+    server->Shutdown();
+    scheduler->Drain();
+    return run;
+  };
+
+  SocketRun solo = run_socket(/*include_capped=*/false);
+  SocketRun full = run_socket(/*include_capped=*/true);
+
+  TablePrinter net_table({"tenant", "class", "submitted", "done", "quota rej",
+                          "shed", "mismatch", "p99 queue (ms)"});
+  std::vector<double> class_queue[2];
+  int mismatched_total = 0;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const TenantRun& tenant_run = full.per_tenant[t];
+    mismatched_total += tenant_run.mismatched;
+    auto& pooled = class_queue[tenants[t].priority == 0 ? 0 : 1];
+    pooled.insert(pooled.end(), tenant_run.queue_ms.begin(),
+                  tenant_run.queue_ms.end());
+    net_table.AddRow(
+        {tenants[t].name, tenants[t].priority == 0 ? "gold" : "silver",
+         std::to_string(tenant_run.submitted),
+         std::to_string(tenant_run.completed),
+         std::to_string(tenant_run.rejected_quota),
+         std::to_string(tenant_run.shed), std::to_string(tenant_run.mismatched),
+         FormatFixed(p99(tenant_run.queue_ms), 2)});
+  }
+  std::ostringstream net_rendered;
+  net_table.Print(net_rendered);
+  std::printf("%s", net_rendered.str().c_str());
+
+  double ratio =
+      inproc_jobs_per_sec > 0 ? full.jobs_per_sec / inproc_jobs_per_sec : 0;
+  std::printf("socket: %.1f jobs/s over TCP vs %.1f in-process — %.0f%% "
+              "(acceptance bound: >= 80%%)\n",
+              full.jobs_per_sec, inproc_jobs_per_sec, 100.0 * ratio);
+  std::printf("p99 queue-wait: gold %.2f ms, silver %.2f ms\n",
+              p99(class_queue[0]), p99(class_queue[1]));
+
+  // Compliant-tenant isolation: p99 with the capped tenant hammering the
+  // pool vs. a solo run without it.
+  std::vector<double> compliant_full;
+  std::vector<double> compliant_solo;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    if (tenants[t].name == "capped") continue;
+    compliant_full.insert(compliant_full.end(),
+                          full.per_tenant[t].queue_ms.begin(),
+                          full.per_tenant[t].queue_ms.end());
+    compliant_solo.insert(compliant_solo.end(),
+                          solo.per_tenant[t].queue_ms.begin(),
+                          solo.per_tenant[t].queue_ms.end());
+  }
+  double solo_p99 = p99(compliant_solo);
+  double full_p99 = p99(compliant_full);
+  std::printf("compliant p99 queue-wait: %.2f ms with capped tenant vs "
+              "%.2f ms solo (%.2fx, acceptance bound: <= 1.5x)\n",
+              full_p99, solo_p99, solo_p99 > 0 ? full_p99 / solo_p99 : 0.0);
+  std::printf("fingerprint mismatches vs serial reference: %d\n",
+              mismatched_total);
   return 0;
 }
 

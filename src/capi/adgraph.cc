@@ -67,6 +67,8 @@ adgraphStatus_t ToC(StatusCode code) {
       return ADGRAPH_STATUS_RESOURCE_EXHAUSTED;
     case StatusCode::kUnavailable:
       return ADGRAPH_STATUS_UNAVAILABLE;
+    case StatusCode::kDeadlineExceeded:
+      return ADGRAPH_STATUS_DEADLINE_EXCEEDED;
   }
   return ADGRAPH_STATUS_INTERNAL_ERROR;
 }
@@ -138,6 +140,8 @@ const char* adgraphStatusGetString(adgraphStatus_t status) {
       return "ADGRAPH_STATUS_GRAPH_TYPE_MISMATCH";
     case ADGRAPH_STATUS_UNAVAILABLE:
       return "ADGRAPH_STATUS_UNAVAILABLE";
+    case ADGRAPH_STATUS_DEADLINE_EXCEEDED:
+      return "ADGRAPH_STATUS_DEADLINE_EXCEEDED";
   }
   return "ADGRAPH_STATUS_UNKNOWN";
 }
@@ -151,7 +155,7 @@ adgraphStatus_t adgraphGetVersion(int* major, int* minor, int* patch) {
 
 adgraphStatus_t adgraphStatusFromStatusCode(int status_code) {
   if (status_code < static_cast<int>(StatusCode::kOk) ||
-      status_code > static_cast<int>(StatusCode::kUnavailable)) {
+      status_code > static_cast<int>(StatusCode::kDeadlineExceeded)) {
     return ADGRAPH_STATUS_INTERNAL_ERROR;
   }
   return ToC(static_cast<StatusCode>(status_code));

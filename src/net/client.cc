@@ -1,0 +1,176 @@
+#include "net/client.h"
+
+#include "net/wire.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace adgraph::net {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), inbuf_(std::move(other.inbuf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    inbuf_ = std::move(other.inbuf_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addrs = nullptr;
+  int rc = getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                       &addrs);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string error = "no usable address";
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    fd = socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
+    error = std::string("connect: ") + std::strerror(errno);
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(addrs);
+  if (fd < 0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + error);
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Result<std::string> Client::ReadLine(double timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  while (true) {
+    size_t newline = inbuf_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = inbuf_.substr(0, newline);
+      inbuf_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded("no response line within " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) continue;  // deadline check handles expiry
+    char buf[4096];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<Json> Client::Call(const Json& request, double timeout_ms) {
+  ADGRAPH_RETURN_NOT_OK(SendLine(request.Dump()));
+  ADGRAPH_ASSIGN_OR_RETURN(std::string line, ReadLine(timeout_ms));
+  return Json::Parse(line);
+}
+
+Result<Json> Client::Hello(const std::string& tenant, double timeout_ms) {
+  Json hello = Json::MakeObject();
+  hello.Set("op", "HELLO");
+  hello.Set("proto", kProtocolVersion);
+  hello.Set("tenant", tenant);
+  ADGRAPH_ASSIGN_OR_RETURN(Json response, Call(hello, timeout_ms));
+  if (!response.GetBool("ok", false)) {
+    return Status::NotFound("HELLO rejected: " +
+                            response.GetString("error", "(no error field)"));
+  }
+  return response;
+}
+
+Result<Json> Client::WaitJob(uint64_t job_id, double timeout_ms,
+                             double poll_interval_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  while (true) {
+    Json poll_request = Json::MakeObject();
+    poll_request.Set("op", "POLL");
+    poll_request.Set("job", job_id);
+    ADGRAPH_ASSIGN_OR_RETURN(Json response, Call(poll_request, timeout_ms));
+    if (!response.GetBool("ok", false)) {
+      return Status::Internal("POLL failed: " +
+                              response.GetString("error", "(no error field)"));
+    }
+    if (response.GetBool("done", false)) return response;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("job " + std::to_string(job_id) +
+                                      " not done within " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll_interval_ms));
+  }
+}
+
+}  // namespace adgraph::net

@@ -1,0 +1,64 @@
+#ifndef ADGRAPH_NET_CLIENT_H_
+#define ADGRAPH_NET_CLIENT_H_
+
+/// \file
+/// Blocking line-protocol client for the TCP front door — what the
+/// `adgraph_cli client` subcommand, the loopback bench and the protocol
+/// tests speak.  One request line out, one response line in; ReadLine uses
+/// poll(2) timeouts so a dead server fails a call instead of hanging it.
+/// SendRaw/ReadLine are exposed separately so robustness tests can send
+/// deliberately malformed or truncated bytes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/json.h"
+#include "util/status.h"
+
+namespace adgraph::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or resolvable name).
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+  int fd() const { return fd_; }
+
+  /// Sends exactly `bytes` (no framing added) — the raw hatch for
+  /// protocol-robustness tests (truncated requests, slow-loris drips).
+  Status SendRaw(std::string_view bytes);
+  /// Sends `line` + '\n'.
+  Status SendLine(const std::string& line);
+  /// Reads up to the next '\n' (stripped), waiting at most `timeout_ms`.
+  Result<std::string> ReadLine(double timeout_ms = 5000);
+
+  /// One request/response round trip: Dump + SendLine + ReadLine + Parse.
+  Result<Json> Call(const Json& request, double timeout_ms = 5000);
+
+  /// HELLO handshake; fails (kPermissionDenied-ish NotFound) on an unknown
+  /// tenant.  Returns the server's HELLO response.
+  Result<Json> Hello(const std::string& tenant, double timeout_ms = 5000);
+
+  /// POLLs `job_id` until done (sleeping poll_interval_ms between polls) or
+  /// the deadline passes.  Returns the done-response.
+  Result<Json> WaitJob(uint64_t job_id, double timeout_ms = 30000,
+                       double poll_interval_ms = 1.0);
+
+ private:
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace adgraph::net
+
+#endif  // ADGRAPH_NET_CLIENT_H_

@@ -1,0 +1,379 @@
+#include "net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adgraph::net {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Cursor over the input text for the recursive-descent parser.
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos));
+  }
+
+  Result<Json> ParseValue(int depth);
+  Result<Json> ParseObject(int depth);
+  Result<Json> ParseArray(int depth);
+  Result<std::string> ParseString();
+  Result<Json> ParseNumber();
+  Status Expect(std::string_view literal);
+};
+
+Status Parser::Expect(std::string_view literal) {
+  if (text.substr(pos, literal.size()) != literal) {
+    return Error("expected '" + std::string(literal) + "'");
+  }
+  pos += literal.size();
+  return Status::OK();
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+Result<std::string> Parser::ParseString() {
+  if (AtEnd() || Peek() != '"') return Error("expected string");
+  ++pos;
+  std::string out;
+  while (true) {
+    if (AtEnd()) return Error("unterminated string");
+    char c = text[pos++];
+    if (c == '"') return out;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Error("raw control character in string");
+    }
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (AtEnd()) return Error("unterminated escape");
+    char esc = text[pos++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        auto hex4 = [&]() -> int64_t {
+          if (pos + 4 > text.size()) return -1;
+          uint32_t v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos + i];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= h - '0';
+            else if (h >= 'a' && h <= 'f') v |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') v |= h - 'A' + 10;
+            else return -1;
+          }
+          pos += 4;
+          return v;
+        };
+        int64_t cp = hex4();
+        if (cp < 0) return Error("bad \\u escape");
+        // Combine a UTF-16 surrogate pair when one follows; a lone
+        // surrogate is encoded as-is (garbage in, labeled garbage out).
+        if (cp >= 0xD800 && cp <= 0xDBFF &&
+            text.substr(pos, 2) == "\\u") {
+          size_t saved = pos;
+          pos += 2;
+          int64_t lo = hex4();
+          if (lo >= 0xDC00 && lo <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            pos = saved;
+          }
+        }
+        AppendUtf8(static_cast<uint32_t>(cp), &out);
+        break;
+      }
+      default:
+        return Error("unknown escape");
+    }
+  }
+}
+
+Result<Json> Parser::ParseNumber() {
+  size_t start = pos;
+  if (!AtEnd() && Peek() == '-') ++pos;
+  while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                      Peek() == '+' || Peek() == '-')) {
+    ++pos;
+  }
+  std::string token(text.substr(start, pos - start));
+  // Enforce the JSON number grammar before strtod, which is laxer (it
+  // accepts "+1", "01", ".5", "1.", hex, ...).
+  {
+    const char* p = token.c_str();
+    if (*p == '-') ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      return Error("malformed number '" + token + "'");
+    }
+    if (*p == '0' && std::isdigit(static_cast<unsigned char>(p[1]))) {
+      return Error("malformed number '" + token + "' (leading zero)");
+    }
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '.') {
+      ++p;
+      if (!std::isdigit(static_cast<unsigned char>(*p))) {
+        return Error("malformed number '" + token + "'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (*p == 'e' || *p == 'E') {
+      ++p;
+      if (*p == '+' || *p == '-') ++p;
+      if (!std::isdigit(static_cast<unsigned char>(*p))) {
+        return Error("malformed number '" + token + "'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (*p != '\0') return Error("malformed number '" + token + "'");
+  }
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+    return Error("malformed number '" + token + "'");
+  }
+  return Json(v);
+}
+
+Result<Json> Parser::ParseObject(int depth) {
+  ++pos;  // consume '{'
+  Json obj = Json::MakeObject();
+  SkipWhitespace();
+  if (!AtEnd() && Peek() == '}') {
+    ++pos;
+    return obj;
+  }
+  while (true) {
+    SkipWhitespace();
+    ADGRAPH_ASSIGN_OR_RETURN(std::string key, ParseString());
+    SkipWhitespace();
+    ADGRAPH_RETURN_NOT_OK(Expect(":"));
+    ADGRAPH_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+    obj.Set(key, std::move(value));
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated object");
+    char c = text[pos++];
+    if (c == '}') return obj;
+    if (c != ',') return Error("expected ',' or '}'");
+  }
+}
+
+Result<Json> Parser::ParseArray(int depth) {
+  ++pos;  // consume '['
+  Json arr = Json::MakeArray();
+  SkipWhitespace();
+  if (!AtEnd() && Peek() == ']') {
+    ++pos;
+    return arr;
+  }
+  while (true) {
+    ADGRAPH_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+    arr.PushBack(std::move(value));
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated array");
+    char c = text[pos++];
+    if (c == ']') return arr;
+    if (c != ',') return Error("expected ',' or ']'");
+  }
+}
+
+Result<Json> Parser::ParseValue(int depth) {
+  if (depth > kMaxDepth) return Error("nesting too deep");
+  SkipWhitespace();
+  if (AtEnd()) return Error("unexpected end of input");
+  switch (Peek()) {
+    case '{': return ParseObject(depth);
+    case '[': return ParseArray(depth);
+    case '"': {
+      ADGRAPH_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json(std::move(s));
+    }
+    case 't':
+      ADGRAPH_RETURN_NOT_OK(Expect("true"));
+      return Json(true);
+    case 'f':
+      ADGRAPH_RETURN_NOT_OK(Expect("false"));
+      return Json(false);
+    case 'n':
+      ADGRAPH_RETURN_NOT_OK(Expect("null"));
+      return Json();
+    default:
+      return ParseNumber();
+  }
+}
+
+}  // namespace
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::GetString(const std::string& key,
+                            std::string fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_ : std::move(fallback);
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_ : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->bool_ : fallback;
+}
+
+Json& Json::PushBack(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      char buf[32];
+      // Integral values (the common case on this protocol: ids, counts,
+      // byte sizes) print without an exponent or trailing zeros.
+      if (number_ == std::floor(number_) && std::fabs(number_) < 9e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      AppendJsonString(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(k, out);
+        out->push_back(':');
+        v.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser parser{text};
+  ADGRAPH_ASSIGN_OR_RETURN(Json value, parser.ParseValue(0));
+  parser.SkipWhitespace();
+  if (!parser.AtEnd()) return parser.Error("trailing garbage");
+  return value;
+}
+
+}  // namespace adgraph::net

@@ -1,0 +1,112 @@
+#ifndef ADGRAPH_NET_JSON_H_
+#define ADGRAPH_NET_JSON_H_
+
+/// \file
+/// Minimal JSON value for the wire protocol (DESIGN.md §2.10) — just enough
+/// of RFC 8259 for line-delimited request/response framing: null, bool,
+/// number (double), string, array, object.
+///
+/// Deliberately small instead of general: objects keep insertion order in a
+/// flat vector (protocol objects have a handful of keys, linear Find wins
+/// over a map), numbers are doubles (integral values round-trip exactly up
+/// to 2^53, far beyond any protocol field), and Parse() is a strict
+/// recursive-descent parser that rejects trailing garbage — a malformed
+/// request must produce a structured error, never a partially-parsed one.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adgraph::net {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Null by default.
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}    // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}           // NOLINT
+  Json(int64_t v) : Json(static_cast<double>(v)) {}       // NOLINT
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}      // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json MakeObject() { return Json(Type::kObject); }
+  static Json MakeArray() { return Json(Type::kArray); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // --- scalar access (typed, with fallback for the wrong type) -------------
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // --- object access -------------------------------------------------------
+  /// Sets `key` (replacing an existing entry), turning a null value into an
+  /// object first.  Returns *this for chaining.
+  Json& Set(const std::string& key, Json value);
+  /// The value at `key`, or nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  /// Typed member getters: the member's value when present *and* of the
+  /// right type, the fallback otherwise.
+  std::string GetString(const std::string& key, std::string fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  // --- array access --------------------------------------------------------
+  /// Appends to the array, turning a null value into an array first.
+  Json& PushBack(Json value);
+  const std::vector<Json>& items() const { return array_; }
+  size_t size() const { return is_array() ? array_.size() : object_.size(); }
+
+  /// Compact single-line serialization (no spaces, members in insertion
+  /// order) — one Dump() per protocol line.
+  std::string Dump() const;
+
+  /// Strict parse of exactly one JSON value; trailing non-whitespace is an
+  /// error (kInvalidArgument), as is nesting deeper than 64 levels.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+
+  void DumpTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  /// Insertion-ordered members; Find is a linear scan (protocol objects are
+  /// tiny).  vector-of-incomplete is fine in C++17+.
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Serializes a string with JSON escaping (quotes included) into `out` —
+/// shared by Json::Dump and hand-rolled writers.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace adgraph::net
+
+#endif  // ADGRAPH_NET_JSON_H_

@@ -1,0 +1,738 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "prof/server_stats.h"
+#include "serve/registry.h"
+#include "trace/trace.h"
+
+namespace adgraph::net {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::pair<int, int>> MakeWakePipe() {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  for (int fd : fds) {
+    Status status = SetNonBlocking(fd);
+    if (!status.ok()) {
+      close(fds[0]);
+      close(fds[1]);
+      return status;
+    }
+  }
+  return std::make_pair(fds[0], fds[1]);
+}
+
+}  // namespace
+
+Server::Server(serve::Scheduler* scheduler, GraphMap graphs,
+               ServerOptions options)
+    : scheduler_(scheduler),
+      graphs_(std::move(graphs)),
+      options_(std::move(options)),
+      tenants_(options_.tenants) {
+  if (options_.handler_threads == 0) options_.handler_threads = 1;
+  if (options_.max_line_bytes == 0) options_.max_line_bytes =
+      kDefaultMaxLineBytes;
+}
+
+Result<std::unique_ptr<Server>> Server::Start(serve::Scheduler* scheduler,
+                                              GraphMap graphs,
+                                              ServerOptions options) {
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("net::Server needs a scheduler");
+  }
+  if (graphs.empty()) {
+    return Status::InvalidArgument("net::Server needs at least one graph");
+  }
+  std::unique_ptr<Server> server(
+      new Server(scheduler, std::move(graphs), std::move(options)));
+  ADGRAPH_RETURN_NOT_OK(server->Listen());
+  server->RegisterMetrics();
+  ADGRAPH_ASSIGN_OR_RETURN(auto accept_pipe, MakeWakePipe());
+  server->accept_wake_fds_[0] = accept_pipe.first;
+  server->accept_wake_fds_[1] = accept_pipe.second;
+  for (size_t i = 0; i < server->options_.handler_threads; ++i) {
+    auto shard = std::make_unique<Shard>();
+    ADGRAPH_ASSIGN_OR_RETURN(auto pipe_fds, MakeWakePipe());
+    shard->wake_fds[0] = pipe_fds.first;
+    shard->wake_fds[1] = pipe_fds.second;
+    server->shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : server->shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([server = server.get(), raw] {
+      server->HandlerLoop(raw);
+    });
+  }
+  server->accept_thread_ = std::thread([server = server.get()] {
+    server->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse listen host '" +
+                                   options_.host + "' as an IPv4 address");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IOError(std::string("bind ") + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  return SetNonBlocking(listen_fd_);
+}
+
+void Server::RegisterMetrics() {
+  obs::Registry* registry = scheduler_->mutable_metrics_registry();
+  metric_sessions_opened_ = registry->GetCounter(
+      "adgraph_net_sessions_opened_total", "TCP sessions accepted");
+  metric_sessions_closed_ = registry->GetCounter(
+      "adgraph_net_sessions_closed_total", "TCP sessions closed");
+  metric_requests_ = registry->GetCounter("adgraph_net_requests_total",
+                                          "protocol request lines handled");
+  metric_protocol_errors_ = registry->GetCounter(
+      "adgraph_net_protocol_errors_total",
+      "malformed, oversized or out-of-order request lines");
+  metric_live_sessions_ = registry->GetGauge("adgraph_net_live_sessions",
+                                             "currently open TCP sessions");
+}
+
+Server::TenantMetrics* Server::MetricsFor(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenant_metrics_mutex_);
+  auto [it, inserted] = tenant_metrics_.try_emplace(tenant);
+  if (inserted) {
+    obs::Registry* registry = scheduler_->mutable_metrics_registry();
+    obs::LabelSet labels = {{"tenant", tenant.empty() ? "-" : tenant}};
+    it->second.accepted = registry->GetCounter(
+        "adgraph_net_submits_accepted_total",
+        "SUBMIT requests admitted through tenant quotas", labels);
+    it->second.rejected_quota = registry->GetCounter(
+        "adgraph_net_submits_rejected_quota_total",
+        "SUBMIT requests rejected by tenant quotas", labels);
+    it->second.shed_wire = registry->GetCounter(
+        "adgraph_net_outcomes_shed_total",
+        "deadline_exceeded outcomes delivered over the wire", labels);
+  }
+  return &it->second;
+}
+
+void Server::WakeShard(Shard* shard) {
+  char byte = 1;
+  ssize_t rc = write(shard->wake_fds[1], &byte, 1);
+  (void)rc;  // a full pipe already wakes the shard
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_wake_fds_[1] >= 0) {
+    char byte = 1;
+    ssize_t rc = write(accept_wake_fds_[1], &byte, 1);
+    (void)rc;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& shard : shards_) WakeShard(shard.get());
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    for (int fd : shard->wake_fds) {
+      if (fd >= 0) close(fd);
+    }
+  }
+  for (int fd : accept_wake_fds_) {
+    if (fd >= 0) close(fd);
+  }
+  accept_wake_fds_[0] = accept_wake_fds_[1] = -1;
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+ServerCounters Server::Counters() const {
+  ServerCounters counters;
+  counters.sessions_opened = sessions_opened_.load();
+  counters.sessions_closed = sessions_closed_.load();
+  counters.requests = requests_.load();
+  counters.protocol_errors = protocol_errors_.load();
+  counters.lines_oversized = lines_oversized_.load();
+  counters.submits_accepted = submits_accepted_.load();
+  counters.submits_rejected_quota = submits_rejected_quota_.load();
+  counters.submits_rejected_scheduler = submits_rejected_scheduler_.load();
+  counters.jobs_orphaned = jobs_orphaned_.load();
+  return counters;
+}
+
+void Server::AcceptLoop() {
+  size_t next_shard = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                     {accept_wake_fds_[0], POLLIN, 0}};
+    int rc = poll(fds, 2, 500);
+    if (rc < 0 && errno != EINTR) break;
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (rc <= 0 || !(fds[0].revents & POLLIN)) continue;
+    while (true) {
+      int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN (drained) or a transient accept error
+      }
+      if (!SetNonBlocking(fd).ok()) {
+        close(fd);
+        continue;
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (live_sessions_.load() >= options_.max_sessions) {
+        std::string line =
+            ErrorResponse("resource_exhausted", "session limit reached")
+                .Dump() +
+            "\n";
+        (void)send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+        close(fd);
+        continue;
+      }
+      sessions_opened_.fetch_add(1);
+      metric_sessions_opened_->Increment();
+      metric_live_sessions_->Set(
+          static_cast<double>(live_sessions_.fetch_add(1) + 1));
+      Shard* shard = shards_[next_shard++ % shards_.size()].get();
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->incoming.push_back(fd);
+      }
+      WakeShard(shard);
+    }
+  }
+}
+
+void Server::AdoptIncoming(Shard* shard) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    fds.swap(shard->incoming);
+  }
+  for (int fd : fds) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->session_id = next_session_id_.fetch_add(1);
+    shard->connections.push_back(std::move(conn));
+  }
+}
+
+void Server::HandlerLoop(Shard* shard) {
+  std::vector<pollfd> fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    AdoptIncoming(shard);
+    fds.clear();
+    fds.push_back({shard->wake_fds[0], POLLIN, 0});
+    for (const auto& conn : shard->connections) {
+      short events = POLLIN;
+      if (!conn->outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+    // Short timeout while orphans wait on futures, long otherwise (wakeups
+    // cover new connections; POLLIN covers request traffic).
+    int timeout_ms = shard->orphans.empty() ? 200 : 20;
+    int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) continue;
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(shard->wake_fds[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    std::vector<std::unique_ptr<Connection>> alive;
+    alive.reserve(shard->connections.size());
+    for (size_t i = 0; i < shard->connections.size(); ++i) {
+      std::unique_ptr<Connection> conn = std::move(shard->connections[i]);
+      short revents = rc > 0 ? fds[i + 1].revents : 0;
+      bool keep = true;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        keep = HandleReadable(conn.get());
+      }
+      if (keep && !conn->outbuf.empty()) keep = FlushOutput(conn.get());
+      if (keep && conn->drop_after_flush && conn->outbuf.empty()) keep = false;
+      if (keep) {
+        alive.push_back(std::move(conn));
+      } else {
+        DropConnection(shard, std::move(conn));
+      }
+    }
+    shard->connections = std::move(alive);
+    ReapOrphans(shard, /*final=*/false);
+  }
+  // Teardown: best-effort flush, then close everything and release every
+  // outstanding tenant charge.
+  AdoptIncoming(shard);
+  for (auto& conn : shard->connections) FlushOutput(conn.get());
+  while (!shard->connections.empty()) {
+    auto conn = std::move(shard->connections.back());
+    shard->connections.pop_back();
+    DropConnection(shard, std::move(conn));
+  }
+  ReapOrphans(shard, /*final=*/true);
+}
+
+bool Server::HandleReadable(Connection* conn) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      // Keep reading until EAGAIN so level-triggered poll stays simple; the
+      // per-line cap below bounds memory even against a garbage firehose.
+      if (conn->inbuf.size() > 2 * options_.max_line_bytes) break;
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed.  Process what arrived (complete lines get responses
+      // that FlushOutput will try to deliver), then drop: a mid-request
+      // disconnect must release the session, not wedge it.
+      ProcessBufferedLines(conn);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // ECONNRESET and friends
+  }
+  ProcessBufferedLines(conn);
+  return true;
+}
+
+bool Server::FlushOutput(Connection* conn) {
+  while (!conn->outbuf.empty()) {
+    ssize_t n = send(conn->fd, conn->outbuf.data(), conn->outbuf.size(),
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET — receiver is gone
+  }
+  return true;
+}
+
+void Server::ProcessBufferedLines(Connection* conn) {
+  size_t start = 0;
+  while (!conn->drop_after_flush) {
+    size_t newline = conn->inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = conn->inbuf.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (line.size() > options_.max_line_bytes) {
+      lines_oversized_.fetch_add(1);
+      protocol_errors_.fetch_add(1);
+      metric_protocol_errors_->Increment();
+      conn->outbuf +=
+          ErrorResponse("resource_exhausted",
+                        "request line exceeds " +
+                            std::to_string(options_.max_line_bytes) + " bytes")
+              .Dump() +
+          "\n";
+      conn->drop_after_flush = true;
+      break;
+    }
+    Json response = HandleRequest(conn, line);
+    trace::Span respond(conn->trace_track, "respond", "net");
+    conn->outbuf += response.Dump();
+    conn->outbuf.push_back('\n');
+  }
+  conn->inbuf.erase(0, start);
+  // A partial line longer than the cap can never complete into a legal
+  // request — reject it now instead of buffering a slow-loris feed forever.
+  if (!conn->drop_after_flush && conn->inbuf.size() > options_.max_line_bytes) {
+    lines_oversized_.fetch_add(1);
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    conn->inbuf.clear();
+    conn->outbuf +=
+        ErrorResponse("resource_exhausted",
+                      "request line exceeds " +
+                          std::to_string(options_.max_line_bytes) + " bytes")
+            .Dump() +
+        "\n";
+    conn->drop_after_flush = true;
+  }
+}
+
+Json Server::HandleRequest(Connection* conn, const std::string& line) {
+  requests_.fetch_add(1);
+  metric_requests_->Increment();
+  if (trace::Enabled() && conn->trace_track == 0) {
+    conn->trace_track =
+        trace::RegisterTrack("session " + std::to_string(conn->session_id));
+  }
+  trace::Span request_span(conn->trace_track, "request", "net");
+  request_span.ArgNum("bytes", static_cast<uint64_t>(line.size()));
+
+  trace::Span parse_span(conn->trace_track, "parse", "net");
+  Result<Json> parsed = Json::Parse(line);
+  parse_span.End();
+  if (!parsed.ok()) {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    return ErrorResponse(parsed.status());
+  }
+  const Json& request = *parsed;
+  std::string op = request.GetString("op", "");
+  request_span.Arg("op", op);
+
+  Json response;
+  if (op == "HELLO") {
+    response = HandleHello(conn, request);
+  } else if (op == "SUBMIT") {
+    response = HandleSubmit(conn, request);
+  } else if (op == "POLL") {
+    response = HandlePoll(conn, request);
+  } else if (op == "CANCEL") {
+    response = HandleCancel(conn, request);
+  } else if (op == "STATS") {
+    response = HandleStats(conn, request);
+  } else {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    response = ErrorResponse("invalid_argument", "unknown op '" + op + "'");
+  }
+  response.Set("op", op);
+  if (const Json* seq = request.Find("seq")) response.Set("seq", *seq);
+  return response;
+}
+
+Json Server::HandleHello(Connection* conn, const Json& request) {
+  if (conn->hello_done) {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    return ErrorResponse("already_exists", "session already started");
+  }
+  double proto = request.GetNumber("proto", kProtocolVersion);
+  if (proto > kProtocolVersion) {
+    return ErrorResponse("unimplemented",
+                         "protocol version " + std::to_string(proto) +
+                             " not supported (server speaks " +
+                             std::to_string(kProtocolVersion) + ")");
+  }
+  std::string tenant = request.GetString("tenant", "");
+  if (!tenants_.empty()) {
+    const TenantConfig* config = tenants_.Find(tenant);
+    if (config == nullptr) {
+      // Unknown tenant is an authorization failure: respond, then close.
+      protocol_errors_.fetch_add(1);
+      metric_protocol_errors_->Increment();
+      conn->drop_after_flush = true;
+      return ErrorResponse("not_found", "unknown tenant '" + tenant + "'");
+    }
+    conn->contract = *config;
+    conn->quotas_enforced = true;
+  } else {
+    conn->contract = TenantConfig{};
+    conn->contract.name = tenant;
+  }
+  conn->tenant = tenant;
+  conn->hello_done = true;
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("proto", kProtocolVersion);
+  response.Set("session", conn->session_id);
+  response.Set("tenant", tenant);
+  response.Set("priority", static_cast<uint64_t>(conn->contract.priority));
+  response.Set("weight", conn->contract.weight);
+  if (conn->contract.default_deadline_ms > 0) {
+    response.Set("deadline_ms", conn->contract.default_deadline_ms);
+  }
+  return response;
+}
+
+Json Server::HandleSubmit(Connection* conn, const Json& request) {
+  if (!conn->hello_done) {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    return ErrorResponse("invalid_argument", "HELLO must come first");
+  }
+  auto algo = serve::ParseAlgorithm(request.GetString("algo", ""));
+  if (!algo.ok()) return ErrorResponse(algo.status());
+  std::string graph_name = request.GetString("graph", "default");
+  auto graph_it = graphs_.find(graph_name);
+  if (graph_it == graphs_.end()) {
+    return ErrorResponse("not_found", "unknown graph '" + graph_name + "'");
+  }
+
+  serve::JobSpec spec;
+  spec.graph = graph_it->second;
+  auto params = JobParamsFromJson(*algo, request.Find("params"),
+                                  spec.graph->num_vertices());
+  if (!params.ok()) return ErrorResponse(params.status());
+  spec.params = std::move(*params);
+  spec.arch_preference = request.GetString("arch", "");
+  spec.tag = request.GetString("tag", "");
+  spec.tenant = conn->tenant;
+  spec.priority = conn->contract.priority;
+  spec.fair_weight = conn->contract.weight;
+  spec.deadline_ms =
+      request.GetNumber("deadline_ms", conn->contract.default_deadline_ms);
+  const uint64_t estimate = serve::EstimateJobDeviceBytes(spec);
+
+  trace::Span admit_span(conn->trace_track, "admit", "net");
+  admit_span.ArgNum("estimated_bytes", estimate);
+  if (conn->quotas_enforced) {
+    QuotaReject reason = QuotaReject::kNone;
+    Status quota = tenants_.Admit(conn->tenant, estimate, &reason);
+    if (!quota.ok()) {
+      submits_rejected_quota_.fetch_add(1);
+      MetricsFor(conn->tenant)->rejected_quota->Increment();
+      Json response = ErrorResponse(quota);
+      response.Set("reason", std::string(QuotaRejectName(reason)));
+      return response;
+    }
+  }
+  auto submitted = scheduler_->Submit(std::move(spec));
+  admit_span.End();
+  if (!submitted.ok()) {
+    if (conn->quotas_enforced) tenants_.Release(conn->tenant, estimate);
+    submits_rejected_scheduler_.fetch_add(1);
+    return ErrorResponse(submitted.status());
+  }
+  const uint64_t job_id = conn->next_job_id++;
+  PendingJob pending;
+  pending.future = std::move(*submitted);
+  pending.charged = conn->quotas_enforced;
+  pending.charged_bytes = estimate;
+  conn->jobs.emplace(job_id, std::move(pending));
+  submits_accepted_.fetch_add(1);
+  MetricsFor(conn->tenant)->accepted->Increment();
+
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("job", job_id);
+  response.Set("estimated_bytes", estimate);
+  std::string tag = request.GetString("tag", "");
+  if (!tag.empty()) response.Set("tag", tag);
+  return response;
+}
+
+void Server::ReleaseCharge(const std::string& tenant, PendingJob* job) {
+  if (!job->charged) return;
+  job->charged = false;
+  tenants_.Release(tenant, job->charged_bytes);
+}
+
+void Server::RefreshPendingJob(Connection* conn, uint64_t job_id,
+                               PendingJob* job) {
+  (void)job_id;
+  if (job->done || !job->future.valid()) return;
+  if (job->future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return;
+  }
+  job->outcome = job->future.get();
+  job->done = true;
+  ReleaseCharge(conn->tenant, job);
+}
+
+Json Server::HandlePoll(Connection* conn, const Json& request) {
+  if (!conn->hello_done) {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    return ErrorResponse("invalid_argument", "HELLO must come first");
+  }
+  const uint64_t job_id = static_cast<uint64_t>(request.GetNumber("job", 0));
+  auto it = conn->jobs.find(job_id);
+  if (it == conn->jobs.end()) {
+    return ErrorResponse("not_found",
+                         "unknown job " + std::to_string(job_id) +
+                             " (never submitted, or already delivered)");
+  }
+  PendingJob& job = it->second;
+  RefreshPendingJob(conn, job_id, &job);
+  if (!job.done) {
+    Json response = Json::MakeObject();
+    response.Set("ok", true);
+    response.Set("done", false);
+    response.Set("job", job_id);
+    if (job.cancelled) response.Set("cancelled", true);
+    return response;
+  }
+  Json response = OutcomeToJson(job.outcome);
+  response.Set("job", job_id);
+  if (job.cancelled) response.Set("cancelled", true);
+  if (job.outcome.status.IsDeadlineExceeded()) {
+    MetricsFor(conn->tenant)->shed_wire->Increment();
+  }
+  // Delivered-once semantics: the outcome's memory is freed now; a second
+  // POLL of the same id reports not_found.
+  conn->jobs.erase(it);
+  return response;
+}
+
+Json Server::HandleCancel(Connection* conn, const Json& request) {
+  if (!conn->hello_done) {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    return ErrorResponse("invalid_argument", "HELLO must come first");
+  }
+  const uint64_t job_id = static_cast<uint64_t>(request.GetNumber("job", 0));
+  auto it = conn->jobs.find(job_id);
+  if (it == conn->jobs.end()) {
+    return ErrorResponse("not_found", "unknown job " + std::to_string(job_id));
+  }
+  PendingJob& job = it->second;
+  RefreshPendingJob(conn, job_id, &job);
+  // The scheduler has no preemption: CANCEL is a server-side mark.  The
+  // outcome (when it lands) is still delivered, flagged `cancelled`.
+  job.cancelled = true;
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("job", job_id);
+  response.Set("done", job.done);
+  response.Set("cancelled", true);
+  return response;
+}
+
+Json Server::HandleStats(Connection* conn, const Json& request) {
+  (void)conn;
+  (void)request;
+  prof::ServerStats stats = scheduler_->Snapshot();
+  Json jobs = Json::MakeObject();
+  jobs.Set("submitted", stats.jobs_submitted);
+  jobs.Set("completed", stats.jobs_completed);
+  jobs.Set("failed", stats.jobs_failed);
+  jobs.Set("rejected_admission", stats.jobs_rejected_admission);
+  jobs.Set("rejected_backpressure", stats.jobs_rejected_backpressure);
+  jobs.Set("shed_deadline", stats.jobs_shed_deadline);
+  jobs.Set("queued", stats.jobs_queued);
+  jobs.Set("running", stats.jobs_running);
+  jobs.Set("jobs_per_sec", stats.jobs_per_sec);
+
+  ServerCounters counters = Counters();
+  Json server = Json::MakeObject();
+  server.Set("sessions_open", static_cast<uint64_t>(live_sessions_.load()));
+  server.Set("sessions_opened", counters.sessions_opened);
+  server.Set("requests", counters.requests);
+  server.Set("protocol_errors", counters.protocol_errors);
+  server.Set("submits_accepted", counters.submits_accepted);
+  server.Set("submits_rejected_quota", counters.submits_rejected_quota);
+
+  Json tenants = Json::MakeArray();
+  for (const TenantConfig& config : tenants_.Configs()) {
+    TenantTable::Usage usage = tenants_.GetUsage(config.name);
+    Json entry = Json::MakeObject();
+    entry.Set("name", config.name);
+    entry.Set("priority", static_cast<uint64_t>(config.priority));
+    entry.Set("admitted", usage.admitted);
+    entry.Set("rejected_rate", usage.rejected_rate);
+    entry.Set("rejected_concurrent", usage.rejected_concurrent);
+    entry.Set("rejected_bytes", usage.rejected_bytes);
+    entry.Set("inflight_jobs", static_cast<uint64_t>(usage.inflight_jobs));
+    entry.Set("inflight_bytes", usage.inflight_bytes);
+    if (config.rate_per_sec > 0) entry.Set("tokens", usage.tokens);
+    tenants.PushBack(std::move(entry));
+  }
+
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("jobs", std::move(jobs));
+  response.Set("server", std::move(server));
+  response.Set("tenants", std::move(tenants));
+  return response;
+}
+
+void Server::DropConnection(Shard* shard, std::unique_ptr<Connection> conn) {
+  for (auto& [job_id, job] : conn->jobs) {
+    (void)job_id;
+    if (job.done) continue;
+    if (job.charged) {
+      // The session died before its outcome: hand the quota charge to the
+      // orphan reaper so it is released when the scheduler finishes the
+      // job — reserved admission bytes never leak with the session.
+      jobs_orphaned_.fetch_add(1);
+      shard->orphans.push_back(
+          OrphanJob{conn->tenant, job.charged_bytes, std::move(job.future)});
+    }
+    // Uncharged futures can simply be destroyed; the scheduler's promise
+    // side tolerates an abandoned future.
+  }
+  if (conn->trace_track != 0) {
+    trace::EmitInstant(conn->trace_track, "session-close", "net");
+  }
+  close(conn->fd);
+  sessions_closed_.fetch_add(1);
+  metric_sessions_closed_->Increment();
+  metric_live_sessions_->Set(
+      static_cast<double>(live_sessions_.fetch_sub(1) - 1));
+}
+
+void Server::ReapOrphans(Shard* shard, bool final) {
+  for (auto it = shard->orphans.begin(); it != shard->orphans.end();) {
+    const bool ready =
+        final || !it->future.valid() ||
+        it->future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready;
+    if (!ready) {
+      ++it;
+      continue;
+    }
+    tenants_.Release(it->tenant, it->charged_bytes);
+    it = shard->orphans.erase(it);
+  }
+}
+
+}  // namespace adgraph::net

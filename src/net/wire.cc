@@ -1,0 +1,185 @@
+#include "net/wire.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/subgraph.h"
+
+namespace adgraph::net {
+namespace {
+
+/// strtod-based number parse of an untrusted kv value; no exceptions.
+Result<double> ParseNumericValue(const std::string& key,
+                                 const std::string& value) {
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    return Status::InvalidArgument("param '" + key + "' wants a number, got '" +
+                                   value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view WireStatusName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfMemory: return "out_of_memory";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kIOError: return "io_error";
+    case StatusCode::kDeadlock: return "deadlock";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "internal";
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+Result<serve::JobParams> BuildJobParams(
+    serve::Algorithm algo, const std::map<std::string, std::string>& kv,
+    graph::vid_t num_vertices) {
+  auto get_number = [&](const char* key, double dflt) -> Result<double> {
+    auto it = kv.find(key);
+    if (it == kv.end()) return dflt;
+    return ParseNumericValue(key, it->second);
+  };
+  switch (algo) {
+    case serve::Algorithm::kBfs: {
+      core::BfsOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double source, get_number("source", 0));
+      ADGRAPH_ASSIGN_OR_RETURN(double symmetric, get_number("symmetric", 0));
+      o.source = static_cast<graph::vid_t>(source);
+      o.assume_symmetric = symmetric != 0;
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kSssp: {
+      core::SsspOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double source, get_number("source", 0));
+      o.source = static_cast<graph::vid_t>(source);
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kPageRank: {
+      core::PageRankOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double iters,
+                               get_number("iters", o.max_iterations));
+      o.max_iterations = static_cast<uint32_t>(iters);
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kTriangleCount: {
+      core::TcOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double orient, get_number("orient", 1));
+      o.orient = orient != 0;
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kConnectedComponents:
+      return serve::JobParams(core::CcOptions{});
+    case serve::Algorithm::kKCore: {
+      core::KCoreOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double k, get_number("k", 3));
+      o.k = static_cast<uint32_t>(k);
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kJaccard:
+      return serve::JobParams(core::JaccardOptions{});
+    case serve::Algorithm::kWidestPath: {
+      core::WidestPathOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double source, get_number("source", 0));
+      o.source = static_cast<graph::vid_t>(source);
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kColoring:
+      return serve::JobParams(core::ColoringOptions{});
+    case serve::Algorithm::kEsbv: {
+      core::EsbvOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double fraction, get_number("fraction", 0.5));
+      ADGRAPH_ASSIGN_OR_RETURN(double seed, get_number("seed", 7));
+      o.vertices = core::SelectPseudoCluster(num_vertices, fraction,
+                                             static_cast<uint64_t>(seed));
+      return serve::JobParams(o);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<serve::JobParams> JobParamsFromJson(serve::Algorithm algo,
+                                           const Json* params,
+                                           graph::vid_t num_vertices) {
+  std::map<std::string, std::string> kv;
+  if (params != nullptr && !params->is_null()) {
+    if (!params->is_object()) {
+      return Status::InvalidArgument("'params' must be a JSON object");
+    }
+    for (const auto& [key, value] : params->members()) {
+      if (value.is_number()) {
+        // Json(value).Dump() prints integral doubles without a decimal
+        // point, which is what the numeric param parser wants.
+        kv[key] = value.Dump();
+      } else if (value.is_string()) {
+        kv[key] = value.AsString();
+      } else if (value.is_bool()) {
+        kv[key] = std::string(value.AsBool() ? "1" : "0");
+      } else {
+        return Status::InvalidArgument("param '" + key +
+                                       "' must be a number, string or bool");
+      }
+    }
+  }
+  return BuildJobParams(algo, kv, num_vertices);
+}
+
+Json OutcomeToJson(const serve::JobOutcome& outcome) {
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("done", true);
+  response.Set("status", std::string(WireStatusName(outcome.status.code())));
+  if (!outcome.status.ok()) {
+    response.Set("error", outcome.status.message());
+  }
+  if (!outcome.tag.empty()) response.Set("tag", outcome.tag);
+  response.Set("device", outcome.device_name);
+  response.Set("queue_ms", outcome.queue_wall_ms);
+  response.Set("exec_ms", outcome.exec_wall_ms);
+  if (outcome.status.ok()) {
+    response.Set("algo",
+                 std::string(serve::AlgorithmName(static_cast<serve::Algorithm>(
+                     outcome.payload.index()))));
+    response.Set("modeled_ms", outcome.modeled_ms);
+    response.Set("transfer_ms", outcome.modeled_transfer_ms);
+    response.Set("cache_hit", outcome.cache_hit);
+    response.Set("fingerprint",
+                 FingerprintHex(serve::FingerprintPayload(outcome.payload)));
+    if (outcome.gang_devices > 1) {
+      response.Set("gang_devices", static_cast<uint64_t>(outcome.gang_devices));
+      response.Set("exchange_bytes", outcome.exchange_bytes);
+      response.Set("exchange_rounds", outcome.exchange_rounds);
+    }
+  }
+  return response;
+}
+
+Json ErrorResponse(const Status& status) {
+  return ErrorResponse(WireStatusName(status.code()), status.message());
+}
+
+Json ErrorResponse(std::string_view code, std::string error) {
+  Json response = Json::MakeObject();
+  response.Set("ok", false);
+  response.Set("code", std::string(code));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+}  // namespace adgraph::net

@@ -1,0 +1,64 @@
+#ifndef ADGRAPH_NET_WIRE_H_
+#define ADGRAPH_NET_WIRE_H_
+
+/// \file
+/// Wire-protocol vocabulary shared by the server, the client, the CLI and
+/// the tests (DESIGN.md §2.10): the line-delimited JSON request/response
+/// grammar's field mappings, snake_case status names, and the job-parameter
+/// builder that the `serve-batch` job files and SUBMIT requests both go
+/// through — one mapping, so a job submitted over the socket is the same
+/// job a batch file line would produce (the byte-identity contract of the
+/// loopback bench).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "graph/csr.h"
+#include "net/json.h"
+#include "serve/job.h"
+#include "util/status.h"
+
+namespace adgraph::net {
+
+/// Protocol revision sent in HELLO; the server rejects newer clients.
+inline constexpr int kProtocolVersion = 1;
+
+/// Default per-request line cap — a request longer than this is a protocol
+/// error and drops the session (slow-loris / garbage-stream protection).
+inline constexpr size_t kDefaultMaxLineBytes = 64 * 1024;
+
+/// snake_case wire name of a StatusCode ("ok", "deadline_exceeded", ...).
+std::string_view WireStatusName(StatusCode code);
+
+/// Payload fingerprint as a fixed-width lowercase hex string — the form the
+/// byte-identity checks compare across transports.
+std::string FingerprintHex(uint64_t fingerprint);
+
+/// Builds the per-algorithm params variant from string key/values (the
+/// `ALGO key=value...` job-file vocabulary: source, iters, k, orient,
+/// symmetric, fraction, seed).  Unknown keys are ignored for forward
+/// compatibility; malformed numeric values are kInvalidArgument — never an
+/// exception, this parses untrusted socket input.
+Result<serve::JobParams> BuildJobParams(
+    serve::Algorithm algo, const std::map<std::string, std::string>& kv,
+    graph::vid_t num_vertices);
+
+/// SUBMIT-request form of BuildJobParams: `params` is a JSON object with
+/// number/string/bool values (null = no params).  Same keys, same defaults.
+Result<serve::JobParams> JobParamsFromJson(serve::Algorithm algo,
+                                           const Json* params,
+                                           graph::vid_t num_vertices);
+
+/// Serializes a finished job outcome into the POLL done-response fields
+/// (status/code, device, modeled/queue/exec timings, fingerprint, ...).
+Json OutcomeToJson(const serve::JobOutcome& outcome);
+
+/// Builds the uniform error response: {"ok":false,"code":...,"error":...}.
+Json ErrorResponse(const Status& status);
+Json ErrorResponse(std::string_view code, std::string error);
+
+}  // namespace adgraph::net
+
+#endif  // ADGRAPH_NET_WIRE_H_

@@ -114,7 +114,8 @@ std::string FormatServerStats(const ServerStats& stats) {
       << stats.jobs_completed << " completed, " << stats.jobs_failed
       << " failed, " << stats.jobs_rejected_admission
       << " rejected (admission), " << stats.jobs_rejected_backpressure
-      << " rejected (backpressure), " << stats.jobs_queued << " queued, "
+      << " rejected (backpressure), " << stats.jobs_shed_deadline
+      << " shed (deadline), " << stats.jobs_queued << " queued, "
       << stats.jobs_running << " running\n"
       << "  throughput: " << FormatFixed(stats.jobs_per_sec, 2)
       << " jobs/s\n"
@@ -148,6 +149,26 @@ std::string FormatServerStats(const ServerStats& stats) {
                        3)
         << " MiB exchanged over " << stats.exchange_rounds_total
         << " interconnect rounds\n";
+  }
+
+  if (!stats.tenants.empty()) {
+    TablePrinter tenant_table({"tenant", "prio", "submitted", "done",
+                               "failed", "rejected", "shed",
+                               "mean queue (ms)"});
+    for (const TenantStats& t : stats.tenants) {
+      const uint64_t dequeued = t.jobs_completed + t.jobs_failed +
+                                t.jobs_rejected + t.jobs_shed_deadline;
+      tenant_table.AddRow(
+          {t.name.empty() ? "-" : t.name, std::to_string(t.priority),
+           std::to_string(t.jobs_submitted), std::to_string(t.jobs_completed),
+           std::to_string(t.jobs_failed), std::to_string(t.jobs_rejected),
+           std::to_string(t.jobs_shed_deadline),
+           FormatFixed(dequeued > 0 ? t.queue_wait_ms_total /
+                                          static_cast<double>(dequeued)
+                                    : 0,
+                       2)});
+    }
+    tenant_table.Print(out);
   }
 
   TablePrinter table({"device", "vendor", "done", "failed", "rejected",

@@ -35,6 +35,22 @@ struct DeviceStats {
   uint64_t exchange_rounds = 0;       ///< bulk-synchronous exchange rounds
 };
 
+/// \brief Per-tenant slice of a serving-pool snapshot (multi-tenant QoS,
+/// DESIGN.md §2.10).  One entry per tenant name seen by Submit(); the
+/// anonymous tenant (jobs with no tenant set) reports as "-".
+struct TenantStats {
+  std::string name;
+  uint32_t priority = 0;          ///< priority class of the tenant's jobs
+  uint64_t jobs_submitted = 0;    ///< accepted into the queue
+  uint64_t jobs_completed = 0;    ///< finished OK
+  uint64_t jobs_failed = 0;       ///< non-OK, non-shed, non-admission
+  uint64_t jobs_rejected = 0;     ///< admission-control rejections
+  /// Shed with kDeadlineExceeded: queue-wait passed the job's deadline
+  /// before a worker could take it.
+  uint64_t jobs_shed_deadline = 0;
+  double queue_wait_ms_total = 0; ///< summed queue wait of dequeued jobs
+};
+
 /// \brief Point-in-time snapshot of a serving pool (`serve::Scheduler`),
 /// shaped like the summary block a production inference/analytics server
 /// exports to its metrics endpoint.
@@ -50,6 +66,8 @@ struct ServerStats {
   /// Refused at Submit() because the bounded queue was full under the
   /// reject overflow policy.
   uint64_t jobs_rejected_backpressure = 0;
+  /// Shed at dequeue with kDeadlineExceeded (queue-wait > deadline).
+  uint64_t jobs_shed_deadline = 0;
   uint64_t jobs_queued = 0;       ///< waiting in the queue right now
   uint64_t jobs_running = 0;      ///< resident on a device right now
   double uptime_ms = 0;           ///< wall time since the pool started
@@ -75,6 +93,9 @@ struct ServerStats {
   uint64_t exchange_bytes_total = 0;   ///< interconnect traffic of gang jobs
   uint64_t exchange_rounds_total = 0;  ///< bulk-synchronous exchange rounds
   std::vector<DeviceStats> devices;
+  /// Per-tenant accounting, sorted by tenant name; empty when every job was
+  /// anonymous (keeps pre-tenancy report output unchanged).
+  std::vector<TenantStats> tenants;
 };
 
 }  // namespace adgraph::prof

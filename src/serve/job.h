@@ -77,6 +77,21 @@ struct JobSpec {
   /// Free-form caller label echoed in the outcome (batch line number,
   /// request id, ...).
   std::string tag = {};
+  /// Multi-tenant QoS (DESIGN.md §2.10).  "" = the anonymous tenant: one
+  /// shared accounting bucket, the pre-tenancy behavior.
+  std::string tenant = {};
+  /// Priority class: lower runs first.  Workers never dequeue a class-1 job
+  /// while a runnable class-0 job is queued (strict priority between
+  /// classes; weighted fair share *within* a class).
+  uint32_t priority = 0;
+  /// Fair-share weight within the priority class: a tenant with weight 2
+  /// dequeues twice as often as a weight-1 tenant when both are backlogged.
+  /// Values <= 0 are treated as 1.
+  double fair_weight = 1.0;
+  /// Deadline budget, milliseconds from Submit().  When > 0 and the job's
+  /// queue-wait alone already exceeds it at dequeue time, the job is shed
+  /// with kDeadlineExceeded instead of occupying a device.  0 = no deadline.
+  double deadline_ms = 0;
   /// Gang execution (DESIGN.md §2.7): > 1 runs the job on a partitioned
   /// engine of this many simulated devices of the executing worker's arch.
   /// The scheduler reserves that many worker slots for the job's duration.

@@ -163,6 +163,13 @@ void Scheduler::RegisterMetrics() {
     m.jobs_rejected = registry_.GetCounter(
         "adgraph_jobs_rejected_admission_total",
         "Jobs rejected by memory-aware admission control.", id);
+    m.jobs_shed = registry_.GetCounter(
+        "adgraph_jobs_shed_deadline_total",
+        "Jobs shed at dequeue: queue-wait exceeded their deadline.", id);
+    m.admission_headroom_bytes = registry_.GetGauge(
+        "adgraph_admission_headroom_bytes",
+        "Device memory still admittable (free bytes) after the last job.",
+        id);
     m.cache_hits = registry_.GetCounter(
         "adgraph_cache_hits_total",
         "Graph residency cache: Acquire() served from device memory.", id);
@@ -265,10 +272,19 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
   job.id = next_job_id_++;
   job.spec = std::move(spec);
   job.enqueued_at = Clock::now();
+  job.tenant = TenantStateLocked(job.spec);
+  job.tenant->submitted += 1;
+  job.tenant->metric_submitted->Increment();
+  // An idle tenant re-enters the fair-share race at the pool's current
+  // virtual time — no banked credit from its quiet period.
+  job.tenant->vtime = std::max(job.tenant->vtime, vtime_floor_);
   std::future<JobOutcome> future = job.promise.get_future();
   queue_.push_back(std::move(job));
   submitted_ += 1;
   metric_submitted_->Increment();
+  // Live (not just sampler-refreshed) queue depth, so saturation alert
+  // rules see spikes between Snapshot() calls.
+  metric_queue_depth_->Set(static_cast<double>(queue_.size()));
   // notify_all: the woken worker must also *match* the job's arch
   // preference, so waking just one could strand a pinned job.
   queue_cv_.notify_all();
@@ -280,6 +296,7 @@ size_t Scheduler::FindRunnableLocked(const Worker& worker) const {
   // calling worker is idle, so available >= 1 unless a gang reserved it.
   const uint64_t available = workers_.size() - running_ - gang_reserved_;
   if (available == 0) return kNone;
+  size_t best = kNone;
   for (size_t i = 0; i < queue_.size(); ++i) {
     const std::string& pref = queue_[i].spec.arch_preference;
     if (!pref.empty() && pref != worker.arch_name) continue;
@@ -287,9 +304,56 @@ size_t Scheduler::FindRunnableLocked(const Worker& worker) const {
     // A gang needs its full complement of unreserved slots before it
     // starts; smaller jobs behind it may overtake in the meantime.
     if (gang > available) continue;
-    return i;
+    if (best == kNone) {
+      best = i;
+      continue;
+    }
+    // Strict priority between classes, weighted fair share within one:
+    // smaller tenant vtime wins, FIFO (earlier index) breaks ties.
+    const JobSpec& cand = queue_[i].spec;
+    const JobSpec& incumbent = queue_[best].spec;
+    if (cand.priority != incumbent.priority) {
+      if (cand.priority < incumbent.priority) best = i;
+      continue;
+    }
+    if (queue_[i].tenant->vtime < queue_[best].tenant->vtime) best = i;
   }
-  return kNone;
+  return best;
+}
+
+Scheduler::TenantState* Scheduler::TenantStateLocked(const JobSpec& spec) {
+  auto [it, inserted] = tenants_.try_emplace(spec.tenant);
+  TenantState& state = it->second;
+  state.priority = spec.priority;
+  if (inserted) {
+    // Prometheus-style identity: one label per series.  "-" stands in for
+    // the anonymous tenant so the label value is never empty.
+    const obs::LabelSet id = {
+        {"tenant", spec.tenant.empty() ? "-" : spec.tenant}};
+    state.metric_submitted = registry_.GetCounter(
+        "adgraph_tenant_jobs_submitted_total",
+        "Jobs this tenant got accepted into the queue.", id);
+    state.metric_completed = registry_.GetCounter(
+        "adgraph_tenant_jobs_completed_total",
+        "Jobs this tenant finished OK.", id);
+    state.metric_failed = registry_.GetCounter(
+        "adgraph_tenant_jobs_failed_total",
+        "Jobs this tenant ended with a non-OK status.", id);
+    state.metric_rejected = registry_.GetCounter(
+        "adgraph_tenant_jobs_rejected_total",
+        "Jobs this tenant lost to memory-aware admission control.", id);
+    state.metric_shed = registry_.GetCounter(
+        "adgraph_tenant_jobs_shed_total",
+        "Jobs this tenant had shed for a missed deadline.", id);
+    state.metric_queue_wait = registry_.GetHistogram(
+        "adgraph_tenant_queue_wait_ms",
+        "Queue wait before execution (or shedding), per tenant and "
+        "priority class.",
+        {{"priority", std::to_string(spec.priority)},
+         {"tenant", spec.tenant.empty() ? "-" : spec.tenant}},
+        LatencyBuckets());
+  }
+  return &state;
 }
 
 void Scheduler::WorkerLoop(Worker* worker) {
@@ -307,6 +371,10 @@ void Scheduler::WorkerLoop(Worker* worker) {
     std::lock_guard<std::mutex> lock(mutex_);
     worker->memory_capacity_bytes = device.memory_capacity_bytes();
   }
+  // Publish the idle-device headroom up front so a worker that never runs
+  // a job exports its full capacity rather than a default 0.
+  worker->metrics.admission_headroom_bytes->Set(
+      static_cast<double>(device.memory_free_bytes()));
   // Cache stats are lifetime-absolute; the registry counters are
   // monotonic, so the worker keeps the last published values and adds the
   // delta after each job.  Thread-confined, like the cache itself.
@@ -335,13 +403,49 @@ void Scheduler::WorkerLoop(Worker* worker) {
       if (job.spec.gang_devices > 1) {
         gang_reserved_ += job.spec.gang_devices - 1;
       }
+      // Advance the tenant's fair-share clock: this dequeue consumed one
+      // weighted share.  The pre-increment vtime becomes the floor where
+      // newly arriving tenants start.
+      vtime_floor_ = std::max(vtime_floor_, job.tenant->vtime);
+      job.tenant->vtime +=
+          1.0 / std::max(job.spec.fair_weight, 1e-6);
+      metric_queue_depth_->Set(static_cast<double>(queue_.size()));
       space_cv_.notify_one();
     }
 
     const uint32_t gang_size = std::max<uint32_t>(1, job.spec.gang_devices);
     const Algorithm algo = job.spec.algorithm();
     std::promise<JobOutcome> promise = std::move(job.promise);
-    JobOutcome outcome = Execute(worker, &device, &cache, std::move(job));
+    TenantState* tenant = job.tenant;
+    JobOutcome outcome;
+    const double queue_wait_ms = MsBetween(job.enqueued_at, Clock::now());
+    if (job.spec.deadline_ms > 0 && queue_wait_ms > job.spec.deadline_ms) {
+      // Deadline-based load shedding: the answer is already late, so spend
+      // zero device time on it and fail fast — the caller may retry with a
+      // fresh deadline against a less-loaded pool.
+      outcome.job_id = job.id;
+      outcome.tag = std::move(job.spec.tag);
+      outcome.device_name = worker->arch_name;
+      outcome.queue_wall_ms = queue_wait_ms;
+      outcome.status = Status::DeadlineExceeded(
+          "queue wait " + std::to_string(queue_wait_ms) +
+          " ms exceeded the job's deadline of " +
+          std::to_string(job.spec.deadline_ms) + " ms");
+      if (trace::Enabled()) {
+        trace::TraceEvent shed;
+        shed.name = "shed:deadline";
+        shed.category = "serve";
+        shed.track = worker->trace_track;
+        shed.ts_us = trace::ToUs(job.enqueued_at);
+        shed.dur_us = trace::ToUs(Clock::now()) - shed.ts_us;
+        shed.args.push_back({"job_id", std::to_string(job.id), true});
+        shed.args.push_back(
+            {"deadline_ms", std::to_string(job.spec.deadline_ms), true});
+        trace::Emit(std::move(shed));
+      }
+    } else {
+      outcome = Execute(worker, &device, &cache, std::move(job));
+    }
 
     // Registry updates first — lock-free, and outside mutex_ so a
     // concurrent scrape never waits on the stats bookkeeping below.
@@ -372,9 +476,27 @@ void Scheduler::WorkerLoop(Worker* worker) {
       it->second->Increment();
     } else if (outcome.status.IsResourceExhausted()) {
       m.jobs_rejected->Increment();
+    } else if (outcome.status.IsDeadlineExceeded()) {
+      m.jobs_shed->Increment();
     } else {
       m.jobs_failed->Increment();
     }
+    // Per-tenant series (same classification), plus the queue-wait
+    // histogram alert rules watch per priority class.
+    tenant->metric_queue_wait->Observe(outcome.queue_wall_ms);
+    if (outcome.status.ok()) {
+      tenant->metric_completed->Increment();
+    } else if (outcome.status.IsResourceExhausted()) {
+      tenant->metric_rejected->Increment();
+    } else if (outcome.status.IsDeadlineExceeded()) {
+      tenant->metric_shed->Increment();
+    } else {
+      tenant->metric_failed->Increment();
+    }
+    // Live saturation signal: free device bytes right after the job (the
+    // graph cache's resident entries count as used until evicted).
+    m.admission_headroom_bytes->Set(
+        static_cast<double>(device.memory_free_bytes()));
     {
       const GraphCache::Stats& cs = cache.stats();
       m.cache_hits->Increment(cs.hits - published_cache.hits);
@@ -409,15 +531,22 @@ void Scheduler::WorkerLoop(Worker* worker) {
       // for *other* idle workers — availability is part of their wait
       // predicate now, so they must be re-woken.
       if (!queue_.empty()) queue_cv_.notify_all();
+      tenant->queue_wait_ms_total += outcome.queue_wall_ms;
       if (outcome.status.ok()) {
         completed_ += 1;
         worker->jobs_completed += 1;
+        tenant->completed += 1;
       } else if (outcome.status.IsResourceExhausted()) {
         rejected_admission_ += 1;
         worker->jobs_rejected += 1;
+        tenant->rejected += 1;
+      } else if (outcome.status.IsDeadlineExceeded()) {
+        shed_deadline_ += 1;
+        tenant->shed_deadline += 1;
       } else {
         failed_ += 1;
         worker->jobs_failed += 1;
+        tenant->failed += 1;
       }
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }
@@ -697,6 +826,7 @@ prof::ServerStats Scheduler::Snapshot() const {
   stats.jobs_failed = failed_;
   stats.jobs_rejected_admission = rejected_admission_;
   stats.jobs_rejected_backpressure = rejected_backpressure_;
+  stats.jobs_shed_deadline = shed_deadline_;
   stats.jobs_queued = queue_.size();
   stats.jobs_running = running_;
   stats.uptime_ms = MsBetween(started_at_, Clock::now());
@@ -764,6 +894,22 @@ prof::ServerStats Scheduler::Snapshot() const {
     stats.exchange_rounds_total += d.exchange_rounds;
     stats.devices.push_back(std::move(d));
   }
+  // Tenant table — only when tenancy is in play; an all-anonymous run keeps
+  // the pre-tenancy report output byte-for-byte.
+  if (!(tenants_.size() == 1 && tenants_.begin()->first.empty())) {
+    for (const auto& [name, t] : tenants_) {
+      prof::TenantStats ts;
+      ts.name = name.empty() ? "-" : name;
+      ts.priority = t.priority;
+      ts.jobs_submitted = t.submitted;
+      ts.jobs_completed = t.completed;
+      ts.jobs_failed = t.failed;
+      ts.jobs_rejected = t.rejected;
+      ts.jobs_shed_deadline = t.shed_deadline;
+      ts.queue_wait_ms_total = t.queue_wait_ms_total;
+      stats.tenants.push_back(std::move(ts));
+    }
+  }
   return stats;
 }
 
@@ -776,6 +922,7 @@ std::map<std::string, double> Scheduler::PollMetrics() {
   values["jobs_running"] = static_cast<double>(stats.jobs_running);
   values["jobs_per_sec"] = stats.jobs_per_sec;
   values["jobs_failed"] = static_cast<double>(stats.jobs_failed);
+  values["jobs_shed"] = static_cast<double>(stats.jobs_shed_deadline);
   values["p95_latency_ms"] = stats.p95_wall_ms;
   values["p95_modeled_ms"] = stats.p95_modeled_ms;
   double utilization = 0;

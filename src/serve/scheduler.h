@@ -128,6 +128,10 @@ class Scheduler {
   /// to Scrape() at any time; gauges are refreshed by Snapshot(), so call
   /// that first for up-to-the-instant gauge values.
   const obs::Registry& metrics_registry() const { return registry_; }
+  /// Mutable registry access for co-located layers (the net front door
+  /// registers its per-tenant session/quota series here so one scrape
+  /// covers the whole service).  Same thread-safety as the const accessor.
+  obs::Registry* mutable_metrics_registry() { return &registry_; }
 
   /// Time-series batches collected by the sampler, oldest first; empty
   /// when Options::metrics was disabled.  Thread-safe.
@@ -147,11 +151,16 @@ class Scheduler {
  private:
   using Clock = std::chrono::steady_clock;
 
+  struct TenantState;
+
   struct PendingJob {
     uint64_t id = 0;
     JobSpec spec;
     std::promise<JobOutcome> promise;
     Clock::time_point enqueued_at;
+    /// Resolved once in Submit() under mutex_ (map nodes are stable), so
+    /// workers update tenant series lock-free after execution.
+    TenantState* tenant = nullptr;
   };
 
   /// Registry handles of one worker's labeled series, resolved once in
@@ -161,6 +170,10 @@ class Scheduler {
     obs::Counter* jobs_completed = nullptr;
     obs::Counter* jobs_failed = nullptr;
     obs::Counter* jobs_rejected = nullptr;
+    obs::Counter* jobs_shed = nullptr;
+    /// Live admission headroom: device free bytes after the last job — the
+    /// saturation signal tenant alert rules watch (DESIGN.md §2.10).
+    obs::Gauge* admission_headroom_bytes = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* cache_misses = nullptr;
     obs::Counter* cache_evictions = nullptr;
@@ -208,6 +221,31 @@ class Scheduler {
     uint64_t exchange_rounds = 0;
   };
 
+  /// Per-tenant accounting + fair-share state (multi-tenant QoS,
+  /// DESIGN.md §2.10).  Counts and vtime are owned by mutex_; the obs
+  /// handles are registered once (first Submit naming the tenant) and
+  /// updated lock-free from worker threads afterwards.
+  struct TenantState {
+    uint32_t priority = 0;
+    /// Weighted-fair-queue virtual time: bumped by 1/weight per dequeued
+    /// job, floored at the pool's vtime floor on (re-)arrival so an idle
+    /// tenant cannot bank unbounded credit.
+    double vtime = 0;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t rejected = 0;
+    uint64_t shed_deadline = 0;
+    double queue_wait_ms_total = 0;
+    // Registered lazily in Submit(); stable for the scheduler's lifetime.
+    obs::Counter* metric_submitted = nullptr;
+    obs::Counter* metric_completed = nullptr;
+    obs::Counter* metric_failed = nullptr;
+    obs::Counter* metric_rejected = nullptr;
+    obs::Counter* metric_shed = nullptr;
+    obs::Histogram* metric_queue_wait = nullptr;
+  };
+
   explicit Scheduler(Options options);
 
   void WorkerLoop(Worker* worker);
@@ -220,10 +258,16 @@ class Scheduler {
   /// thread, runs the partitioned driver, fills the payload and exchange
   /// stats.  Returns the job-level verdict.
   Status RunGang(Worker* worker, const JobSpec& spec, JobOutcome* outcome);
-  /// Index of the first queued job this worker may take — one whose arch
-  /// preference matches and whose gang fits the unreserved workers — or
-  /// npos.
+  /// Index of the queued job this worker should take next, or npos.  A job
+  /// is *runnable* when its arch preference matches and its gang fits the
+  /// unreserved workers; among runnable jobs the pick is by priority class
+  /// (strictly: lower class first), then by the owning tenant's fair-share
+  /// virtual time (smallest first), then FIFO.
   size_t FindRunnableLocked(const Worker& worker) const;
+
+  /// The tenant-state node for `spec`'s tenant, creating (and registering
+  /// its metric series) on first sight.  Requires mutex_ held.
+  TenantState* TenantStateLocked(const JobSpec& spec);
 
   /// Registers build_info (first family of every scrape) and every
   /// per-worker series; called from Create() before any thread starts.
@@ -275,7 +319,16 @@ class Scheduler {
   uint64_t failed_ = 0;
   uint64_t rejected_admission_ = 0;
   uint64_t rejected_backpressure_ = 0;
+  uint64_t shed_deadline_ = 0;
   uint64_t running_ = 0;
+  /// Tenant accounting, keyed by tenant name ("" = anonymous).  Node
+  /// pointers are handed to PendingJob (std::map nodes are stable), so the
+  /// map itself is only mutated under mutex_.
+  std::map<std::string, TenantState> tenants_;
+  /// Fair-share virtual-time floor: the pre-increment vtime of the most
+  /// recently dequeued tenant.  Arriving (previously idle) tenants start
+  /// here instead of at their stale — unfairly low — old vtime.
+  double vtime_floor_ = 0;
   /// Worker slots held by running gang jobs beyond the slot of the worker
   /// driving each gang (a gang of N reserves N-1 extra slots, so pool
   /// capacity modeling stays honest while one thread simulates N devices).

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

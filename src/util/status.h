@@ -34,6 +34,11 @@ enum class StatusCode {
   /// Distinct from kInternal — the caller did nothing wrong and may retry
   /// against a live pool.
   kUnavailable = 11,
+  /// The job's deadline passed before it could run: the scheduler sheds a
+  /// queued job whose queue-wait already exceeds its deadline instead of
+  /// wasting a device on an answer nobody is still waiting for.  Distinct
+  /// from kResourceExhausted — nothing is full; the job is merely late.
+  kDeadlineExceeded = 12,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Out of memory").
@@ -97,6 +102,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -109,6 +117,9 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// The error message, or "" for an OK status.
   const std::string& message() const {

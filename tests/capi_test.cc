@@ -85,6 +85,8 @@ TEST(CApiTest, StatusStrings) {
                "ADGRAPH_STATUS_RESOURCE_EXHAUSTED");
   EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_UNSUPPORTED),
                "ADGRAPH_STATUS_UNSUPPORTED");
+  EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_DEADLINE_EXCEEDED),
+               "ADGRAPH_STATUS_DEADLINE_EXCEEDED");
 }
 
 TEST(CApiTest, VersionIsV2) {
@@ -121,6 +123,8 @@ TEST(CApiTest, StatusCodeMappingIsStableAndDistinct) {
       {StatusCode::kIOError, ADGRAPH_STATUS_IO_ERROR},
       {StatusCode::kDeadlock, ADGRAPH_STATUS_DEADLOCK},
       {StatusCode::kResourceExhausted, ADGRAPH_STATUS_RESOURCE_EXHAUSTED},
+      {StatusCode::kUnavailable, ADGRAPH_STATUS_UNAVAILABLE},
+      {StatusCode::kDeadlineExceeded, ADGRAPH_STATUS_DEADLINE_EXCEEDED},
   };
   std::set<adgraphStatus_t> seen;
   for (const auto& [code, want] : expected) {

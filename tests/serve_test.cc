@@ -348,6 +348,93 @@ TEST(SchedulerTest, ShutdownFailsQueuedJobsButFinishesRunning) {
   EXPECT_FALSE(scheduler->Submit(BfsJob(g, 0)).ok());
 }
 
+TEST(SchedulerTest, DeadlineShedsQueuedJobBeforeExecution) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 16;
+  options.device_occupancy_floor_ms = 50;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  // The blocker occupies the only worker for >= 50 ms; by the time the
+  // doomed job is dequeued its queue wait has blown its 1 ms budget.
+  auto blocker = scheduler->Submit(BfsJob(g, 0)).value();
+  JobSpec doomed = BfsJob(g, 1);
+  doomed.deadline_ms = 1.0;
+  doomed.tenant = "latency-sensitive";
+  auto shed = scheduler->Submit(doomed).value();
+  JobOutcome outcome = shed.get();
+  EXPECT_TRUE(outcome.status.IsDeadlineExceeded()) << outcome.status.ToString();
+  EXPECT_TRUE(blocker.get().status.ok());
+  scheduler->Drain();
+  auto stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.jobs_shed_deadline, 1u);
+  ASSERT_EQ(stats.tenants.size(), 2u);  // "" (anonymous) + latency-sensitive
+  bool found = false;
+  for (const auto& tenant : stats.tenants) {
+    if (tenant.name == "latency-sensitive") {
+      EXPECT_EQ(tenant.jobs_shed_deadline, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchedulerTest, StrictPriorityClassesDequeueLowClassFirst) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 16;
+  options.device_occupancy_floor_ms = 30;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  auto blocker = scheduler->Submit(BfsJob(g, 0)).value();
+  // Submitted in *reverse* priority order while the worker is busy: the
+  // class-0 job must still run before the class-1 job.
+  JobSpec low = BfsJob(g, 1);
+  low.priority = 1;
+  low.tenant = "batch";
+  auto low_future = scheduler->Submit(low).value();
+  JobSpec high = BfsJob(g, 2);
+  high.priority = 0;
+  high.tenant = "interactive";
+  auto high_future = scheduler->Submit(high).value();
+  JobOutcome high_outcome = high_future.get();
+  JobOutcome low_outcome = low_future.get();
+  ASSERT_TRUE(high_outcome.status.ok());
+  ASSERT_TRUE(low_outcome.status.ok());
+  EXPECT_LT(high_outcome.queue_wall_ms, low_outcome.queue_wall_ms);
+  (void)blocker.get();
+}
+
+TEST(SchedulerTest, WeightedFairShareFavorsHeavierTenant) {
+  auto g = TestGraph(6);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.queue_capacity = 32;
+  options.device_occupancy_floor_ms = 10;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  auto blocker = scheduler->Submit(BfsJob(g, 0)).value();
+  // Equal backlogs; "heavy" holds 3x the fair-share weight, so its jobs
+  // should dequeue earlier on average (start-time fair queuing).
+  std::vector<std::future<JobOutcome>> heavy;
+  std::vector<std::future<JobOutcome>> light;
+  for (int i = 0; i < 4; ++i) {
+    JobSpec h = BfsJob(g, 1 + i);
+    h.tenant = "heavy";
+    h.fair_weight = 3.0;
+    heavy.push_back(scheduler->Submit(h).value());
+    JobSpec l = BfsJob(g, 10 + i);
+    l.tenant = "light";
+    l.fair_weight = 1.0;
+    light.push_back(scheduler->Submit(l).value());
+  }
+  double heavy_wait = 0;
+  double light_wait = 0;
+  for (auto& f : heavy) heavy_wait += f.get().queue_wall_ms;
+  for (auto& f : light) light_wait += f.get().queue_wall_ms;
+  (void)blocker.get();
+  EXPECT_LT(heavy_wait, light_wait);
+}
+
 // Regression: a Snapshot() taken immediately after Create() used to divide
 // by a near-zero uptime, producing absurd jobs_per_sec / utilization values.
 TEST(ServerStatsTest, SnapshotImmediatelyAfterCreateHasSaneRates) {

@@ -18,7 +18,10 @@
 // Each jobs.txt line is `ALGO [key=value]...` (see ParseJobLine below);
 // blank lines and `#` comments are skipped.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -27,6 +30,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "capi/adgraph.h"
@@ -44,6 +48,10 @@
 #include "graph/generate.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/tenant.h"
+#include "net/wire.h"
 #include "obs/alerts.h"
 #include "obs/export.h"
 #include "part/engine.h"
@@ -60,6 +68,19 @@
 
 namespace adgraph {
 namespace {
+
+/// Last signal delivered to the process (0 = none).  SIGINT/SIGTERM flip
+/// this; the serve loops poll it and shut down gracefully — drain what is
+/// running, flush metrics exporters and trace JSON, then exit.
+std::atomic<int> g_shutdown_signal{0};
+
+void OnShutdownSignal(int sig) { g_shutdown_signal.store(sig); }
+
+void InstallShutdownHandlers() {
+  g_shutdown_signal.store(0);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -82,6 +103,12 @@ int Usage() {
                "           [--graph-cache=on|off] [--trace=FILE]\n"
                "           [--metrics-out=FILE] [--metrics-format=prom|jsonl]\n"
                "           [--metrics-interval-ms=N] [--alert-rules=FILE]\n"
+               "or:    adgraph_cli serve --listen=PORT <graph source>\n"
+               "           [--tenants=FILE] [--handlers=N] [--max-sessions=N]\n"
+               "           [pool flags as in serve-batch]\n"
+               "           (runs until SIGINT/SIGTERM, then drains + flushes)\n"
+               "or:    adgraph_cli client --connect=HOST:PORT --jobs=FILE\n"
+               "           [--tenant=NAME] [--deadline-ms=F] [--timeout-ms=F]\n"
                "or:    adgraph_cli --version\n",
                ADGRAPH_VERSION_MAJOR, ADGRAPH_VERSION_MINOR,
                ADGRAPH_VERSION_PATCH);
@@ -330,65 +357,78 @@ Result<ParsedJobLine> ParseJobLine(const std::string& line, int line_number) {
   return parsed;
 }
 
-/// Builds the algorithm-specific params variant from a parsed line.  Unknown
-/// keys are ignored so job files stay forward-compatible.
-serve::JobParams BuildJobParams(const ParsedJobLine& line, graph::vid_t n) {
-  auto get_int = [&](const char* key, int64_t dflt) {
-    auto it = line.kv.find(key);
-    return it == line.kv.end() ? dflt : std::stoll(it->second);
-  };
-  auto get_double = [&](const char* key, double dflt) {
-    auto it = line.kv.find(key);
-    return it == line.kv.end() ? dflt : std::stod(it->second);
-  };
-  switch (line.algo) {
-    case serve::Algorithm::kBfs: {
-      core::BfsOptions o;
-      o.source = static_cast<graph::vid_t>(get_int("source", 0));
-      o.assume_symmetric = get_int("symmetric", 0) != 0;
-      return o;
+/// Builds the scheduler-pool options shared by `serve-batch` and `serve`
+/// (device list, queue, admission, cache, trace and metrics flags).
+Result<serve::Scheduler::Options> BuildPoolOptions(const Flags& flags) {
+  serve::Scheduler::Options options;
+  // Shrinks every pool device's memory by this factor — the same knob the
+  // paper-scale benches use, here so small proxies can demonstrate
+  // admission-control rejections.
+  vgpu::Device::Options device_options;
+  device_options.memory_scale = flags.GetDouble("memory-scale", 1.0);
+  if (flags.Has("gpus")) {
+    std::istringstream list(flags.GetString("gpus", ""));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      const vgpu::ArchConfig* arch = nullptr;
+      for (const auto* gpu : vgpu::PaperGpus()) {
+        if (gpu->name == name) arch = gpu;
+      }
+      if (arch == nullptr) {
+        return Status::InvalidArgument("unknown gpu '" + name + "' in --gpus");
+      }
+      options.devices.push_back({.arch = arch, .options = device_options});
     }
-    case serve::Algorithm::kSssp: {
-      core::SsspOptions o;
-      o.source = static_cast<graph::vid_t>(get_int("source", 0));
-      return o;
-    }
-    case serve::Algorithm::kPageRank: {
-      core::PageRankOptions o;
-      o.max_iterations =
-          static_cast<uint32_t>(get_int("iters", o.max_iterations));
-      return o;
-    }
-    case serve::Algorithm::kTriangleCount: {
-      core::TcOptions o;
-      o.orient = get_int("orient", 1) != 0;
-      return o;
-    }
-    case serve::Algorithm::kConnectedComponents:
-      return core::CcOptions{};
-    case serve::Algorithm::kKCore: {
-      core::KCoreOptions o;
-      o.k = static_cast<uint32_t>(get_int("k", 3));
-      return o;
-    }
-    case serve::Algorithm::kJaccard:
-      return core::JaccardOptions{};
-    case serve::Algorithm::kWidestPath: {
-      core::WidestPathOptions o;
-      o.source = static_cast<graph::vid_t>(get_int("source", 0));
-      return o;
-    }
-    case serve::Algorithm::kColoring:
-      return core::ColoringOptions{};
-    case serve::Algorithm::kEsbv: {
-      core::EsbvOptions o;
-      o.vertices = core::SelectPseudoCluster(
-          n, get_double("fraction", 0.5),
-          static_cast<uint64_t>(get_int("seed", 7)));
-      return o;
+  } else if (device_options.memory_scale != 1.0) {
+    for (const auto* gpu : vgpu::PaperGpus()) {
+      options.devices.push_back({.arch = gpu, .options = device_options});
     }
   }
-  return core::BfsOptions{};  // unreachable
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue", 64));
+  options.overflow = flags.GetString("overflow", "block") == "reject"
+                         ? serve::Scheduler::OverflowPolicy::kReject
+                         : serve::Scheduler::OverflowPolicy::kBlock;
+  options.admission_headroom = flags.GetDouble("headroom", 1.0);
+  options.device_occupancy_floor_ms =
+      flags.GetDouble("occupancy-floor-ms", 0.0);
+  // Per-worker graph residency cache (on by default; results are
+  // byte-identical either way — off restores upload-per-job behavior).
+  std::string cache_mode = flags.GetString("graph-cache", "on");
+  if (cache_mode != "on" && cache_mode != "off") {
+    return Status::InvalidArgument(
+        "--graph-cache must be 'on' or 'off', got '" + cache_mode + "'");
+  }
+  options.cache.enabled = cache_mode == "on";
+  if (flags.Has("trace")) {
+    options.trace.enabled = true;
+    options.trace.path = flags.GetString("trace", "");
+  }
+  // Any metrics flag switches the background sampler on; --metrics-out
+  // also makes Shutdown() export the series there.
+  const bool metrics_on = flags.Has("metrics-out") ||
+                          flags.Has("metrics-interval-ms") ||
+                          flags.Has("alert-rules");
+  if (metrics_on) {
+    options.metrics.enabled = true;
+    options.metrics.path = flags.GetString("metrics-out", "");
+    options.metrics.interval_ms =
+        flags.GetDouble("metrics-interval-ms", 100.0);
+    ADGRAPH_ASSIGN_OR_RETURN(
+        options.metrics.format,
+        obs::ParseExportFormat(flags.GetString("metrics-format", "prom")));
+    if (flags.Has("alert-rules")) {
+      std::ifstream rules_file(flags.GetString("alert-rules", ""));
+      if (!rules_file) {
+        return Status::IOError("cannot open alert-rules file '" +
+                               flags.GetString("alert-rules", "") + "'");
+      }
+      std::stringstream text;
+      text << rules_file.rdbuf();
+      ADGRAPH_ASSIGN_OR_RETURN(options.metrics.alert_rules,
+                               obs::ParseAlertRules(text.str()));
+    }
+  }
+  return options;
 }
 
 int ServeBatch(const Flags& flags) {
@@ -438,91 +478,15 @@ int ServeBatch(const Flags& flags) {
               static_cast<unsigned long long>(shared->num_edges()),
               shared->has_weights() ? " (weighted)" : "");
 
-  serve::Scheduler::Options options;
-  // Shrinks every pool device's memory by this factor — the same knob the
-  // paper-scale benches use, here so small proxies can demonstrate
-  // admission-control rejections.
-  vgpu::Device::Options device_options;
-  device_options.memory_scale = flags.GetDouble("memory-scale", 1.0);
-  if (flags.Has("gpus")) {
-    std::istringstream list(flags.GetString("gpus", ""));
-    std::string name;
-    while (std::getline(list, name, ',')) {
-      const vgpu::ArchConfig* arch = nullptr;
-      for (const auto* gpu : vgpu::PaperGpus()) {
-        if (gpu->name == name) arch = gpu;
-      }
-      if (arch == nullptr) {
-        std::fprintf(stderr, "unknown gpu '%s' in --gpus\n", name.c_str());
-        return 1;
-      }
-      options.devices.push_back({.arch = arch, .options = device_options});
-    }
-  } else if (device_options.memory_scale != 1.0) {
-    for (const auto* gpu : vgpu::PaperGpus()) {
-      options.devices.push_back({.arch = gpu, .options = device_options});
-    }
-  }
-  options.queue_capacity =
-      static_cast<size_t>(flags.GetInt("queue", 64));
-  options.overflow = flags.GetString("overflow", "block") == "reject"
-                         ? serve::Scheduler::OverflowPolicy::kReject
-                         : serve::Scheduler::OverflowPolicy::kBlock;
-  options.admission_headroom = flags.GetDouble("headroom", 1.0);
-  options.device_occupancy_floor_ms =
-      flags.GetDouble("occupancy-floor-ms", 0.0);
-  // Per-worker graph residency cache (on by default; results are
-  // byte-identical either way — off restores upload-per-job behavior).
-  std::string cache_mode = flags.GetString("graph-cache", "on");
-  if (cache_mode != "on" && cache_mode != "off") {
-    std::fprintf(stderr,
-                 "serve-batch: --graph-cache must be 'on' or 'off', got '%s'\n",
-                 cache_mode.c_str());
+  auto options_result = BuildPoolOptions(flags);
+  if (!options_result.ok()) {
+    std::fprintf(stderr, "serve-batch: %s\n",
+                 options_result.status().ToString().c_str());
     return 1;
   }
-  options.cache.enabled = cache_mode == "on";
-  if (flags.Has("trace")) {
-    options.trace.enabled = true;
-    options.trace.path = flags.GetString("trace", "");
-  }
-  // Any metrics flag switches the background sampler on; --metrics-out
-  // also makes Shutdown() export the series there.
-  const bool metrics_on = flags.Has("metrics-out") ||
-                          flags.Has("metrics-interval-ms") ||
-                          flags.Has("alert-rules");
-  if (metrics_on) {
-    options.metrics.enabled = true;
-    options.metrics.path = flags.GetString("metrics-out", "");
-    options.metrics.interval_ms =
-        flags.GetDouble("metrics-interval-ms", 100.0);
-    auto format =
-        obs::ParseExportFormat(flags.GetString("metrics-format", "prom"));
-    if (!format.ok()) {
-      std::fprintf(stderr, "serve-batch: %s\n",
-                   format.status().ToString().c_str());
-      return 1;
-    }
-    options.metrics.format = *format;
-    if (flags.Has("alert-rules")) {
-      std::ifstream rules_file(flags.GetString("alert-rules", ""));
-      if (!rules_file) {
-        std::fprintf(stderr, "cannot open alert-rules file '%s'\n",
-                     flags.GetString("alert-rules", "").c_str());
-        return 1;
-      }
-      std::stringstream text;
-      text << rules_file.rdbuf();
-      auto rules = obs::ParseAlertRules(text.str());
-      if (!rules.ok()) {
-        std::fprintf(stderr, "alert-rules: %s\n",
-                     rules.status().ToString().c_str());
-        return 1;
-      }
-      options.metrics.alert_rules = std::move(*rules);
-    }
-  }
+  const bool metrics_on = options_result->metrics.enabled;
 
-  auto scheduler_result = serve::Scheduler::Create(std::move(options));
+  auto scheduler_result = serve::Scheduler::Create(std::move(*options_result));
   if (!scheduler_result.ok()) {
     std::fprintf(stderr, "scheduler: %s\n",
                  scheduler_result.status().ToString().c_str());
@@ -535,13 +499,25 @@ int ServeBatch(const Flags& flags) {
   }
   std::printf(")\n\n");
 
+  // Ctrl-C / SIGTERM: stop submitting, let in-flight jobs finish, fail the
+  // still-queued ones, flush metrics + trace, then exit 128+signal.
+  InstallShutdownHandlers();
+
   std::vector<std::future<serve::JobOutcome>> futures;
   futures.reserve(lines.size());
   int submit_failures = 0;
   for (const ParsedJobLine& line : lines) {
+    if (g_shutdown_signal.load() != 0) break;
     serve::JobSpec spec;
     spec.graph = shared;
-    spec.params = BuildJobParams(line, shared->num_vertices());
+    auto params =
+        net::BuildJobParams(line.algo, line.kv, shared->num_vertices());
+    if (!params.ok()) {
+      std::fprintf(stderr, "jobs line %d: %s\n", line.line_number,
+                   params.status().ToString().c_str());
+      return 1;
+    }
+    spec.params = std::move(*params);
     auto arch_it = line.kv.find("arch");
     if (arch_it != line.kv.end()) spec.arch_preference = arch_it->second;
     // `devices=N` on a bfs/pagerank job line runs it as a gang over N
@@ -565,6 +541,22 @@ int ServeBatch(const Flags& flags) {
     spec.tag = tag_it != line.kv.end()
                    ? tag_it->second
                    : "line" + std::to_string(line.line_number);
+    // Tenant QoS keys, same vocabulary as the TCP protocol (§2.10).
+    auto tenant_it = line.kv.find("tenant");
+    if (tenant_it != line.kv.end()) spec.tenant = tenant_it->second;
+    auto priority_it = line.kv.find("priority");
+    if (priority_it != line.kv.end()) {
+      spec.priority =
+          static_cast<uint32_t>(std::atoi(priority_it->second.c_str()));
+    }
+    auto weight_it = line.kv.find("weight");
+    if (weight_it != line.kv.end()) {
+      spec.fair_weight = std::atof(weight_it->second.c_str());
+    }
+    auto deadline_it = line.kv.find("deadline_ms");
+    if (deadline_it != line.kv.end()) {
+      spec.deadline_ms = std::atof(deadline_it->second.c_str());
+    }
     std::string tag = spec.tag;
     auto submitted = scheduler.Submit(std::move(spec));
     if (!submitted.ok()) {
@@ -579,9 +571,26 @@ int ServeBatch(const Flags& flags) {
   }
 
   int failures = 0;
+  bool interrupted = false;
+  std::vector<trace::TraceEvent> trace_events;
   std::map<std::string, int> tally;
   if (submit_failures > 0) tally["rejected at submit"] = submit_failures;
   for (auto& future : futures) {
+    // Poll-wait so a shutdown signal can interrupt the batch: Shutdown()
+    // finishes in-flight jobs, fails queued ones with kUnavailable (their
+    // futures below resolve immediately) and flushes trace + metrics.
+    while (!interrupted &&
+           future.wait_for(std::chrono::milliseconds(50)) !=
+               std::future_status::ready) {
+      if (g_shutdown_signal.load() != 0) {
+        std::printf("\nsignal %d: draining in-flight jobs, failing queued "
+                    "ones\n",
+                    g_shutdown_signal.load());
+        trace_events = scheduler.TraceEvents();
+        scheduler.Shutdown();
+        interrupted = true;
+      }
+    }
     serve::JobOutcome outcome = future.get();
     tally[outcome.status.ok()
               ? "ok"
@@ -614,21 +623,25 @@ int ServeBatch(const Flags& flags) {
     }
   }
 
-  scheduler.Drain();
+  if (!interrupted) scheduler.Drain();
   std::printf("\n%s", prof::FormatServerStats(scheduler.Snapshot()).c_str());
   std::printf("\njob status tally:\n");
   for (const auto& [name, count] : tally) {
     std::printf("  %-24s %d\n", name.c_str(), count);
   }
   if (flags.Has("trace")) {
-    std::printf("\n%s",
-                prof::FormatTraceSummary(scheduler.TraceEvents()).c_str());
+    // After a signal-triggered Shutdown() the collector is detached, so
+    // use the events captured at interrupt time.
+    std::printf("\n%s", prof::FormatTraceSummary(
+                            interrupted ? trace_events
+                                        : scheduler.TraceEvents())
+                            .c_str());
     std::printf("trace: %s\n", flags.GetString("trace", "").c_str());
   }
   if (metrics_on) {
     // Shutdown here (rather than at scope exit) so the sampler's final
     // sample is taken and --metrics-out is written before we report on
-    // the series.  TraceEvents() was already consumed above.
+    // the series (idempotent if the signal path already shut down).
     scheduler.Shutdown();
     std::printf("\n%s", prof::FormatMetricsReport(scheduler.MetricsBatches(),
                                                   scheduler.MetricsAlertLog(),
@@ -638,10 +651,317 @@ int ServeBatch(const Flags& flags) {
       std::printf("metrics: %s\n", flags.GetString("metrics-out", "").c_str());
     }
   }
+  if (interrupted) return 128 + g_shutdown_signal.load();
   // Any job that resolved non-OK — admission rejection, device failure, or
   // submit-level rejection — makes the batch exit non-zero, so scripted
   // callers do not have to parse the tally.
   return failures > 0 || submit_failures > 0 ? 1 : 0;
+}
+
+// --- serve (TCP front door) ------------------------------------------------
+
+/// `adgraph_cli serve --listen=PORT <graph source>`: starts a scheduler
+/// pool plus the net::Server front door and runs until SIGINT/SIGTERM, then
+/// shuts down in order — stop accepting, close sessions, drain the pool,
+/// flush metrics + trace — and prints the final stats block.
+int Serve(const Flags& flags) {
+  if (!flags.Has("listen")) {
+    std::fprintf(stderr, "serve: --listen=PORT is required\n");
+    return Usage();
+  }
+  auto graph_result = LoadGraph(flags);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  net::Server::GraphMap graphs;
+  {
+    graph::CsrGraph g = std::move(*graph_result);
+    if (!g.has_weights()) {
+      // ESBV / weighted jobs need weights; serve both flavors so a SUBMIT
+      // can pick `"graph":"weighted"` without a server restart.
+      graphs["weighted"] = std::make_shared<const graph::CsrGraph>(
+          g.WithUniformWeights(1.0));
+      graphs["default"] = std::make_shared<const graph::CsrGraph>(std::move(g));
+    } else {
+      auto shared = std::make_shared<const graph::CsrGraph>(std::move(g));
+      graphs["default"] = shared;
+      graphs["weighted"] = shared;
+    }
+  }
+  std::printf("graph: %u vertices, %llu edges%s\n",
+              graphs["default"]->num_vertices(),
+              static_cast<unsigned long long>(graphs["default"]->num_edges()),
+              graphs["default"]->has_weights() ? " (weighted)" : "");
+
+  auto options_result = BuildPoolOptions(flags);
+  if (!options_result.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 options_result.status().ToString().c_str());
+    return 1;
+  }
+  const bool metrics_on = options_result->metrics.enabled;
+  auto scheduler_result = serve::Scheduler::Create(std::move(*options_result));
+  if (!scheduler_result.ok()) {
+    std::fprintf(stderr, "scheduler: %s\n",
+                 scheduler_result.status().ToString().c_str());
+    return 1;
+  }
+  auto& scheduler = **scheduler_result;
+
+  net::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(flags.GetInt("listen", 0));
+  server_options.handler_threads =
+      static_cast<size_t>(flags.GetInt("handlers", 2));
+  server_options.max_sessions =
+      static_cast<size_t>(flags.GetInt("max-sessions", 256));
+  if (flags.Has("tenants")) {
+    std::ifstream tenants_file(flags.GetString("tenants", ""));
+    if (!tenants_file) {
+      std::fprintf(stderr, "cannot open tenants file '%s'\n",
+                   flags.GetString("tenants", "").c_str());
+      return 1;
+    }
+    std::stringstream text;
+    text << tenants_file.rdbuf();
+    auto tenants = net::ParseTenantConfigs(text.str());
+    if (!tenants.ok()) {
+      std::fprintf(stderr, "%s\n", tenants.status().ToString().c_str());
+      return 1;
+    }
+    server_options.tenants = std::move(*tenants);
+  }
+  const size_t num_tenants = server_options.tenants.size();
+
+  auto server_result =
+      net::Server::Start(&scheduler, std::move(graphs), server_options);
+  if (!server_result.ok()) {
+    std::fprintf(stderr, "server: %s\n",
+                 server_result.status().ToString().c_str());
+    return 1;
+  }
+  auto& server = **server_result;
+  std::printf("pool: %zu workers (", scheduler.num_workers());
+  for (size_t i = 0; i < scheduler.device_names().size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", scheduler.device_names()[i].c_str());
+  }
+  std::printf(")\n");
+  std::printf("listening on 127.0.0.1:%u (%zu handler threads, %s)\n",
+              server.port(), server_options.handler_threads,
+              num_tenants > 0
+                  ? (std::to_string(num_tenants) + " tenants").c_str()
+                  : "open access");
+  std::fflush(stdout);
+
+  InstallShutdownHandlers();
+  while (g_shutdown_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int sig = g_shutdown_signal.load();
+  std::printf("\nsignal %d: closing sessions, draining pool\n", sig);
+
+  // Shutdown order matters: front door first (sessions closed, every
+  // outstanding tenant charge released), then drain what the scheduler
+  // accepted, then Shutdown() to flush metrics exporters and trace JSON.
+  std::vector<trace::TraceEvent> trace_events;
+  server.Shutdown();
+  scheduler.Drain();
+  if (flags.Has("trace")) trace_events = scheduler.TraceEvents();
+  scheduler.Shutdown();
+
+  net::ServerCounters counters = server.Counters();
+  std::printf("\nsessions: %llu opened, %llu closed; requests: %llu "
+              "(%llu protocol errors)\n",
+              static_cast<unsigned long long>(counters.sessions_opened),
+              static_cast<unsigned long long>(counters.sessions_closed),
+              static_cast<unsigned long long>(counters.requests),
+              static_cast<unsigned long long>(counters.protocol_errors));
+  std::printf("submits: %llu accepted, %llu quota-rejected, %llu "
+              "scheduler-rejected; %llu orphaned\n",
+              static_cast<unsigned long long>(counters.submits_accepted),
+              static_cast<unsigned long long>(counters.submits_rejected_quota),
+              static_cast<unsigned long long>(
+                  counters.submits_rejected_scheduler),
+              static_cast<unsigned long long>(counters.jobs_orphaned));
+  std::printf("\n%s", prof::FormatServerStats(scheduler.Snapshot()).c_str());
+  if (flags.Has("trace")) {
+    std::printf("\n%s", prof::FormatTraceSummary(trace_events).c_str());
+    std::printf("trace: %s\n", flags.GetString("trace", "").c_str());
+  }
+  if (metrics_on) {
+    std::printf("\n%s", prof::FormatMetricsReport(scheduler.MetricsBatches(),
+                                                  scheduler.MetricsAlertLog(),
+                                                  scheduler.MetricsDropped())
+                            .c_str());
+    if (flags.Has("metrics-out")) {
+      std::printf("metrics: %s\n", flags.GetString("metrics-out", "").c_str());
+    }
+  }
+  // A signal-triggered stop is the *intended* way to stop a server:
+  // exit 0 so service managers and the CI smoke test see a clean stop.
+  return 0;
+}
+
+// --- client ----------------------------------------------------------------
+
+/// `adgraph_cli client --connect=HOST:PORT --jobs=FILE [--tenant=NAME]`:
+/// submits a serve-batch-format job file over the TCP protocol and waits
+/// for every outcome.  Job-line keys `graph=`, `arch=`, `tag=` and
+/// `deadline_ms=` map to request fields; everything else is an algorithm
+/// param.
+int ClientMain(const Flags& flags) {
+  if (!flags.Has("connect") || !flags.Has("jobs")) {
+    std::fprintf(stderr, "client: --connect=HOST:PORT and --jobs=FILE are "
+                         "required\n");
+    return Usage();
+  }
+  std::string endpoint = flags.GetString("connect", "");
+  auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "client: --connect wants HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  std::string host = endpoint.substr(0, colon);
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "client: bad port in '%s'\n", endpoint.c_str());
+    return 1;
+  }
+
+  std::ifstream jobs_file(flags.GetString("jobs", ""));
+  if (!jobs_file) {
+    std::fprintf(stderr, "cannot open jobs file '%s'\n",
+                 flags.GetString("jobs", "").c_str());
+    return 1;
+  }
+  std::vector<ParsedJobLine> lines;
+  std::string raw;
+  for (int number = 1; std::getline(jobs_file, raw); ++number) {
+    auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos || raw[first] == '#') continue;
+    auto parsed = ParseJobLine(raw, number);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    lines.push_back(std::move(*parsed));
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "jobs file contains no jobs\n");
+    return 1;
+  }
+
+  const double timeout_ms = flags.GetDouble("timeout-ms", 30000.0);
+  auto client_result =
+      net::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client_result.ok()) {
+    std::fprintf(stderr, "%s\n", client_result.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client = std::move(*client_result);
+  auto hello = client.Hello(flags.GetString("tenant", ""), timeout_ms);
+  if (!hello.ok()) {
+    std::fprintf(stderr, "%s\n", hello.status().ToString().c_str());
+    return 1;
+  }
+
+  // Submit everything first (pipelining through the session), then wait.
+  struct Submitted {
+    uint64_t job_id = 0;
+    std::string tag;
+    std::string algo;
+  };
+  std::vector<Submitted> submitted;
+  int failures = 0;
+  std::map<std::string, int> tally;
+  for (const ParsedJobLine& line : lines) {
+    net::Json request = net::Json::MakeObject();
+    request.Set("op", "SUBMIT");
+    request.Set("algo", std::string(serve::AlgorithmName(line.algo)));
+    net::Json params = net::Json::MakeObject();
+    for (const auto& [key, value] : line.kv) {
+      if (key == "graph" || key == "arch" || key == "tag" ||
+          key == "deadline_ms") {
+        continue;
+      }
+      params.Set(key, value);
+    }
+    if (params.size() > 0) request.Set("params", std::move(params));
+    auto copy_field = [&](const char* key) {
+      auto it = line.kv.find(key);
+      if (it != line.kv.end()) request.Set(key, it->second);
+    };
+    copy_field("graph");
+    copy_field("arch");
+    auto deadline_it = line.kv.find("deadline_ms");
+    if (deadline_it != line.kv.end()) {
+      request.Set("deadline_ms", std::atof(deadline_it->second.c_str()));
+    } else if (flags.Has("deadline-ms")) {
+      request.Set("deadline_ms", flags.GetDouble("deadline-ms", 0.0));
+    }
+    auto tag_it = line.kv.find("tag");
+    std::string tag = tag_it != line.kv.end()
+                          ? tag_it->second
+                          : "line" + std::to_string(line.line_number);
+    request.Set("tag", tag);
+
+    auto response = client.Call(request, timeout_ms);
+    if (!response.ok()) {
+      std::fprintf(stderr, "SUBMIT failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (!response->GetBool("ok", false)) {
+      ++failures;
+      tally["rejected: " + response->GetString("code", "?")] += 1;
+      std::printf("%-12s %-8s REJECTED: %s\n", ("[" + tag + "]").c_str(),
+                  serve::AlgorithmName(line.algo).data(),
+                  response->GetString("error", "(no error)").c_str());
+      continue;
+    }
+    submitted.push_back(
+        {static_cast<uint64_t>(response->GetNumber("job", 0)), tag,
+         std::string(serve::AlgorithmName(line.algo))});
+  }
+
+  for (const Submitted& job : submitted) {
+    auto done = client.WaitJob(job.job_id, timeout_ms);
+    if (!done.ok()) {
+      std::fprintf(stderr, "[%s] %s\n", job.tag.c_str(),
+                   done.status().ToString().c_str());
+      ++failures;
+      tally["transport error"] += 1;
+      continue;
+    }
+    std::string status = done->GetString("status", "?");
+    tally[status] += 1;
+    if (status == "ok") {
+      std::string suffix;
+      if (done->GetBool("cache_hit", false)) suffix += "   [cached graph]";
+      std::printf("%-12s %-8s %-6s ok      modeled %9.4f ms   queued %7.2f "
+                  "ms   fp %s%s\n",
+                  ("[" + job.tag + "]").c_str(), job.algo.c_str(),
+                  done->GetString("device", "-").c_str(),
+                  done->GetNumber("modeled_ms", 0),
+                  done->GetNumber("queue_ms", 0),
+                  done->GetString("fingerprint", "-").c_str(),
+                  suffix.c_str());
+    } else {
+      ++failures;
+      std::printf("%-12s %-15s %s: %s\n", ("[" + job.tag + "]").c_str(),
+                  done->GetString("device", "-").c_str(), status.c_str(),
+                  done->GetString("error", "").c_str());
+    }
+  }
+
+  std::printf("\njob status tally:\n");
+  for (const auto& [name, count] : tally) {
+    std::printf("  %-24s %d\n", name.c_str(), count);
+  }
+  return failures > 0 ? 1 : 0;
 }
 
 int Main(int argc, char** argv) {
@@ -656,6 +976,12 @@ int Main(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional()[0] == "serve-batch") {
     return ServeBatch(flags);
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "serve") {
+    return Serve(flags);
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "client") {
+    return ClientMain(flags);
   }
   if (!flags.Has("algo")) return Usage();
 
