@@ -4,12 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "core/bfs.h"
-#include "core/pagerank.h"
-#include "core/sssp.h"
-#include "core/subgraph.h"
-#include "core/triangle_count.h"
-#include "core/widest_path.h"
+#include "core/api.h"
 #include "graph/csr.h"
 #include "trace/trace.h"
 #include "vgpu/arch.h"
@@ -69,6 +64,8 @@ adgraphStatus_t ToC(StatusCode code) {
       return ADGRAPH_STATUS_UNAVAILABLE;
     case StatusCode::kDeadlineExceeded:
       return ADGRAPH_STATUS_DEADLINE_EXCEEDED;
+    case StatusCode::kFailedPrecondition:
+      return ADGRAPH_STATUS_FAILED_PRECONDITION;
   }
   return ADGRAPH_STATUS_INTERNAL_ERROR;
 }
@@ -142,6 +139,8 @@ const char* adgraphStatusGetString(adgraphStatus_t status) {
       return "ADGRAPH_STATUS_UNAVAILABLE";
     case ADGRAPH_STATUS_DEADLINE_EXCEEDED:
       return "ADGRAPH_STATUS_DEADLINE_EXCEEDED";
+    case ADGRAPH_STATUS_FAILED_PRECONDITION:
+      return "ADGRAPH_STATUS_FAILED_PRECONDITION";
   }
   return "ADGRAPH_STATUS_UNKNOWN";
 }
@@ -155,7 +154,7 @@ adgraphStatus_t adgraphGetVersion(int* major, int* minor, int* patch) {
 
 adgraphStatus_t adgraphStatusFromStatusCode(int status_code) {
   if (status_code < static_cast<int>(StatusCode::kOk) ||
-      status_code > static_cast<int>(StatusCode::kDeadlineExceeded)) {
+      status_code > static_cast<int>(StatusCode::kFailedPrecondition)) {
     return ADGRAPH_STATUS_INTERNAL_ERROR;
   }
   return ToC(static_cast<StatusCode>(status_code));
@@ -311,10 +310,12 @@ adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
   adgraph::core::BfsOptions options;
   options.source = source;
   options.assume_symmetric = assume_symmetric != 0;
-  auto result =
-      adgraph::core::RunBfs(handle->device.get(), descr->graph, options);
+  auto result = adgraph::core::Run(
+      handle->device.get(), {adgraph::core::Algo::kBfs}, descr->graph,
+      adgraph::core::Params(options));
   if (!result.ok()) return Fail(handle, result.status());
-  std::copy(result->levels.begin(), result->levels.end(), levels_out);
+  const auto& r = std::get<adgraph::core::BfsResult>(*result);
+  std::copy(r.levels.begin(), r.levels.end(), levels_out);
   return Succeed(handle);
 }
 
@@ -327,10 +328,11 @@ adgraphStatus_t adgraphTriangleCount(adgraphHandle_t handle,
     return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
                 "adgraphTriangleCount: triangles_out is NULL");
   }
-  auto result =
-      adgraph::core::RunTriangleCount(handle->device.get(), descr->graph, {});
+  auto result = adgraph::core::Run(
+      handle->device.get(), {adgraph::core::Algo::kTriangleCount},
+      descr->graph, adgraph::core::Params(adgraph::core::TcOptions{}));
   if (!result.ok()) return Fail(handle, result.status());
-  *triangles_out = result->triangles;
+  *triangles_out = std::get<adgraph::core::TcResult>(*result).triangles;
   return Succeed(handle);
 }
 
@@ -346,10 +348,12 @@ adgraphStatus_t adgraphPagerank(adgraphHandle_t handle,
   adgraph::core::PageRankOptions options;
   options.alpha = alpha;
   options.max_iterations = max_iterations;
-  auto result =
-      adgraph::core::RunPageRank(handle->device.get(), descr->graph, options);
+  auto result = adgraph::core::Run(
+      handle->device.get(), {adgraph::core::Algo::kPageRank}, descr->graph,
+      adgraph::core::Params(options));
   if (!result.ok()) return Fail(handle, result.status());
-  std::copy(result->ranks.begin(), result->ranks.end(), ranks_out);
+  const auto& r = std::get<adgraph::core::PageRankResult>(*result);
+  std::copy(r.ranks.begin(), r.ranks.end(), ranks_out);
   return Succeed(handle);
 }
 
@@ -369,11 +373,12 @@ adgraphStatus_t adgraphSssp(adgraphHandle_t handle, adgraphGraphDescr_t descr,
   }
   adgraph::core::SsspOptions options;
   options.source = source;
-  auto result =
-      adgraph::core::RunSssp(handle->device.get(), descr->graph, options);
+  auto result = adgraph::core::Run(
+      handle->device.get(), {adgraph::core::Algo::kSssp}, descr->graph,
+      adgraph::core::Params(options));
   if (!result.ok()) return Fail(handle, result.status());
-  std::copy(result->distances.begin(), result->distances.end(),
-            distances_out);
+  const auto& r = std::get<adgraph::core::SsspResult>(*result);
+  std::copy(r.distances.begin(), r.distances.end(), distances_out);
   return Succeed(handle);
 }
 
@@ -394,10 +399,12 @@ adgraphStatus_t adgraphWidestPath(adgraphHandle_t handle,
   }
   adgraph::core::WidestPathOptions options;
   options.source = source;
-  auto result = adgraph::core::RunWidestPath(handle->device.get(),
-                                             descr->graph, options);
+  auto result = adgraph::core::Run(
+      handle->device.get(), {adgraph::core::Algo::kWidestPath}, descr->graph,
+      adgraph::core::Params(options));
   if (!result.ok()) return Fail(handle, result.status());
-  std::copy(result->widths.begin(), result->widths.end(), widths_out);
+  const auto& r = std::get<adgraph::core::WidestPathResult>(*result);
+  std::copy(r.widths.begin(), r.widths.end(), widths_out);
   return Succeed(handle);
 }
 
@@ -422,10 +429,12 @@ adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
   }
   adgraph::core::EsbvOptions options;
   options.vertices.assign(vertices, vertices + num_vertices);
-  auto result = adgraph::core::ExtractSubgraphByVertex(
-      handle->device.get(), descr->graph, options);
+  auto result = adgraph::core::Run(
+      handle->device.get(), {adgraph::core::Algo::kEsbv}, descr->graph,
+      adgraph::core::Params(std::move(options)));
   if (!result.ok()) return Fail(handle, result.status());
-  subgraph->graph = std::move(result->subgraph);
+  subgraph->graph =
+      std::move(std::get<adgraph::core::EsbvResult>(*result).subgraph);
   subgraph->has_structure = true;
   return Succeed(handle);
 }

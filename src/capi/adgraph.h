@@ -42,7 +42,7 @@
 /// Library version, bumped with the v2 error-surface redesign.  Additions
 /// bump MINOR; existing symbols and enum values stay stable within MAJOR 2.
 #define ADGRAPH_VERSION_MAJOR 2
-#define ADGRAPH_VERSION_MINOR 1
+#define ADGRAPH_VERSION_MINOR 2
 #define ADGRAPH_VERSION_PATCH 0
 
 #ifdef __cplusplus
@@ -69,6 +69,11 @@ typedef enum {
   ADGRAPH_STATUS_UNAVAILABLE = 13,      /**< serving layer is shut down */
   ADGRAPH_STATUS_DEADLINE_EXCEEDED = 14, /**< job shed: its deadline passed
                                               while it waited in the queue */
+  ADGRAPH_STATUS_FAILED_PRECONDITION = 15, /**< well-formed request, but the
+                                                system state cannot satisfy it
+                                                (e.g. a pull-only traversal
+                                                without a symmetric
+                                                adjacency) */
 } adgraphStatus_t;
 
 typedef struct adgraphContext* adgraphHandle_t;

@@ -1,0 +1,113 @@
+#ifndef ADGRAPH_CORE_API_H_
+#define ADGRAPH_CORE_API_H_
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/bfs.h"
+#include "core/coloring.h"
+#include "core/conn_components.h"
+#include "core/jaccard.h"
+#include "core/kcore.h"
+#include "core/pagerank.h"
+#include "core/sssp.h"
+#include "core/subgraph.h"
+#include "core/triangle_count.h"
+#include "core/widest_path.h"
+#include "graph/csr.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::core {
+
+/// Every library algorithm behind the uniform `core::Run` entry point.
+/// Enumerator order is frozen: it matches the alternative order of
+/// `Params`/`AlgoResult` (static_asserted in api.cc) and the serving
+/// layer's wire protocol.  New algorithms append.
+enum class Algo {
+  kBfs,
+  kSssp,
+  kPageRank,
+  kTriangleCount,
+  kConnectedComponents,
+  kKCore,
+  kJaccard,
+  kWidestPath,
+  kColoring,
+  kEsbv,
+  kBetweenness,
+};
+
+/// Lower-case wire/CLI name ("bfs", "pagerank", "esbv", "bc", ...).
+std::string_view AlgorithmName(Algo algo);
+
+/// Inverse of AlgorithmName; kNotFound for unknown names.
+Result<Algo> ParseAlgorithm(std::string_view name);
+
+/// Options of engine-based Brandes betweenness centrality (single source).
+struct BcOptions {
+  graph::vid_t source = 0;
+  uint32_t block_size = 256;
+};
+
+/// Outcome of a betweenness run.
+struct BcResult {
+  /// Per-vertex dependency of `source` on the vertex (Brandes δ_s(v)):
+  /// the source-restricted betweenness contribution.  Summing over all
+  /// sources yields exact betweenness centrality.
+  std::vector<double> centrality;
+  /// Per-vertex shortest-path counts from the source (σ_s(v); exact —
+  /// integer-valued doubles).
+  std::vector<double> sigma;
+  uint32_t depth = 0;  ///< deepest BFS level reached
+  double time_ms = 0;
+};
+
+/// Uniform request parameters: the variant alternative *is* the algorithm
+/// selection.  Alternative order matches enum Algo.
+using Params =
+    std::variant<BfsOptions, SsspOptions, PageRankOptions, TcOptions,
+                 CcOptions, KCoreOptions, JaccardOptions, WidestPathOptions,
+                 ColoringOptions, EsbvOptions, BcOptions>;
+
+/// Uniform result payload, same alternative order as Params.
+///
+/// Named AlgoResult (not Result) because `adgraph::Result<T>` is the
+/// library-wide fallible-value wrapper and is used unqualified throughout
+/// namespace core.
+using AlgoResult =
+    std::variant<BfsResult, SsspResult, PageRankResult, TcResult, CcResult,
+                 KCoreResult, JaccardResult, WidestPathResult, ColoringResult,
+                 EsbvResult, BcResult>;
+
+/// Which algorithm a Run call dispatches.  Kept as a struct (rather than
+/// a bare enum parameter) so future cross-algorithm knobs — deadlines,
+/// engine policy overrides — extend it without touching every caller.
+struct AlgoSpec {
+  Algo algo = Algo::kBfs;
+};
+
+/// Modeled device time carried inside the payload (the per-algorithm
+/// `time_ms` field).
+double ResultTimeMs(const AlgoResult& result);
+
+class GraphResidency;
+
+/// \brief The uniform algorithm entry point: dispatches `spec.algo` with
+/// the matching `params` alternative on `g`.
+///
+/// Fails with kInvalidArgument when `spec.algo` does not match
+/// `params.index()`.  BFS, SSSP, PageRank, CC, widest-path, and betweenness
+/// run on the frontier/operator engine (src/engine/, DESIGN.md §2.11); the
+/// remaining algorithms dispatch to their core implementations on the same
+/// signature.  Defined in src/engine/run.cc — callers link adgraph_engine
+/// (every in-tree consumer already does).
+Result<AlgoResult> Run(vgpu::Device* device, const AlgoSpec& spec,
+                       const graph::CsrGraph& g, const Params& params,
+                       GraphResidency* residency = nullptr);
+
+}  // namespace adgraph::core
+
+#endif  // ADGRAPH_CORE_API_H_

@@ -1,0 +1,75 @@
+#ifndef ADGRAPH_ENGINE_ALGORITHMS_H_
+#define ADGRAPH_ENGINE_ALGORITHMS_H_
+
+#include "core/api.h"
+#include "engine/engine.h"
+#include "graph/csr.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::engine {
+
+/// \brief The engine-ported algorithms (DESIGN.md §2.11).
+///
+/// Each is a short driver over the shared Frontier/Advance/Filter
+/// operators; `core::Run` dispatches here.  Outputs are byte-identical to
+/// the seed `core::Run*` implementations wherever the paper's comparisons
+/// depend on them (golden_test):
+///
+///  * BFS replays the seed's kernel codegen and direction heuristic
+///    operation for operation — levels, parents, depth, and iteration
+///    counts all match.
+///  * SSSP / CC / widest-path converge to the unique semiring fixpoint
+///    (min-plus, min-label, max-min), so the result arrays are bitwise
+///    equal even though the engine schedules work frontier-first; round
+///    counts may differ.
+///  * PageRank is floating-point-order sensitive, so the engine keeps the
+///    seed's exact kernel sequence (dangling sum, pull SpMV, damping) as a
+///    dense pull advance — ranks and iteration count match bitwise.
+///
+/// `report`, when non-null, receives the per-run direction statistics.
+
+Result<core::BfsResult> RunBfs(vgpu::Device* device, const graph::CsrGraph& g,
+                               const core::BfsOptions& options,
+                               core::GraphResidency* residency = nullptr,
+                               const EngineOptions& engine = {},
+                               EngineReport* report = nullptr);
+
+Result<core::SsspResult> RunSssp(vgpu::Device* device,
+                                 const graph::CsrGraph& g,
+                                 const core::SsspOptions& options,
+                                 core::GraphResidency* residency = nullptr,
+                                 const EngineOptions& engine = {},
+                                 EngineReport* report = nullptr);
+
+Result<core::PageRankResult> RunPageRank(
+    vgpu::Device* device, const graph::CsrGraph& g,
+    const core::PageRankOptions& options,
+    core::GraphResidency* residency = nullptr, const EngineOptions& engine = {},
+    EngineReport* report = nullptr);
+
+Result<core::CcResult> RunConnectedComponents(
+    vgpu::Device* device, const graph::CsrGraph& g,
+    const core::CcOptions& options, core::GraphResidency* residency = nullptr,
+    const EngineOptions& engine = {}, EngineReport* report = nullptr);
+
+Result<core::WidestPathResult> RunWidestPath(
+    vgpu::Device* device, const graph::CsrGraph& g,
+    const core::WidestPathOptions& options,
+    core::GraphResidency* residency = nullptr, const EngineOptions& engine = {},
+    EngineReport* report = nullptr);
+
+/// Brandes single-source betweenness: an engine BFS forward pass that also
+/// accumulates shortest-path counts, then a level-synchronous backward
+/// dependency sweep — the "new algorithm in a few dozen lines" the engine
+/// refactor exists to enable.
+Result<core::BcResult> RunBetweenness(vgpu::Device* device,
+                                      const graph::CsrGraph& g,
+                                      const core::BcOptions& options,
+                                      core::GraphResidency* residency = nullptr,
+                                      const EngineOptions& engine = {},
+                                      EngineReport* report = nullptr);
+
+}  // namespace adgraph::engine
+
+#endif  // ADGRAPH_ENGINE_ALGORITHMS_H_

@@ -1,0 +1,255 @@
+#include <string>
+
+#include "core/bfs.h"
+#include "core/residency.h"
+#include "engine/algorithms.h"
+#include "engine/frontier.h"
+#include "engine/operators.h"
+#include "trace/trace.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::engine {
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::LaneMask;
+using vgpu::Lanes;
+
+/// The BFS visit as a push-advance functor: claim v's level with a CAS;
+/// freshly claimed vertices enter the next frontier (and record their
+/// parent).  Identical instruction stream to the seed TopDownKernel body.
+struct BfsPushOp {
+  DevPtr<uint32_t> levels;
+  DevPtr<vid_t> parents;
+  uint32_t level;
+
+  void LoadSource(Ctx&, const Lanes<vid_t>&) {}
+  LaneMask Relax(Ctx& c, const Lanes<vid_t>&, const Lanes<eid_t>&,
+                 const Lanes<vid_t>& v) {
+    auto old = c.AtomicCas(levels, v, c.Splat(core::kUnreachedLevel),
+                           c.Splat(level));
+    return c.Eq(old, core::kUnreachedLevel);
+  }
+  void OnEnqueue(Ctx& c, const Lanes<vid_t>& u, const Lanes<vid_t>& v) {
+    if (!parents.is_null()) c.Store(parents, v, u);
+  }
+};
+
+/// The BFS bottom-up step as a pull-advance functor: an unreached vertex
+/// adopts the first neighbor found on the previous level.  Identical
+/// instruction stream to the seed BottomUpKernel body.
+struct BfsPullOp {
+  DevPtr<uint32_t> levels;
+  DevPtr<vid_t> parents;
+  uint32_t level;
+
+  LaneMask Eligible(Ctx& c, const Lanes<vid_t>& v) {
+    auto my_level = c.Load(levels, v);
+    return c.Eq(my_level, core::kUnreachedLevel);
+  }
+  LaneMask Admit(Ctx& c, const Lanes<vid_t>&, const Lanes<vid_t>& nbr) {
+    auto nbr_level = c.Load(levels, nbr);
+    return c.Eq(nbr_level, level - 1);
+  }
+  void OnAdmit(Ctx& c, const Lanes<vid_t>& v, const Lanes<vid_t>& nbr) {
+    c.Store(levels, v, c.Splat(level));
+    if (!parents.is_null()) c.Store(parents, v, nbr);
+  }
+};
+
+/// Filter predicate: vertex sits on `level` (queue rebuild after pull).
+struct LevelEqPred {
+  DevPtr<uint32_t> levels;
+  uint32_t level;
+
+  LaneMask operator()(Ctx& c, const Lanes<vid_t>& v) {
+    auto my_level = c.Load(levels, v);
+    return c.Eq(my_level, level);
+  }
+};
+
+}  // namespace
+
+Result<core::BfsResult> RunBfs(vgpu::Device* device, const graph::CsrGraph& g,
+                               const core::BfsOptions& options,
+                               core::GraphResidency* residency,
+                               const EngineOptions& engine,
+                               EngineReport* report) {
+  ADGRAPH_ASSIGN_OR_RETURN(
+      core::ResidentCsr staged,
+      core::Stage(residency, device, g, core::GraphVariant::kAsIs));
+  const core::DeviceCsr& d = *staged;
+  const vid_t n = d.num_vertices;
+  if (n == 0) return Status::InvalidArgument("BFS on empty graph");
+  if (options.source >= n) {
+    return Status::InvalidArgument("BFS source " +
+                                   std::to_string(options.source) +
+                                   " out of range");
+  }
+
+  trace::Span algo_span(device->trace_track(), "algo:bfs", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("source", static_cast<uint64_t>(options.source));
+
+  ADGRAPH_ASSIGN_OR_RETURN(auto levels,
+                           rt::DeviceBuffer<uint32_t>::Create(device, n));
+  rt::DeviceBuffer<vid_t> parents;
+  if (options.compute_parents) {
+    ADGRAPH_ASSIGN_OR_RETURN(parents,
+                             rt::DeviceBuffer<vid_t>::Create(device, n));
+  }
+  ADGRAPH_ASSIGN_OR_RETURN(Frontier cur, Frontier::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(Frontier next, Frontier::Create(device, n));
+
+  rt::DeviceTimer timer(device);
+
+  ADGRAPH_RETURN_NOT_OK(core::primitives::Fill<uint32_t>(
+      device, levels.ptr(), n, core::kUnreachedLevel));
+  ADGRAPH_RETURN_NOT_OK(core::primitives::SetElement<uint32_t>(
+      device, levels.ptr(), options.source, 0));
+  if (options.compute_parents) {
+    ADGRAPH_RETURN_NOT_OK(core::primitives::Fill<vid_t>(
+        device, parents.ptr(), n, graph::kInvalidVertex));
+  }
+  ADGRAPH_RETURN_NOT_OK(cur.InitSource(options.source, options.block_size));
+
+  CsrView view = MakeView(d);
+  DevPtr<vid_t> parents_ptr =
+      options.compute_parents ? parents.ptr() : DevPtr<vid_t>{};
+
+  // BFS byte-identity pins the gather to thread-per-vertex (the seed's
+  // codegen); kAuto resolves there, an explicit kWarpPerVertex is honored.
+  const bool warp_gather = engine.load_balance == LoadBalance::kWarpPerVertex;
+
+  DirectionHeuristic heuristic;
+  heuristic.alpha = options.alpha;
+  heuristic.beta = options.beta;
+  const bool can_pull =
+      options.direction_optimizing && options.assume_symmetric;
+  DirectionEngine director(device, engine.direction, heuristic, can_pull);
+
+  core::BfsResult result;
+  uint32_t frontier_size = 1;
+  bool frontier_is_queue = true;  // else implicit in levels (pull mode)
+  uint32_t level = 1;
+
+  while (frontier_size > 0) {
+    ADGRAPH_RETURN_NOT_OK(
+        core::primitives::SetElement<uint32_t>(device, next.count(), 0, 0));
+    ADGRAPH_ASSIGN_OR_RETURN(Direction dir,
+                             director.Choose(frontier_size, n, level));
+
+    if (dir == Direction::kPull) {
+      trace::Span sweep(device->trace_track(), "bfs.bottom_up", "phase");
+      sweep.ArgNum("level", static_cast<uint64_t>(level));
+      sweep.ArgNum("frontier_size", static_cast<uint64_t>(frontier_size));
+      BfsPullOp op{levels.ptr(), parents_ptr, level};
+      ADGRAPH_RETURN_NOT_OK(
+          device
+              ->Launch("bfs_bottom_up",
+                       rt::CoverThreads(n, options.block_size),
+                       [&](Ctx& c) {
+                         return PullAdvanceKernel(c, view, next.count(), op);
+                       })
+              .status());
+      result.bottom_up_iterations += 1;
+      frontier_is_queue = false;
+    } else {
+      trace::Span sweep(device->trace_track(), "bfs.top_down", "phase");
+      sweep.ArgNum("level", static_cast<uint64_t>(level));
+      sweep.ArgNum("frontier_size", static_cast<uint64_t>(frontier_size));
+      if (!frontier_is_queue) {
+        // Returning from pull: Filter the level-1 vertices into a queue.
+        ADGRAPH_RETURN_NOT_OK(core::primitives::SetElement<uint32_t>(
+            device, next.count(), 0, 0));
+        LevelEqPred pred{levels.ptr(), level - 1};
+        ADGRAPH_RETURN_NOT_OK(
+            device
+                ->Launch("bfs_levels_to_queue",
+                         rt::CoverThreads(n, options.block_size),
+                         [&](Ctx& c) {
+                           return FilterToQueueKernel(c, n, cur.queue(),
+                                                      next.count(), pred);
+                         })
+                .status());
+        ADGRAPH_ASSIGN_OR_RETURN(frontier_size,
+                                 core::primitives::GetElement<uint32_t>(
+                                     device, next.count(), 0));
+        ADGRAPH_RETURN_NOT_OK(core::primitives::SetElement<uint32_t>(
+            device, next.count(), 0, 0));
+        frontier_is_queue = true;
+        director.RecordConversion(Frontier::Rep::kDense,
+                                  Frontier::Rep::kSparse);
+        if (frontier_size == 0) break;
+      }
+      BfsPushOp op{levels.ptr(), parents_ptr, level};
+      if (warp_gather) {
+        const uint64_t warp_threads = static_cast<uint64_t>(frontier_size) *
+                                      device->arch().warp_width;
+        ADGRAPH_RETURN_NOT_OK(
+            device
+                ->Launch("bfs_top_down_warp",
+                         rt::CoverThreads(warp_threads, options.block_size,
+                                          StageSharedBytes()),
+                         [&](Ctx& c) {
+                           return PushAdvanceWarpKernel(
+                               c, view, cur.queue(), frontier_size,
+                               next.queue(), next.count(), op);
+                         })
+                .status());
+      } else {
+        ADGRAPH_RETURN_NOT_OK(
+            device
+                ->Launch("bfs_top_down",
+                         rt::CoverThreads(frontier_size, options.block_size,
+                                          StageSharedBytes()),
+                         [&](Ctx& c) {
+                           return PushAdvanceSparseKernel(
+                               c, view, cur.queue(), frontier_size,
+                               next.queue(), next.count(), op);
+                         })
+                .status());
+      }
+      result.top_down_iterations += 1;
+    }
+
+    ADGRAPH_ASSIGN_OR_RETURN(
+        uint32_t produced,
+        core::primitives::GetElement<uint32_t>(device, next.count(), 0));
+    if (dir == Direction::kPull) {
+      // Stay implicit; `produced` counts newly visited vertices.
+      frontier_size = produced;
+    } else {
+      swap(cur, next);
+      frontier_size = produced;
+      frontier_is_queue = true;
+    }
+    if (produced > 0) {
+      result.depth = level;
+    }
+    ++level;
+  }
+
+  result.time_ms = timer.ElapsedMs();
+
+  ADGRAPH_ASSIGN_OR_RETURN(result.levels, levels.ToHost());
+  if (options.compute_parents) {
+    ADGRAPH_ASSIGN_OR_RETURN(result.parents, parents.ToHost());
+  }
+  for (uint32_t lvl : result.levels) {
+    if (lvl != core::kUnreachedLevel) result.vertices_visited += 1;
+  }
+  algo_span.ArgNum("depth", static_cast<uint64_t>(result.depth));
+  algo_span.ArgNum("top_down_iterations",
+                   static_cast<uint64_t>(result.top_down_iterations));
+  algo_span.ArgNum("bottom_up_iterations",
+                   static_cast<uint64_t>(result.bottom_up_iterations));
+  if (report != nullptr) report->direction = director.stats();
+  return result;
+}
+
+}  // namespace adgraph::engine

@@ -1,0 +1,179 @@
+#include "engine/frontier.h"
+
+#include <string>
+
+#include "core/device_graph.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::engine {
+namespace {
+
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::KernelTask;
+
+/// Compacts set flags into a queue.  Positions come from an atomic ticket,
+/// which the simulator serves in thread order — reproducible.
+KernelTask FlagsToQueueKernel(Ctx& c, DevPtr<uint32_t> flags,
+                              DevPtr<vid_t> queue, DevPtr<uint32_t> count,
+                              uint32_t n) {
+  auto v = c.GlobalThreadId();
+  c.If(c.Lt(v, n), [&](Ctx& c) {
+    auto set = c.Load(flags, v);
+    c.If(c.Eq(set, 1u), [&](Ctx& c) {
+      auto pos =
+          c.AtomicAdd(count, c.Splat<uint32_t>(0), c.Splat<uint32_t>(1));
+      c.Store(queue, pos, v);
+    });
+  });
+  co_return;
+}
+
+/// Scatters queue entries into the flag array.
+KernelTask QueueToFlagsKernel(Ctx& c, DevPtr<vid_t> queue,
+                              DevPtr<uint32_t> flags, uint32_t size) {
+  auto i = c.GlobalThreadId();
+  c.If(c.Lt(i, size), [&](Ctx& c) {
+    auto v = c.Load(queue, i);
+    c.Store(flags, v, c.Splat<uint32_t>(1));
+  });
+  co_return;
+}
+
+KernelTask IotaQueueKernel(Ctx& c, DevPtr<vid_t> queue, uint32_t n) {
+  auto v = c.GlobalThreadId();
+  c.If(c.Lt(v, n), [&](Ctx& c) { c.Store(queue, v, v); });
+  co_return;
+}
+
+}  // namespace
+
+Result<Frontier> Frontier::Create(vgpu::Device* device, vid_t n) {
+  if (n == 0) return Status::InvalidArgument("frontier over empty vertex set");
+  Frontier f;
+  f.device_ = device;
+  f.n_ = n;
+  ADGRAPH_ASSIGN_OR_RETURN(f.queue_, rt::DeviceBuffer<vid_t>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(f.flags_,
+                           rt::DeviceBuffer<uint32_t>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(f.count_,
+                           rt::DeviceBuffer<uint32_t>::Create(device, 1));
+  return f;
+}
+
+Status Frontier::InitSource(vid_t source, uint32_t block_size) {
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  if (source >= n_) {
+    return Status::InvalidArgument("frontier source " + std::to_string(source) +
+                                   " out of range");
+  }
+  ADGRAPH_RETURN_NOT_OK(Clear(block_size));
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<vid_t>(device_, queue_.ptr(), 0, source));
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<uint32_t>(device_, flags_.ptr(), source, 1));
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<uint32_t>(device_, count_.ptr(), 0, 1));
+  size_ = 1;
+  rep_ = Rep::kSparse;
+  return Status::OK();
+}
+
+Status Frontier::InitAllVertices(uint32_t block_size) {
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::Fill<uint32_t>(device_, flags_.ptr(), n_, 1));
+  const uint32_t n = n_;
+  auto queue = queue_.ptr();
+  ADGRAPH_RETURN_NOT_OK(
+      device_
+          ->Launch("frontier_iota", rt::CoverThreads(n, block_size),
+                   [&](Ctx& c) { return IotaQueueKernel(c, queue, n); })
+          .status());
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<uint32_t>(device_, count_.ptr(), 0, n_));
+  size_ = n_;
+  rep_ = Rep::kDense;
+  return Status::OK();
+}
+
+Status Frontier::Clear(uint32_t block_size) {
+  (void)block_size;
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::Fill<uint32_t>(device_, flags_.ptr(), n_, 0));
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<uint32_t>(device_, count_.ptr(), 0, 0));
+  size_ = 0;
+  rep_ = Rep::kSparse;
+  return Status::OK();
+}
+
+Status Frontier::EnsureSparse(uint32_t block_size) {
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  if (rep_ == Rep::kSparse) return Status::OK();
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<uint32_t>(device_, count_.ptr(), 0, 0));
+  const uint32_t n = n_;
+  auto flags = flags_.ptr();
+  auto queue = queue_.ptr();
+  auto count = count_.ptr();
+  ADGRAPH_RETURN_NOT_OK(
+      device_
+          ->Launch("frontier_flags_to_queue", rt::CoverThreads(n, block_size),
+                   [&](Ctx& c) {
+                     return FlagsToQueueKernel(c, flags, queue, count, n);
+                   })
+          .status());
+  ADGRAPH_RETURN_NOT_OK(RefreshCount());
+  rep_ = Rep::kSparse;
+  return Status::OK();
+}
+
+Status Frontier::EnsureDense(uint32_t block_size) {
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  if (rep_ == Rep::kDense) return Status::OK();
+  // The flags are maintained alongside the queue by every producer
+  // (advance ops dedup through them), so densifying is a rescatter: clear
+  // then replay the queue.
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::Fill<uint32_t>(device_, flags_.ptr(), n_, 0));
+  const uint32_t size = size_;
+  if (size > 0) {
+    auto queue = queue_.ptr();
+    auto flags = flags_.ptr();
+    ADGRAPH_RETURN_NOT_OK(
+        device_
+            ->Launch("frontier_queue_to_flags",
+                     rt::CoverThreads(size, block_size),
+                     [&](Ctx& c) {
+                       return QueueToFlagsKernel(c, queue, flags, size);
+                     })
+            .status());
+  }
+  rep_ = Rep::kDense;
+  return Status::OK();
+}
+
+Status Frontier::RefreshCount() {
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  ADGRAPH_ASSIGN_OR_RETURN(
+      size_, core::primitives::GetElement<uint32_t>(device_, count_.ptr(), 0));
+  return Status::OK();
+}
+
+}  // namespace adgraph::engine

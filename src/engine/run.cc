@@ -1,0 +1,100 @@
+#include <string>
+#include <variant>
+
+#include "core/api.h"
+#include "engine/algorithms.h"
+#include "engine/engine.h"
+
+// core::Run lives in the engine library (not adgraph_core) because six of
+// the algorithms dispatch into the frontier/operator engine; core/api.h
+// documents the layering.
+
+namespace adgraph::core {
+
+Result<AlgoResult> Run(vgpu::Device* device, const AlgoSpec& spec,
+                       const graph::CsrGraph& g, const Params& params,
+                       GraphResidency* residency) {
+  if (static_cast<size_t>(spec.algo) != params.index()) {
+    return Status::InvalidArgument(
+        "algorithm/params mismatch: spec selects " +
+        std::string(AlgorithmName(spec.algo)) + " but params carry " +
+        std::string(AlgorithmName(static_cast<Algo>(params.index()))) +
+        " options");
+  }
+
+  switch (spec.algo) {
+    case Algo::kBfs: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, engine::RunBfs(device, g, std::get<BfsOptions>(params),
+                                 residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kSssp: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, engine::RunSssp(device, g, std::get<SsspOptions>(params),
+                                  residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kPageRank: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, engine::RunPageRank(device, g,
+                                      std::get<PageRankOptions>(params),
+                                      residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kTriangleCount: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r,
+          RunTriangleCount(device, g, std::get<TcOptions>(params), residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kConnectedComponents: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, engine::RunConnectedComponents(
+                      device, g, std::get<CcOptions>(params), residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kKCore: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, RunKCore(device, g, std::get<KCoreOptions>(params),
+                           residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kJaccard: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, RunJaccard(device, g, std::get<JaccardOptions>(params),
+                             residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kWidestPath: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, engine::RunWidestPath(device, g,
+                                        std::get<WidestPathOptions>(params),
+                                        residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kColoring: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, RunGraphColoring(device, g, std::get<ColoringOptions>(params),
+                                   residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kEsbv: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, ExtractSubgraphByVertex(device, g,
+                                          std::get<EsbvOptions>(params),
+                                          residency));
+      return AlgoResult(std::move(r));
+    }
+    case Algo::kBetweenness: {
+      ADGRAPH_ASSIGN_OR_RETURN(
+          auto r, engine::RunBetweenness(device, g, std::get<BcOptions>(params),
+                                         residency));
+      return AlgoResult(std::move(r));
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm id " +
+                                 std::to_string(static_cast<int>(spec.algo)));
+}
+
+}  // namespace adgraph::core

@@ -1,0 +1,184 @@
+#include <limits>
+#include <string>
+
+#include "core/residency.h"
+#include "core/widest_path.h"
+#include "engine/algorithms.h"
+#include "engine/frontier.h"
+#include "engine/operators.h"
+#include "trace/trace.h"
+#include "vgpu/ctx.h"
+#include "vgpu/kernel.h"
+
+namespace adgraph::engine {
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using vgpu::Ctx;
+using vgpu::DevPtr;
+using vgpu::LaneMask;
+using vgpu::Lanes;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Max-min (bottleneck) relaxation as a push-advance functor: the
+/// candidate width through u is min(width[u], capacity(u,v)); v keeps the
+/// maximum seen.  Claim-flag dedup as in SSSP.
+struct WidestPushOp {
+  DevPtr<double> weights;  // null when unweighted (edges have capacity 1)
+  DevPtr<double> width;
+  DevPtr<uint32_t> out_flags;
+  Lanes<double> wu;
+
+  void LoadSource(Ctx& c, const Lanes<vid_t>& u) { wu = c.Load(width, u); }
+  LaneMask Relax(Ctx& c, const Lanes<vid_t>&, const Lanes<eid_t>& e,
+                 const Lanes<vid_t>& v) {
+    auto cap = weights.is_null() ? c.Splat(1.0) : c.Load(weights, e);
+    auto candidate = c.Min(wu, cap);
+    auto old = c.AtomicMax(width, v, candidate);
+    auto improved = c.Lt(old, candidate);
+    LaneMask fresh = 0;
+    c.If(improved, [&](Ctx& c) {
+      auto prev = c.AtomicExch(out_flags, v, c.Splat<uint32_t>(1));
+      fresh = c.Eq(prev, 0u);
+    });
+    return fresh;
+  }
+  void OnEnqueue(Ctx&, const Lanes<vid_t>&, const Lanes<vid_t>&) {}
+};
+
+struct FlagSetPred {
+  DevPtr<uint32_t> flags;
+  LaneMask operator()(Ctx& c, const Lanes<vid_t>& v) {
+    return c.Eq(c.Load(flags, v), 1u);
+  }
+};
+
+}  // namespace
+
+Result<core::WidestPathResult> RunWidestPath(
+    vgpu::Device* device, const graph::CsrGraph& g,
+    const core::WidestPathOptions& options, core::GraphResidency* residency,
+    const EngineOptions& engine, EngineReport* report) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("widest path on empty graph");
+  if (options.source >= n) {
+    return Status::InvalidArgument("widest-path source out of range");
+  }
+  if (g.has_weights()) {
+    for (double w : g.weights()) {
+      if (w < 0) {
+        return Status::InvalidArgument(
+            "widest path requires non-negative capacities (got " +
+            std::to_string(w) + ")");
+      }
+    }
+  }
+
+  trace::Span algo_span(device->trace_track(), "algo:widest", "algo");
+  algo_span.ArgNum("num_vertices", static_cast<uint64_t>(n));
+  algo_span.ArgNum("source", static_cast<uint64_t>(options.source));
+
+  ADGRAPH_ASSIGN_OR_RETURN(
+      core::ResidentCsr staged,
+      core::Stage(residency, device, g, core::GraphVariant::kAsIs));
+  const core::DeviceCsr& d = *staged;
+  ADGRAPH_ASSIGN_OR_RETURN(auto width,
+                           rt::DeviceBuffer<double>::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(Frontier cur, Frontier::Create(device, n));
+  ADGRAPH_ASSIGN_OR_RETURN(Frontier next, Frontier::Create(device, n));
+
+  rt::DeviceTimer timer(device);
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::Fill<double>(device, width.ptr(), n, 0.0));
+  ADGRAPH_RETURN_NOT_OK(core::primitives::SetElement<double>(
+      device, width.ptr(), options.source, kInf));
+  ADGRAPH_RETURN_NOT_OK(cur.InitSource(options.source, options.block_size));
+
+  CsrView view = MakeView(d);
+  DirectionEngine director(device, engine.direction, DirectionHeuristic{},
+                           /*can_pull=*/false);
+  const LoadBalance lb = ResolveLoadBalance(
+      engine.load_balance, d.num_edges, n, device->arch().warp_width);
+
+  core::WidestPathResult result;
+  const uint32_t max_rounds =
+      options.max_rounds > 0 ? options.max_rounds : (n > 1 ? n - 1 : 1);
+  uint32_t frontier_size = 1;
+  for (uint32_t round = 0; round < max_rounds; ++round) {
+    trace::Span sweep(device->trace_track(), "widest.relax_round", "phase");
+    sweep.ArgNum("round", static_cast<uint64_t>(round + 1));
+    sweep.ArgNum("frontier_size", static_cast<uint64_t>(frontier_size));
+    ADGRAPH_RETURN_NOT_OK(next.Clear(options.block_size));
+    ADGRAPH_ASSIGN_OR_RETURN(Direction dir,
+                             director.Choose(frontier_size, n, round + 1));
+    (void)dir;  // push-only; Choose validates policy and keeps stats
+
+    WidestPushOp op{view.weights, width.ptr(), next.flags(), {}};
+    if (cur.rep() == Frontier::Rep::kDense) {
+      FlagSetPred pred{cur.flags()};
+      ADGRAPH_RETURN_NOT_OK(
+          device
+              ->Launch("widest_relax_dense",
+                       rt::CoverThreads(n, options.block_size,
+                                        StageSharedBytes()),
+                       [&](Ctx& c) {
+                         return PushAdvanceDenseKernel(c, view, next.queue(),
+                                                       next.count(), pred, op);
+                       })
+              .status());
+    } else if (lb == LoadBalance::kWarpPerVertex) {
+      const uint64_t warp_threads =
+          static_cast<uint64_t>(frontier_size) * device->arch().warp_width;
+      ADGRAPH_RETURN_NOT_OK(
+          device
+              ->Launch("widest_relax_warp",
+                       rt::CoverThreads(warp_threads, options.block_size,
+                                        StageSharedBytes()),
+                       [&](Ctx& c) {
+                         return PushAdvanceWarpKernel(
+                             c, view, cur.queue(), frontier_size, next.queue(),
+                             next.count(), op);
+                       })
+              .status());
+    } else {
+      ADGRAPH_RETURN_NOT_OK(
+          device
+              ->Launch("widest_relax",
+                       rt::CoverThreads(frontier_size, options.block_size,
+                                        StageSharedBytes()),
+                       [&](Ctx& c) {
+                         return PushAdvanceSparseKernel(
+                             c, view, cur.queue(), frontier_size, next.queue(),
+                             next.count(), op);
+                       })
+              .status());
+    }
+
+    result.rounds = round + 1;
+    ADGRAPH_RETURN_NOT_OK(next.RefreshCount());
+    const uint32_t produced = next.size();
+    if (produced == 0) break;
+
+    next.set_rep(Frontier::Rep::kSparse);
+    const DirectionHeuristic& h = director.heuristic();
+    if (produced > h.min_pull_frontier &&
+        static_cast<double>(produced) > n / h.alpha) {
+      director.RecordConversion(Frontier::Rep::kSparse, Frontier::Rep::kDense);
+      next.set_rep(Frontier::Rep::kDense);
+    } else if (cur.rep() == Frontier::Rep::kDense) {
+      director.RecordConversion(Frontier::Rep::kDense, Frontier::Rep::kSparse);
+    }
+    frontier_size = produced;
+    swap(cur, next);
+  }
+
+  result.time_ms = timer.ElapsedMs();
+  ADGRAPH_ASSIGN_OR_RETURN(result.widths, width.ToHost());
+  algo_span.ArgNum("rounds", static_cast<uint64_t>(result.rounds));
+  if (report != nullptr) report->direction = director.stats();
+  return result;
+}
+
+}  // namespace adgraph::engine

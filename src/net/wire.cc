@@ -37,6 +37,7 @@ std::string_view WireStatusName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
   }
   return "internal";
 }
@@ -108,6 +109,12 @@ Result<serve::JobParams> BuildJobParams(
       ADGRAPH_ASSIGN_OR_RETURN(double seed, get_number("seed", 7));
       o.vertices = core::SelectPseudoCluster(num_vertices, fraction,
                                              static_cast<uint64_t>(seed));
+      return serve::JobParams(o);
+    }
+    case serve::Algorithm::kBetweenness: {
+      core::BcOptions o;
+      ADGRAPH_ASSIGN_OR_RETURN(double source, get_number("source", 0));
+      o.source = static_cast<graph::vid_t>(source);
       return serve::JobParams(o);
     }
   }

@@ -1,0 +1,84 @@
+#include "part/run.h"
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "part/part_bfs.h"
+#include "part/part_pagerank.h"
+
+namespace adgraph::part {
+
+Result<PartRunResult> RunPartitioned(PartitionedEngine* engine,
+                                     const graph::CsrGraph& g,
+                                     const PartitionPlan& plan,
+                                     const core::AlgoSpec& spec,
+                                     const core::Params& params) {
+  if (static_cast<size_t>(spec.algo) != params.index()) {
+    return Status::InvalidArgument(
+        "algorithm/params mismatch: spec selects " +
+        std::string(core::AlgorithmName(spec.algo)) + " but params carry " +
+        std::string(
+            core::AlgorithmName(static_cast<core::Algo>(params.index()))) +
+        " options");
+  }
+
+  switch (spec.algo) {
+    case core::Algo::kBfs: {
+      const auto& o = std::get<core::BfsOptions>(params);
+      if (o.compute_parents) {
+        return Status::InvalidArgument(
+            "partitioned bfs does not produce parents (partitioned "
+            "traversal reports levels only)");
+      }
+      PartBfsOptions part_options;
+      part_options.source = o.source;
+      part_options.block_size = o.block_size;
+      ADGRAPH_ASSIGN_OR_RETURN(
+          PartBfsResult r, RunPartitionedBfs(engine, g, plan, part_options));
+      PartRunResult out;
+      out.exchange_bytes = r.exchange_bytes;
+      out.exchange_rounds = r.rounds;
+      out.exchange_ms = r.exchange_ms;
+      out.time_ms = r.time_ms;
+      core::BfsResult payload;
+      payload.levels = std::move(r.levels);
+      payload.depth = r.depth;
+      payload.vertices_visited = r.vertices_visited;
+      payload.top_down_iterations = r.rounds;
+      payload.time_ms = r.time_ms;
+      out.payload = core::AlgoResult(std::move(payload));
+      return out;
+    }
+    case core::Algo::kPageRank: {
+      const auto& o = std::get<core::PageRankOptions>(params);
+      PartPageRankOptions part_options;
+      part_options.alpha = o.alpha;
+      part_options.max_iterations = o.max_iterations;
+      part_options.tolerance = o.tolerance;
+      part_options.block_size = o.block_size;
+      ADGRAPH_ASSIGN_OR_RETURN(
+          PartPageRankResult r,
+          RunPartitionedPageRank(engine, g, plan, part_options));
+      PartRunResult out;
+      out.exchange_bytes = r.exchange_bytes;
+      out.exchange_rounds = r.iterations;
+      out.exchange_ms = r.exchange_ms;
+      out.time_ms = r.time_ms;
+      core::PageRankResult payload;
+      payload.ranks = std::move(r.ranks);
+      payload.iterations = r.iterations;
+      payload.l1_delta = r.l1_delta;
+      payload.time_ms = r.time_ms;
+      out.payload = core::AlgoResult(std::move(payload));
+      return out;
+    }
+    default:
+      return Status::InvalidArgument(
+          "no partitioned formulation of " +
+          std::string(core::AlgorithmName(spec.algo)) +
+          " (gang execution supports bfs and pagerank)");
+  }
+}
+
+}  // namespace adgraph::part

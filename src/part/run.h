@@ -1,0 +1,41 @@
+#ifndef ADGRAPH_PART_RUN_H_
+#define ADGRAPH_PART_RUN_H_
+
+#include <cstdint>
+
+#include "core/api.h"
+#include "graph/csr.h"
+#include "part/engine.h"
+#include "part/partition.h"
+#include "util/status.h"
+
+namespace adgraph::part {
+
+/// Outcome of a uniform partitioned run: the single-device-shaped payload
+/// (so callers consume it exactly like a `core::Run` result) plus the
+/// interconnect accounting only a multi-device run has.
+struct PartRunResult {
+  core::AlgoResult payload;
+  uint64_t exchange_bytes = 0;   ///< peer bytes moved over the interconnect
+  uint64_t exchange_rounds = 0;  ///< bulk-synchronous exchange rounds
+  double exchange_ms = 0;        ///< modeled interconnect time
+  double time_ms = 0;            ///< modeled end-to-end gang time
+};
+
+/// \brief The partitioned mirror of `core::Run`: dispatches `spec.algo`
+/// with the matching `params` alternative over the gang.
+///
+/// Only the algorithms with a partitioned formulation are supported — BFS
+/// (levels only, no parents) and PageRank; anything else fails with
+/// kInvalidArgument.  kFailedPrecondition when `spec.algo` and the params
+/// alternative disagree would lie — that is a malformed request, so it is
+/// kInvalidArgument too, matching core::Run.
+Result<PartRunResult> RunPartitioned(PartitionedEngine* engine,
+                                     const graph::CsrGraph& g,
+                                     const PartitionPlan& plan,
+                                     const core::AlgoSpec& spec,
+                                     const core::Params& params);
+
+}  // namespace adgraph::part
+
+#endif  // ADGRAPH_PART_RUN_H_

@@ -24,6 +24,10 @@ static_assert(AlternativeMatches<JobPayload, Algorithm::kBfs,
                                  core::BfsResult>());
 static_assert(AlternativeMatches<JobPayload, Algorithm::kEsbv,
                                  core::EsbvResult>());
+static_assert(AlternativeMatches<JobParams, Algorithm::kBetweenness,
+                                 core::BcOptions>());
+static_assert(AlternativeMatches<JobPayload, Algorithm::kBetweenness,
+                                 core::BcResult>());
 static_assert(std::variant_size_v<JobParams> ==
               std::variant_size_v<JobPayload>);
 
@@ -56,32 +60,8 @@ class Fnv1a {
 
 }  // namespace
 
-std::string_view AlgorithmName(Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kBfs: return "bfs";
-    case Algorithm::kSssp: return "sssp";
-    case Algorithm::kPageRank: return "pagerank";
-    case Algorithm::kTriangleCount: return "tc";
-    case Algorithm::kConnectedComponents: return "cc";
-    case Algorithm::kKCore: return "kcore";
-    case Algorithm::kJaccard: return "jaccard";
-    case Algorithm::kWidestPath: return "widest";
-    case Algorithm::kColoring: return "color";
-    case Algorithm::kEsbv: return "esbv";
-  }
-  return "unknown";
-}
-
-Result<Algorithm> ParseAlgorithm(std::string_view name) {
-  for (size_t i = 0; i < std::variant_size_v<JobParams>; ++i) {
-    auto algo = static_cast<Algorithm>(i);
-    if (AlgorithmName(algo) == name) return algo;
-  }
-  return Status::NotFound("unknown algorithm '" + std::string(name) + "'");
-}
-
 double PayloadTimeMs(const JobPayload& payload) {
-  return std::visit([](const auto& r) { return r.time_ms; }, payload);
+  return core::ResultTimeMs(payload);
 }
 
 uint64_t FingerprintPayload(const JobPayload& payload) {
@@ -123,6 +103,10 @@ uint64_t FingerprintPayload(const JobPayload& payload) {
           h.Vector(r.subgraph.row_offsets());
           h.Vector(r.subgraph.col_indices());
           h.Vector(r.subgraph.weights());
+        } else if constexpr (std::is_same_v<R, core::BcResult>) {
+          h.Vector(r.centrality);
+          h.Vector(r.sigma);
+          h.Value(r.depth);
         }
       },
       payload);

@@ -7,16 +7,7 @@
 #include <string_view>
 #include <variant>
 
-#include "core/bfs.h"
-#include "core/coloring.h"
-#include "core/conn_components.h"
-#include "core/jaccard.h"
-#include "core/kcore.h"
-#include "core/pagerank.h"
-#include "core/sssp.h"
-#include "core/subgraph.h"
-#include "core/triangle_count.h"
-#include "core/widest_path.h"
+#include "core/api.h"
 #include "graph/csr.h"
 #include "part/partition.h"
 #include "prof/metrics.h"
@@ -25,43 +16,26 @@
 
 namespace adgraph::serve {
 
-/// Every library algorithm the serving layer can dispatch (the `core/`
-/// entry points behind a uniform interface).
-enum class Algorithm {
-  kBfs,
-  kSssp,
-  kPageRank,
-  kTriangleCount,
-  kConnectedComponents,
-  kKCore,
-  kJaccard,
-  kWidestPath,
-  kColoring,
-  kEsbv,
-};
+/// The serving layer dispatches exactly the algorithm set behind the
+/// uniform `core::Run` entry point; these aliases keep the historical
+/// serve-layer names working (serve::Algorithm::kBfs, serve::JobParams,
+/// ...) while the definitions live in core/api.h.
+using Algorithm = core::Algo;
 
-/// Lower-case wire/CLI name ("bfs", "pagerank", "esbv", ...).
-std::string_view AlgorithmName(Algorithm algo);
-
-/// Inverse of AlgorithmName; kNotFound for unknown names.
-Result<Algorithm> ParseAlgorithm(std::string_view name);
+/// Lower-case wire/CLI name ("bfs", "pagerank", "esbv", "bc", ...) and its
+/// inverse (kNotFound for unknown names) — the core/api.h functions,
+/// re-exported under their historical serve:: names.
+using core::AlgorithmName;
+using core::ParseAlgorithm;
 
 /// Per-algorithm request parameters.  The variant alternative *is* the
 /// algorithm selection: constructing a JobSpec with core::TcOptions makes
 /// it a triangle-count job.  Alternative order matches enum Algorithm
-/// (static_asserted in job.cc).
-using JobParams =
-    std::variant<core::BfsOptions, core::SsspOptions, core::PageRankOptions,
-                 core::TcOptions, core::CcOptions, core::KCoreOptions,
-                 core::JaccardOptions, core::WidestPathOptions,
-                 core::ColoringOptions, core::EsbvOptions>;
+/// (static_asserted in core/api.cc).
+using JobParams = core::Params;
 
 /// Per-algorithm result payload, same alternative order as JobParams.
-using JobPayload =
-    std::variant<core::BfsResult, core::SsspResult, core::PageRankResult,
-                 core::TcResult, core::CcResult, core::KCoreResult,
-                 core::JaccardResult, core::WidestPathResult,
-                 core::ColoringResult, core::EsbvResult>;
+using JobPayload = core::AlgoResult;
 
 /// \brief One graph-analytics request: which algorithm with which
 /// parameters on which graph, optionally pinned to one architecture.

@@ -25,6 +25,14 @@ const Options& Params(const JobSpec& spec) {
   return std::get<Options>(spec.params);
 }
 
+/// The uniform execution path: every handler dispatches through the
+/// engine-backed `core::Run` entry point (src/engine/run.cc), so the serve
+/// layer never touches a per-algorithm core/ signature.
+Result<JobPayload> RunViaEngine(vgpu::Device* d, const JobSpec& s,
+                                core::GraphResidency* res) {
+  return core::Run(d, core::AlgoSpec{s.algorithm()}, *s.graph, s.params, res);
+}
+
 /// graph_variant for the algorithms whose staged layout doesn't depend on
 /// the job parameters (everything except triangle counting).
 std::function<core::GraphVariant(const JobSpec&)> Always(
@@ -41,14 +49,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kBfs,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r,
-                 core::RunBfs(d, *s.graph, Params<core::BfsOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -61,14 +62,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kSssp,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r,
-                 core::RunSssp(d, *s.graph, Params<core::SsspOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -81,15 +75,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kPageRank,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunPageRank(
-                             d, *s.graph, Params<core::PageRankOptions>(s),
-                             res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kPullTranspose),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -103,15 +89,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kTriangleCount,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r,
-                 core::RunTriangleCount(d, *s.graph, Params<core::TcOptions>(s),
-                                        res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant =
            [](const JobSpec& s) {
              return Params<core::TcOptions>(s).orient
@@ -131,14 +109,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kConnectedComponents,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunConnectedComponents(
-                             d, *s.graph, Params<core::CcOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kSymSimple),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -150,14 +121,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kKCore,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunKCore(d, *s.graph,
-                                        Params<core::KCoreOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kSymSimple),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -170,15 +134,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kJaccard,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::RunJaccard(d, *s.graph,
-                                          Params<core::JaccardOptions>(s),
-                                          res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -190,15 +146,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kWidestPath,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r,
-                 core::RunWidestPath(d, *s.graph,
-                                     Params<core::WidestPathOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kAsIs),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -210,15 +158,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kColoring,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r,
-                 core::RunGraphColoring(d, *s.graph,
-                                        Params<core::ColoringOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kSymSimple),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -230,14 +170,7 @@ std::vector<AlgorithmHandler> BuildRegistry() {
 
   add({.algo = Algorithm::kEsbv,
        .name = {},
-       .run =
-           [](vgpu::Device* d, const JobSpec& s,
-              core::GraphResidency* res) -> Result<JobPayload> {
-             ADGRAPH_ASSIGN_OR_RETURN(
-                 auto r, core::ExtractSubgraphByVertex(
-                             d, *s.graph, Params<core::EsbvOptions>(s), res));
-             return JobPayload(std::move(r));
-           },
+       .run = RunViaEngine,
        .graph_variant = Always(core::GraphVariant::kCscWeighted),
        .estimate_device_bytes =
            [](const JobSpec& s) {
@@ -252,6 +185,20 @@ std::vector<AlgorithmHandler> BuildRegistry() {
                     256;
            },
        .requires_weights = true});
+
+  add({.algo = Algorithm::kBetweenness,
+       .name = {},
+       .run = RunViaEngine,
+       .graph_variant = Always(core::GraphVariant::kSymSimple),
+       .estimate_device_bytes =
+           [](const JobSpec& s) {
+             const auto& g = *s.graph;
+             uint64_t n = g.num_vertices();
+             // levels (4n) + sigma/delta (8n each) + two engine frontiers
+             // (queue + flags, 8n each) + count cells.
+             return SymUploadBytes(n, g.num_edges(), /*weighted=*/false) +
+                    36 * n + 256;
+           }});
 
   return reg;
 }

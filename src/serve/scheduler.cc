@@ -7,8 +7,7 @@
 
 #include "capi/adgraph.h"
 #include "part/engine.h"
-#include "part/part_bfs.h"
-#include "part/part_pagerank.h"
+#include "part/run.h"
 #include "prof/metrics.h"
 #include "prof/session.h"
 #include "serve/admission.h"
@@ -707,57 +706,19 @@ Status Scheduler::RunGang(Worker* worker, const JobSpec& spec,
                               spec.gang_strategy));
   outcome->gang_devices = spec.gang_devices;
 
-  switch (spec.algorithm()) {
-    case Algorithm::kBfs: {
-      const auto& o = std::get<core::BfsOptions>(spec.params);
-      part::PartBfsOptions part_options;
-      part_options.source = o.source;
-      part_options.block_size = o.block_size;
-      ADGRAPH_ASSIGN_OR_RETURN(
-          part::PartBfsResult r,
-          part::RunPartitionedBfs(engine.get(), *spec.graph, plan,
-                                  part_options));
-      outcome->modeled_ms = r.time_ms;
-      outcome->exchange_bytes = r.exchange_bytes;
-      outcome->exchange_rounds = r.rounds;
-      outcome->exchange_ms = r.exchange_ms;
-      core::BfsResult payload;
-      payload.levels = std::move(r.levels);
-      payload.depth = r.depth;
-      payload.vertices_visited = r.vertices_visited;
-      payload.top_down_iterations = r.rounds;
-      payload.time_ms = r.time_ms;
-      outcome->payload = JobPayload(std::move(payload));
-      return Status::OK();
-    }
-    case Algorithm::kPageRank: {
-      const auto& o = std::get<core::PageRankOptions>(spec.params);
-      part::PartPageRankOptions part_options;
-      part_options.alpha = o.alpha;
-      part_options.max_iterations = o.max_iterations;
-      part_options.tolerance = o.tolerance;
-      part_options.block_size = o.block_size;
-      ADGRAPH_ASSIGN_OR_RETURN(
-          part::PartPageRankResult r,
-          part::RunPartitionedPageRank(engine.get(), *spec.graph, plan,
-                                       part_options));
-      outcome->modeled_ms = r.time_ms;
-      outcome->exchange_bytes = r.exchange_bytes;
-      outcome->exchange_rounds = r.iterations;
-      outcome->exchange_ms = r.exchange_ms;
-      core::PageRankResult payload;
-      payload.ranks = std::move(r.ranks);
-      payload.iterations = r.iterations;
-      payload.l1_delta = r.l1_delta;
-      payload.time_ms = r.time_ms;
-      outcome->payload = JobPayload(std::move(payload));
-      return Status::OK();
-    }
-    default:
-      // ValidateJobSpec admits only the two cases above.
-      return Status::Internal("gang execution reached an unsupported "
-                              "algorithm past validation");
-  }
+  // Uniform partitioned dispatch: part::RunPartitioned mirrors core::Run,
+  // so the scheduler needs no per-algorithm knowledge here either.
+  // ValidateJobSpec admitted only algorithms it supports.
+  ADGRAPH_ASSIGN_OR_RETURN(
+      part::PartRunResult r,
+      part::RunPartitioned(engine.get(), *spec.graph, plan,
+                           core::AlgoSpec{spec.algorithm()}, spec.params));
+  outcome->modeled_ms = r.time_ms;
+  outcome->exchange_bytes = r.exchange_bytes;
+  outcome->exchange_rounds = r.exchange_rounds;
+  outcome->exchange_ms = r.exchange_ms;
+  outcome->payload = std::move(r.payload);
+  return Status::OK();
 }
 
 void Scheduler::Drain() {

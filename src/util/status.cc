@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
   }
   return "Unknown";
 }

@@ -39,6 +39,12 @@ enum class StatusCode {
   /// wasting a device on an answer nobody is still waiting for.  Distinct
   /// from kResourceExhausted — nothing is full; the job is merely late.
   kDeadlineExceeded = 12,
+  /// The request is well-formed but the system is not in a state that can
+  /// satisfy it: e.g. a pull-only traversal demanded on a graph staged
+  /// without a symmetric adjacency, or an engine operator invoked before
+  /// its frontier was initialized.  Distinct from kInvalidArgument — the
+  /// arguments are fine; the precondition on current state is not.
+  kFailedPrecondition = 13,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Out of memory").
@@ -105,6 +111,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -119,6 +128,9 @@ class Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
   }
 
   /// The error message, or "" for an OK status.

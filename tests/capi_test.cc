@@ -87,6 +87,11 @@ TEST(CApiTest, StatusStrings) {
                "ADGRAPH_STATUS_UNSUPPORTED");
   EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_DEADLINE_EXCEEDED),
                "ADGRAPH_STATUS_DEADLINE_EXCEEDED");
+  EXPECT_STREQ(adgraphStatusGetString(ADGRAPH_STATUS_FAILED_PRECONDITION),
+               "ADGRAPH_STATUS_FAILED_PRECONDITION");
+  // Appended value: the frozen 0..14 range must not have been renumbered.
+  EXPECT_EQ(ADGRAPH_STATUS_FAILED_PRECONDITION, 15);
+  EXPECT_EQ(ADGRAPH_STATUS_DEADLINE_EXCEEDED, 14);
 }
 
 TEST(CApiTest, VersionIsV2) {

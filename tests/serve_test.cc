@@ -87,6 +87,7 @@ TEST(RegistryTest, EstimatesCoverTheGraphUpload) {
         spec.params = core::WidestPathOptions{}; break;
       case Algorithm::kColoring: spec.params = core::ColoringOptions{}; break;
       case Algorithm::kEsbv: spec.params = core::EsbvOptions{}; break;
+      case Algorithm::kBetweenness: spec.params = core::BcOptions{}; break;
     }
     EXPECT_GE(EstimateJobDeviceBytes(spec), g->DeviceFootprintBytes() / 2)
         << handler.name;
@@ -140,6 +141,26 @@ TEST(SchedulerTest, SingleJobMatchesDirectExecution) {
 // The headline concurrency test: N submitter threads race mixed algorithm
 // jobs into a multi-worker pool; every outcome must be byte-identical to a
 // serial run of the same job on the same architecture.
+TEST(SchedulerTest, BetweennessJobRunsThroughTheEngine) {
+  auto g = TestGraph(7);
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  JobSpec spec{.graph = g, .params = core::BcOptions{.source = 0}};
+  ASSERT_EQ(spec.algorithm(), Algorithm::kBetweenness);
+  auto submitted = scheduler->Submit(std::move(spec));
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobOutcome outcome = submitted->get();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  const auto& bc = std::get<core::BcResult>(outcome.payload);
+  EXPECT_EQ(bc.centrality.size(), g->num_vertices());
+  EXPECT_EQ(bc.sigma.size(), g->num_vertices());
+  EXPECT_GT(bc.depth, 0u);
+  // Fingerprinting must understand the new payload alternative.
+  EXPECT_NE(FingerprintPayload(outcome.payload), 0u);
+  scheduler->Shutdown();
+}
+
 TEST(SchedulerTest, ConcurrentSubmissionMatchesSerial) {
   auto g = TestGraph(8);
   // Two identical A100s: any worker that picks a job produces the same

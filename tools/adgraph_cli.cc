@@ -7,7 +7,8 @@
 //   adgraph_cli --algo=pagerank --dataset=web-Google [--extra-divisor=8]
 //   adgraph_cli --algo=tc --generate=rmat --scale=14 --profile
 //
-// Algorithms: bfs, sssp, pagerank, tc, cc, kcore, jaccard, widest, esbv.
+// Algorithms: bfs, sssp, pagerank, tc, cc, kcore, jaccard, widest, esbv,
+// color, bc.
 // Graph sources (one of): --graph=FILE (edge list or .mtx), --dataset=NAME
 // (paper proxy), --generate=rmat|er|ws|ba.
 //
@@ -34,16 +35,7 @@
 #include <vector>
 
 #include "capi/adgraph.h"
-#include "core/bfs.h"
-#include "core/coloring.h"
-#include "core/conn_components.h"
-#include "core/jaccard.h"
-#include "core/kcore.h"
-#include "core/pagerank.h"
-#include "core/sssp.h"
-#include "core/subgraph.h"
-#include "core/triangle_count.h"
-#include "core/widest_path.h"
+#include "core/api.h"
 #include "graph/datasets.h"
 #include "graph/generate.h"
 #include "graph/io.h"
@@ -87,7 +79,7 @@ int Usage() {
                "adgraph_cli %d.%d.%d\n"
                "usage: adgraph_cli --algo=ALGO (--graph=FILE | "
                "--dataset=NAME | --generate=KIND) [options]\n"
-               "  ALGO: bfs sssp pagerank tc cc kcore jaccard widest esbv color\n"
+               "  ALGO: bfs sssp pagerank tc cc kcore jaccard widest esbv color bc\n"
                "  options: --gpu=Z100|V100|Z100L|A100  --source=N  --k=N\n"
                "           --scale=N --edge-factor=F --seed=N (generate)\n"
                "           --extra-divisor=F (dataset)  --profile\n"
@@ -169,91 +161,171 @@ Status RunAlgo(const Flags& flags, vgpu::Device* device,
                const graph::CsrGraph& g) {
   std::string algo = flags.GetString("algo", "");
   auto source = static_cast<graph::vid_t>(flags.GetInt("source", 0));
-  if (algo == "bfs") {
-    core::BfsOptions options;
-    options.source = source;
-    options.assume_symmetric = flags.GetBool("undirected", false);
-    ADGRAPH_ASSIGN_OR_RETURN(auto r, core::RunBfs(device, g, options));
-    // A zero modeled time (empty frontier / trivial graph) has no rate.
-    const double mteps =
-        r.time_ms > 0 ? static_cast<double>(g.num_edges()) / (r.time_ms * 1e3)
-                      : 0.0;
-    std::printf("bfs: visited %llu / %u vertices, depth %u, %.4f ms "
-                "(%.1f MTEPS%s)\n",
-                static_cast<unsigned long long>(r.vertices_visited),
-                g.num_vertices(), r.depth, r.time_ms, mteps,
-                r.time_ms > 0 ? "" : ", rate skipped");
-  } else if (algo == "sssp") {
-    ADGRAPH_ASSIGN_OR_RETURN(auto r,
-                             core::RunSssp(device, g, {.source = source}));
-    uint64_t reached = 0;
-    for (double d : r.distances) reached += std::isfinite(d);
-    std::printf("sssp: %llu reachable, %u rounds, %.4f ms\n",
-                static_cast<unsigned long long>(reached), r.rounds, r.time_ms);
-  } else if (algo == "pagerank") {
-    ADGRAPH_ASSIGN_OR_RETURN(auto r, core::RunPageRank(device, g, {}));
-    graph::vid_t best = 0;
-    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
-      if (r.ranks[v] > r.ranks[best]) best = v;
+  ADGRAPH_ASSIGN_OR_RETURN(core::Algo algo_id, core::ParseAlgorithm(algo));
+
+  // Flag -> options mapping; the variant alternative is the selection.
+  core::Params params;
+  const graph::CsrGraph* input = &g;
+  graph::CsrGraph weighted;  // esbv requires weights; synthesized on demand
+  switch (algo_id) {
+    case core::Algo::kBfs: {
+      core::BfsOptions options;
+      options.source = source;
+      options.assume_symmetric = flags.GetBool("undirected", false);
+      params = options;
+      break;
     }
-    std::printf("pagerank: %u iterations, top vertex %u (%.3e), %.4f ms\n",
-                r.iterations, best, r.ranks[best], r.time_ms);
-  } else if (algo == "tc") {
-    core::TcOptions options;
-    options.orient = !flags.GetBool("no-orient", false);
-    ADGRAPH_ASSIGN_OR_RETURN(auto r,
-                             core::RunTriangleCount(device, g, options));
-    std::printf("tc: %llu triangles (%s), %.4f ms\n",
-                static_cast<unsigned long long>(r.triangles),
-                options.orient ? "oriented" : "bisson-fatica", r.time_ms);
-  } else if (algo == "color") {
-    ADGRAPH_ASSIGN_OR_RETURN(auto r, core::RunGraphColoring(device, g, {}));
-    std::printf("color: %u colors in %u rounds, %.4f ms\n", r.num_colors,
-                r.rounds, r.time_ms);
-  } else if (algo == "cc") {
-    ADGRAPH_ASSIGN_OR_RETURN(auto r,
-                             core::RunConnectedComponents(device, g, {}));
-    std::printf("cc: %llu components, %u iterations, %.4f ms\n",
-                static_cast<unsigned long long>(r.num_components),
-                r.iterations, r.time_ms);
-  } else if (algo == "kcore") {
-    core::KCoreOptions options;
-    options.k = static_cast<uint32_t>(flags.GetInt("k", 3));
-    ADGRAPH_ASSIGN_OR_RETURN(auto r, core::RunKCore(device, g, options));
-    std::printf("kcore: %llu vertices in the %u-core, %u peel rounds, "
-                "%.4f ms\n",
-                static_cast<unsigned long long>(r.core_size), options.k,
-                r.peel_rounds, r.time_ms);
-  } else if (algo == "jaccard") {
-    ADGRAPH_ASSIGN_OR_RETURN(auto r, core::RunJaccard(device, g, {}));
-    double sum = 0;
-    for (double v : r.coefficients) sum += v;
-    std::printf("jaccard: mean coefficient %.4f over %zu edges, %.4f ms\n",
-                r.coefficients.empty() ? 0 : sum / r.coefficients.size(),
-                r.coefficients.size(), r.time_ms);
-  } else if (algo == "widest") {
-    ADGRAPH_ASSIGN_OR_RETURN(
-        auto r, core::RunWidestPath(device, g, {.source = source}));
-    uint64_t reached = 0;
-    for (double w : r.widths) reached += w > 0;
-    std::printf("widest: %llu reachable, %u rounds, %.4f ms\n",
-                static_cast<unsigned long long>(reached), r.rounds, r.time_ms);
-  } else if (algo == "esbv") {
-    graph::CsrGraph weighted =
-        g.has_weights() ? g : g.WithUniformWeights(1.0);
-    core::EsbvOptions options;
-    options.vertices = core::SelectPseudoCluster(
-        g.num_vertices(), flags.GetDouble("fraction", 0.5), 7);
-    ADGRAPH_ASSIGN_OR_RETURN(
-        auto r, core::ExtractSubgraphByVertex(device, weighted, options));
-    std::printf("esbv: kept %llu vertices / %llu edges, %.4f ms\n",
-                static_cast<unsigned long long>(r.subgraph_vertices),
-                static_cast<unsigned long long>(r.subgraph_edges), r.time_ms);
-  } else {
-    return Status::InvalidArgument("unknown algorithm '" + algo + "'");
+    case core::Algo::kSssp:
+      params = core::SsspOptions{.source = source};
+      break;
+    case core::Algo::kPageRank:
+      params = core::PageRankOptions{};
+      break;
+    case core::Algo::kTriangleCount: {
+      core::TcOptions options;
+      options.orient = !flags.GetBool("no-orient", false);
+      params = options;
+      break;
+    }
+    case core::Algo::kConnectedComponents:
+      params = core::CcOptions{};
+      break;
+    case core::Algo::kKCore: {
+      core::KCoreOptions options;
+      options.k = static_cast<uint32_t>(flags.GetInt("k", 3));
+      params = options;
+      break;
+    }
+    case core::Algo::kJaccard:
+      params = core::JaccardOptions{};
+      break;
+    case core::Algo::kWidestPath:
+      params = core::WidestPathOptions{.source = source};
+      break;
+    case core::Algo::kColoring:
+      params = core::ColoringOptions{};
+      break;
+    case core::Algo::kEsbv: {
+      weighted = g.has_weights() ? g : g.WithUniformWeights(1.0);
+      input = &weighted;
+      core::EsbvOptions options;
+      options.vertices = core::SelectPseudoCluster(
+          g.num_vertices(), flags.GetDouble("fraction", 0.5), 7);
+      params = std::move(options);
+      break;
+    }
+    case core::Algo::kBetweenness:
+      params = core::BcOptions{.source = source};
+      break;
+  }
+
+  ADGRAPH_ASSIGN_OR_RETURN(
+      core::AlgoResult result,
+      core::Run(device, {algo_id}, *input, params));
+
+  switch (algo_id) {
+    case core::Algo::kBfs: {
+      const auto& r = std::get<core::BfsResult>(result);
+      // A zero modeled time (empty frontier / trivial graph) has no rate.
+      const double mteps =
+          r.time_ms > 0
+              ? static_cast<double>(g.num_edges()) / (r.time_ms * 1e3)
+              : 0.0;
+      std::printf("bfs: visited %llu / %u vertices, depth %u, %.4f ms "
+                  "(%.1f MTEPS%s)\n",
+                  static_cast<unsigned long long>(r.vertices_visited),
+                  g.num_vertices(), r.depth, r.time_ms, mteps,
+                  r.time_ms > 0 ? "" : ", rate skipped");
+      break;
+    }
+    case core::Algo::kSssp: {
+      const auto& r = std::get<core::SsspResult>(result);
+      uint64_t reached = 0;
+      for (double d : r.distances) reached += std::isfinite(d);
+      std::printf("sssp: %llu reachable, %u rounds, %.4f ms\n",
+                  static_cast<unsigned long long>(reached), r.rounds,
+                  r.time_ms);
+      break;
+    }
+    case core::Algo::kPageRank: {
+      const auto& r = std::get<core::PageRankResult>(result);
+      graph::vid_t best = 0;
+      for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (r.ranks[v] > r.ranks[best]) best = v;
+      }
+      std::printf("pagerank: %u iterations, top vertex %u (%.3e), %.4f ms\n",
+                  r.iterations, best, r.ranks[best], r.time_ms);
+      break;
+    }
+    case core::Algo::kTriangleCount: {
+      const auto& r = std::get<core::TcResult>(result);
+      std::printf("tc: %llu triangles (%s), %.4f ms\n",
+                  static_cast<unsigned long long>(r.triangles),
+                  std::get<core::TcOptions>(params).orient ? "oriented"
+                                                           : "bisson-fatica",
+                  r.time_ms);
+      break;
+    }
+    case core::Algo::kColoring: {
+      const auto& r = std::get<core::ColoringResult>(result);
+      std::printf("color: %u colors in %u rounds, %.4f ms\n", r.num_colors,
+                  r.rounds, r.time_ms);
+      break;
+    }
+    case core::Algo::kConnectedComponents: {
+      const auto& r = std::get<core::CcResult>(result);
+      std::printf("cc: %llu components, %u iterations, %.4f ms\n",
+                  static_cast<unsigned long long>(r.num_components),
+                  r.iterations, r.time_ms);
+      break;
+    }
+    case core::Algo::kKCore: {
+      const auto& r = std::get<core::KCoreResult>(result);
+      std::printf("kcore: %llu vertices in the %u-core, %u peel rounds, "
+                  "%.4f ms\n",
+                  static_cast<unsigned long long>(r.core_size),
+                  std::get<core::KCoreOptions>(params).k, r.peel_rounds,
+                  r.time_ms);
+      break;
+    }
+    case core::Algo::kJaccard: {
+      const auto& r = std::get<core::JaccardResult>(result);
+      double sum = 0;
+      for (double v : r.coefficients) sum += v;
+      std::printf("jaccard: mean coefficient %.4f over %zu edges, %.4f ms\n",
+                  r.coefficients.empty() ? 0 : sum / r.coefficients.size(),
+                  r.coefficients.size(), r.time_ms);
+      break;
+    }
+    case core::Algo::kWidestPath: {
+      const auto& r = std::get<core::WidestPathResult>(result);
+      uint64_t reached = 0;
+      for (double w : r.widths) reached += w > 0;
+      std::printf("widest: %llu reachable, %u rounds, %.4f ms\n",
+                  static_cast<unsigned long long>(reached), r.rounds,
+                  r.time_ms);
+      break;
+    }
+    case core::Algo::kEsbv: {
+      const auto& r = std::get<core::EsbvResult>(result);
+      std::printf("esbv: kept %llu vertices / %llu edges, %.4f ms\n",
+                  static_cast<unsigned long long>(r.subgraph_vertices),
+                  static_cast<unsigned long long>(r.subgraph_edges),
+                  r.time_ms);
+      break;
+    }
+    case core::Algo::kBetweenness: {
+      const auto& r = std::get<core::BcResult>(result);
+      double mass = 0;
+      for (double d : r.centrality) mass += d;
+      std::printf("bc: source %u, depth %u, dependency mass %.4f, %.4f ms\n",
+                  source, r.depth, mass, r.time_ms);
+      break;
+    }
   }
   return Status::OK();
 }
+
 
 // --- partitioned (multi-device) --------------------------------------------
 
