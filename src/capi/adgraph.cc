@@ -6,6 +6,7 @@
 
 #include "core/api.h"
 #include "graph/csr.h"
+#include "graph/delta.h"
 #include "trace/trace.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
@@ -25,6 +26,9 @@ struct adgraphContext {
 struct adgraphGraphDescrStruct {
   adgraph::graph::CsrGraph graph;
   bool has_structure = false;
+  /// Lazily created by adgraphApplyEdgeUpdates; reset whenever the
+  /// structure or weights are replaced wholesale.
+  std::unique_ptr<adgraph::graph::DeltaGraph> delta;
 };
 
 namespace {
@@ -66,6 +70,8 @@ adgraphStatus_t ToC(StatusCode code) {
       return ADGRAPH_STATUS_DEADLINE_EXCEEDED;
     case StatusCode::kFailedPrecondition:
       return ADGRAPH_STATUS_FAILED_PRECONDITION;
+    case StatusCode::kCancelled:
+      return ADGRAPH_STATUS_CANCELLED;
   }
   return ADGRAPH_STATUS_INTERNAL_ERROR;
 }
@@ -141,6 +147,8 @@ const char* adgraphStatusGetString(adgraphStatus_t status) {
       return "ADGRAPH_STATUS_DEADLINE_EXCEEDED";
     case ADGRAPH_STATUS_FAILED_PRECONDITION:
       return "ADGRAPH_STATUS_FAILED_PRECONDITION";
+    case ADGRAPH_STATUS_CANCELLED:
+      return "ADGRAPH_STATUS_CANCELLED";
   }
   return "ADGRAPH_STATUS_UNKNOWN";
 }
@@ -154,7 +162,7 @@ adgraphStatus_t adgraphGetVersion(int* major, int* minor, int* patch) {
 
 adgraphStatus_t adgraphStatusFromStatusCode(int status_code) {
   if (status_code < static_cast<int>(StatusCode::kOk) ||
-      status_code > static_cast<int>(StatusCode::kFailedPrecondition)) {
+      status_code > static_cast<int>(StatusCode::kCancelled)) {
     return ADGRAPH_STATUS_INTERNAL_ERROR;
   }
   return ToC(static_cast<StatusCode>(status_code));
@@ -267,6 +275,7 @@ adgraphStatus_t adgraphSetGraphStructure(adgraphHandle_t handle,
   if (!graph.ok()) return Fail(handle, graph.status());
   descr->graph = std::move(graph).value();
   descr->has_structure = true;
+  descr->delta.reset();
   return Succeed(handle);
 }
 
@@ -288,6 +297,47 @@ adgraphStatus_t adgraphSetEdgeWeights(adgraphHandle_t handle,
       descr->graph.col_indices(), std::move(w));
   if (!rebuilt.ok()) return Fail(handle, rebuilt.status());
   descr->graph = std::move(rebuilt).value();
+  descr->delta.reset();
+  return Succeed(handle);
+}
+
+adgraphStatus_t adgraphApplyEdgeUpdates(adgraphHandle_t handle,
+                                        adgraphGraphDescr_t descr,
+                                        const adgraphEdgeUpdate_t* updates,
+                                        size_t num_updates,
+                                        uint64_t* version_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (!HasStructure(descr)) {
+    return NoStructure(handle, "adgraphApplyEdgeUpdates");
+  }
+  if (updates == nullptr && num_updates > 0) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphApplyEdgeUpdates: updates is NULL");
+  }
+  if (descr->delta == nullptr) {
+    auto created = adgraph::graph::DeltaGraph::Create(descr->graph);
+    if (!created.ok()) return Fail(handle, created.status());
+    descr->delta = std::make_unique<adgraph::graph::DeltaGraph>(
+        std::move(created).value());
+  }
+  std::vector<adgraph::graph::EdgeUpdate> batch;
+  batch.reserve(num_updates);
+  for (size_t i = 0; i < num_updates; ++i) {
+    adgraph::graph::EdgeUpdate update;
+    update.u = updates[i].src;
+    update.v = updates[i].dst;
+    update.w = updates[i].weight;
+    update.insert = updates[i].remove == 0;
+    batch.push_back(update);
+  }
+  auto applied = descr->delta->Apply(batch);
+  // Refresh the descriptor's graph with whatever did apply before failing,
+  // so the descriptor and its delta never disagree.
+  auto snapshot = descr->delta->Snapshot();
+  if (!snapshot.ok()) return Fail(handle, snapshot.status());
+  descr->graph = **snapshot;
+  if (version_out != nullptr) *version_out = descr->delta->version();
+  if (!applied.ok()) return Fail(handle, applied.status());
   return Succeed(handle);
 }
 
@@ -436,6 +486,7 @@ adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
   subgraph->graph =
       std::move(std::get<adgraph::core::EsbvResult>(*result).subgraph);
   subgraph->has_structure = true;
+  subgraph->delta.reset();
   return Succeed(handle);
 }
 

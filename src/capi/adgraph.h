@@ -42,7 +42,7 @@
 /// Library version, bumped with the v2 error-surface redesign.  Additions
 /// bump MINOR; existing symbols and enum values stay stable within MAJOR 2.
 #define ADGRAPH_VERSION_MAJOR 2
-#define ADGRAPH_VERSION_MINOR 2
+#define ADGRAPH_VERSION_MINOR 3
 #define ADGRAPH_VERSION_PATCH 0
 
 #ifdef __cplusplus
@@ -74,6 +74,8 @@ typedef enum {
                                                 (e.g. a pull-only traversal
                                                 without a symmetric
                                                 adjacency) */
+  /* v2.3 addition. */
+  ADGRAPH_STATUS_CANCELLED = 16,        /**< job cancelled by its submitter */
 } adgraphStatus_t;
 
 typedef struct adgraphContext* adgraphHandle_t;
@@ -174,6 +176,29 @@ adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
                                                adgraphGraphDescr_t subgraph,
                                                const uint32_t* vertices,
                                                size_t num_vertices);
+
+/// One edge mutation for adgraphApplyEdgeUpdates (v2.3).
+typedef struct {
+  uint32_t src;
+  uint32_t dst;
+  double weight;   /**< ignored for removals and on unweighted graphs */
+  int32_t remove;  /**< nonzero = delete the edge instead of inserting */
+} adgraphEdgeUpdate_t;
+
+/// Applies edge insertions/deletions to the descriptor's graph in order
+/// (v2.3).  The vertex set is fixed: OUT_OF_RANGE if any update names a
+/// vertex >= num_vertices (updates before the offender are kept).
+/// Duplicate inserts are keep-first no-ops and self loops are legal — the
+/// library-wide normalization policy.  The descriptor's graph must be in
+/// normal form (neighbor-sorted, duplicate-free), which every library
+/// construction path produces; INVALID_VALUE otherwise.  `version_out`
+/// (may be NULL) receives the graph's monotonic mutation version, which
+/// increments once per update that actually changed the edge set.
+adgraphStatus_t adgraphApplyEdgeUpdates(adgraphHandle_t handle,
+                                        adgraphGraphDescr_t descr,
+                                        const adgraphEdgeUpdate_t* updates,
+                                        size_t num_updates,
+                                        uint64_t* version_out);
 
 /// Reads back a descriptor's shape (any pointer may be NULL).
 adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,

@@ -1,0 +1,71 @@
+#ifndef ADGRAPH_CORE_INCREMENTAL_H_
+#define ADGRAPH_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "graph/delta.h"
+#include "util/status.h"
+#include "vgpu/device.h"
+
+namespace adgraph::core {
+
+/// Knobs of the incremental recompute entry point (DESIGN.md §2.12).
+struct IncrementalOptions {
+  /// Fall back to full recompute when the delta touches more than this
+  /// fraction of the snapshot's edges — past that point re-expansion does
+  /// comparable work to a cold run without its memory locality.
+  double full_threshold = 0.01;
+  /// Force the full-recompute path (measurement baseline).
+  bool force_full = false;
+  uint32_t block_size = 256;
+};
+
+/// What RunIncremental actually did, for callers that report or assert on
+/// the path taken.
+struct IncrementalInfo {
+  bool incremental = false;      ///< true = delta path ran on the device
+  std::string fallback_reason;   ///< why full recompute ran ("" if not)
+  uint64_t updates_applied = 0;  ///< delta length consumed
+  uint64_t seed_vertices = 0;    ///< vertices seeding the re-expansion
+};
+
+/// \brief Incremental recompute over a mutated graph: recomputes
+/// `spec.algo` on `delta`'s current snapshot, warm-starting from `previous`
+/// (the result computed when the graph was at `previous_version`).
+///
+/// Supported delta paths — each produces the *same fixpoint* a full
+/// recompute lands on:
+///
+///  * **BFS** (insert-only deltas, levels): previous levels upload as-is;
+///    the frontier seeds with the endpoints the inserts improved and the
+///    engine's push advance relaxes `level[v] > level[u] + 1` to
+///    convergence.  Levels, depth, and vertices_visited are byte-identical
+///    to a full run (shortest-path distances are a unique fixpoint);
+///    iteration counters reflect the incremental rounds.
+///  * **CC** (insert-only deltas): previous labels upload as-is; endpoints
+///    of label-bridging inserts seed min-label propagation on the
+///    symmetrized snapshot.  Labels and num_components are byte-identical.
+///  * **PageRank** (any delta): re-iterates the exact full-recompute kernel
+///    sequence from the previous rank vector instead of 1/n.  Converges in
+///    fewer iterations for small deltas; ranks agree with a cold run to
+///    the configured tolerance (not bitwise — FP iteration from a
+///    different start; DESIGN.md §2.12 documents this deviation).
+///
+/// Everything else — deletions for BFS/CC, parents, version history gaps,
+/// deltas over `options.full_threshold`, other algorithms — falls back to
+/// core::Run on the snapshot (info->fallback_reason says why).  The
+/// returned payload is therefore always usable, whichever path ran.
+Result<AlgoResult> RunIncremental(vgpu::Device* device, const AlgoSpec& spec,
+                                  graph::DeltaGraph& delta,
+                                  const Params& params,
+                                  const AlgoResult& previous,
+                                  uint64_t previous_version,
+                                  const IncrementalOptions& options = {},
+                                  GraphResidency* residency = nullptr,
+                                  IncrementalInfo* info = nullptr);
+
+}  // namespace adgraph::core
+
+#endif  // ADGRAPH_CORE_INCREMENTAL_H_

@@ -6,27 +6,6 @@
 
 namespace adgraph::core {
 
-namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
-  const auto* p = static_cast<const uint8_t*>(data);
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-template <typename T>
-uint64_t FnvVector(const std::vector<T>& v, uint64_t h) {
-  return Fnv1a(v.data(), v.size() * sizeof(T), h);
-}
-
-}  // namespace
-
 std::string_view GraphVariantName(GraphVariant variant) {
   switch (variant) {
     case GraphVariant::kAsIs:
@@ -44,13 +23,10 @@ std::string_view GraphVariantName(GraphVariant variant) {
 }
 
 uint64_t FingerprintCsr(const graph::CsrGraph& g) {
-  uint64_t h = kFnvOffset;
-  graph::vid_t n = g.num_vertices();
-  h = Fnv1a(&n, sizeof(n), h);
-  h = FnvVector(g.row_offsets(), h);
-  h = FnvVector(g.col_indices(), h);
-  h = FnvVector(g.weights(), h);
-  return h;
+  // Same FNV-1a digest as always, now memoized on the graph itself — and
+  // pre-stamped with the family fingerprint on DeltaGraph snapshots, whose
+  // identity is (fingerprint, mutation_epoch) rather than raw content.
+  return g.ContentFingerprint();
 }
 
 Result<graph::CsrGraph> BuildHostVariant(const graph::CsrGraph& base,

@@ -103,6 +103,37 @@ Status Frontier::InitAllVertices(uint32_t block_size) {
   return Status::OK();
 }
 
+Status Frontier::InitFromHost(std::span<const vid_t> seeds,
+                              uint32_t block_size) {
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("frontier not created");
+  }
+  for (vid_t v : seeds) {
+    if (v >= n_) {
+      return Status::InvalidArgument("frontier seed " + std::to_string(v) +
+                                     " out of range");
+    }
+  }
+  ADGRAPH_RETURN_NOT_OK(Clear(block_size));
+  if (seeds.empty()) return Status::OK();
+  const uint32_t size = static_cast<uint32_t>(seeds.size());
+  ADGRAPH_RETURN_NOT_OK(queue_.Upload(seeds.data(), size));
+  auto queue = queue_.ptr();
+  auto flags = flags_.ptr();
+  ADGRAPH_RETURN_NOT_OK(
+      device_
+          ->Launch("frontier_seed_scatter", rt::CoverThreads(size, block_size),
+                   [&](Ctx& c) {
+                     return QueueToFlagsKernel(c, queue, flags, size);
+                   })
+          .status());
+  ADGRAPH_RETURN_NOT_OK(
+      core::primitives::SetElement<uint32_t>(device_, count_.ptr(), 0, size));
+  size_ = size;
+  rep_ = Rep::kSparse;
+  return Status::OK();
+}
+
 Status Frontier::Clear(uint32_t block_size) {
   (void)block_size;
   if (device_ == nullptr) {

@@ -2,6 +2,7 @@
 #define ADGRAPH_ENGINE_FRONTIER_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "graph/types.h"
@@ -45,6 +46,13 @@ class Frontier {
   /// Resets to the full vertex set 0..n-1: all flags set, queue=iota,
   /// count=n, representation dense.
   Status InitAllVertices(uint32_t block_size = 256);
+
+  /// Resets to an arbitrary host-side seed set (duplicate-free, ids < n):
+  /// queue=seeds, flags scattered, count=|seeds|, representation sparse.
+  /// The incremental-recompute entry point (DESIGN.md §2.12) uses this to
+  /// re-expand only the vertices a delta touched.
+  Status InitFromHost(std::span<const graph::vid_t> seeds,
+                      uint32_t block_size = 256);
 
   /// Resets to the empty set (flags cleared, count 0, sparse).
   Status Clear(uint32_t block_size = 256);

@@ -13,6 +13,12 @@ namespace adgraph::graph {
 /// Collects edges (auto-growing the vertex count), then finalizes into a
 /// CsrGraph.  Convenient for examples and tests; bulk paths (generators,
 /// file readers) build CooGraph directly.
+///
+/// Duplicate-edge / self-loop policy (shared with the generators in
+/// generate.h and with DeltaGraph::AddEdge): repeated (u,v) pairs collapse
+/// to the *first* insertion (first weight wins), self loops are legal and
+/// kept.  Build() applies this by default; pass explicit CsrBuildOptions to
+/// opt out (e.g. for multigraph experiments).
 class GraphBuilder {
  public:
   GraphBuilder() = default;
@@ -43,8 +49,22 @@ class GraphBuilder {
   eid_t num_edges() const { return coo_.num_edges(); }
   const CooGraph& coo() const { return coo_; }
 
-  /// Finalizes into CSR.  The builder remains usable afterwards.
-  Result<CsrGraph> Build(const CsrBuildOptions& options = {}) const {
+  /// The options Build() uses when none are given: sorted adjacency,
+  /// duplicates collapsed keep-first, self loops kept — the documented
+  /// policy above.
+  static CsrBuildOptions DefaultBuildOptions() {
+    CsrBuildOptions options;
+    options.remove_duplicates = true;
+    return options;
+  }
+
+  /// Finalizes into CSR under the documented duplicate/self-loop policy.
+  /// The builder remains usable afterwards.
+  Result<CsrGraph> Build() const { return Build(DefaultBuildOptions()); }
+
+  /// Finalizes into CSR with explicit conversion options (overrides the
+  /// default policy).
+  Result<CsrGraph> Build(const CsrBuildOptions& options) const {
     return CsrGraph::FromCoo(coo_, options);
   }
 

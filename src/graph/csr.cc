@@ -5,6 +5,79 @@
 #include <string>
 
 namespace adgraph::graph {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+template <typename T>
+void FnvMix(uint64_t* h, const T* data, size_t count) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < count * sizeof(T); ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+CsrGraph::CsrGraph(const CsrGraph& other)
+    : num_vertices_(other.num_vertices_),
+      row_offsets_(other.row_offsets_),
+      col_indices_(other.col_indices_),
+      weights_(other.weights_),
+      fingerprint_memo_(
+          other.fingerprint_memo_.load(std::memory_order_relaxed)),
+      mutation_epoch_(other.mutation_epoch_) {}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  if (this == &other) return *this;
+  num_vertices_ = other.num_vertices_;
+  row_offsets_ = other.row_offsets_;
+  col_indices_ = other.col_indices_;
+  weights_ = other.weights_;
+  fingerprint_memo_.store(
+      other.fingerprint_memo_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  mutation_epoch_ = other.mutation_epoch_;
+  return *this;
+}
+
+CsrGraph::CsrGraph(CsrGraph&& other) noexcept
+    : num_vertices_(other.num_vertices_),
+      row_offsets_(std::move(other.row_offsets_)),
+      col_indices_(std::move(other.col_indices_)),
+      weights_(std::move(other.weights_)),
+      fingerprint_memo_(
+          other.fingerprint_memo_.load(std::memory_order_relaxed)),
+      mutation_epoch_(other.mutation_epoch_) {}
+
+CsrGraph& CsrGraph::operator=(CsrGraph&& other) noexcept {
+  if (this == &other) return *this;
+  num_vertices_ = other.num_vertices_;
+  row_offsets_ = std::move(other.row_offsets_);
+  col_indices_ = std::move(other.col_indices_);
+  weights_ = std::move(other.weights_);
+  fingerprint_memo_.store(
+      other.fingerprint_memo_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  mutation_epoch_ = other.mutation_epoch_;
+  return *this;
+}
+
+uint64_t CsrGraph::ContentFingerprint() const {
+  uint64_t memo = fingerprint_memo_.load(std::memory_order_relaxed);
+  if (memo != 0) return memo;
+  uint64_t h = kFnvOffset;
+  uint64_t n = num_vertices_;
+  FnvMix(&h, &n, 1);
+  FnvMix(&h, row_offsets_.data(), row_offsets_.size());
+  FnvMix(&h, col_indices_.data(), col_indices_.size());
+  FnvMix(&h, weights_.data(), weights_.size());
+  if (h == 0) h = kFnvOffset;  // keep 0 as the unset sentinel
+  fingerprint_memo_.store(h, std::memory_order_relaxed);
+  return h;
+}
 
 Result<CsrGraph> CsrGraph::FromCoo(const CooGraph& coo,
                                    const CsrBuildOptions& options) {
@@ -125,6 +198,9 @@ CsrGraph CsrGraph::Transpose() const {
 CsrGraph CsrGraph::WithUniformWeights(weight_t w) const {
   CsrGraph g = *this;
   g.weights_.assign(col_indices_.size(), w);
+  // Content changed relative to *this: drop the copied memo so the weighted
+  // flavor hashes its own bytes.
+  g.fingerprint_memo_.store(0, std::memory_order_relaxed);
   return g;
 }
 

@@ -1,6 +1,8 @@
 #ifndef ADGRAPH_GRAPH_CSR_H_
 #define ADGRAPH_GRAPH_CSR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -9,6 +11,8 @@
 #include "util/status.h"
 
 namespace adgraph::graph {
+
+class DeltaGraph;
 
 /// Options controlling COO -> CSR conversion.
 struct CsrBuildOptions {
@@ -32,6 +36,13 @@ struct CsrBuildOptions {
 class CsrGraph {
  public:
   CsrGraph() = default;
+  // Copies/moves carry the fingerprint memo and mutation epoch along with
+  // the arrays (the copy describes the same bytes); spelled out because the
+  // memo is an atomic.
+  CsrGraph(const CsrGraph& other);
+  CsrGraph& operator=(const CsrGraph& other);
+  CsrGraph(CsrGraph&& other) noexcept;
+  CsrGraph& operator=(CsrGraph&& other) noexcept;
 
   /// Builds from an edge list.  Validates vertex bounds and (if present)
   /// the weights array length.
@@ -84,11 +95,30 @@ class CsrGraph {
            weights_.size() * sizeof(weight_t);
   }
 
+  /// FNV-1a digest of (num_vertices, row_offsets, col_indices, weights),
+  /// memoized on first call — identical arrays hash identically, so this is
+  /// the content half of every residency-cache key (core::FingerprintCsr
+  /// delegates here).  Snapshots published by DeltaGraph instead carry a
+  /// pre-stamped *family* fingerprint: one identity per mutable graph that
+  /// stays fixed across mutations, with `mutation_epoch()` distinguishing
+  /// the versions.  Never 0 (0 is the unset-memo sentinel).
+  uint64_t ContentFingerprint() const;
+
+  /// DeltaGraph version this snapshot was taken at.  0 for every graph that
+  /// did not come out of DeltaGraph::Snapshot() — static graphs are epoch 0
+  /// forever, which keeps pre-dynamic cache keys byte-stable.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
+  friend class DeltaGraph;  // stamps fingerprint_memo_/mutation_epoch_
+
   vid_t num_vertices_ = 0;
   std::vector<eid_t> row_offsets_{0};
   std::vector<vid_t> col_indices_;
   std::vector<weight_t> weights_;
+  /// 0 = not yet computed; racing recomputations store the same value.
+  mutable std::atomic<uint64_t> fingerprint_memo_{0};
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace adgraph::graph

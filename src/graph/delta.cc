@@ -1,0 +1,201 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+
+namespace adgraph::graph {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix64(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// One salt per DeltaGraph ever created in this process: two families
+/// mutated apart from the same base content get distinct fingerprints, so
+/// (family, version) residency keys never collide across families.
+uint64_t NextFamilySalt() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Result<DeltaGraph> DeltaGraph::Create(CsrGraph base) {
+  return Create(std::make_shared<const CsrGraph>(std::move(base)));
+}
+
+Result<DeltaGraph> DeltaGraph::Create(std::shared_ptr<const CsrGraph> base) {
+  if (!base) return Status::InvalidArgument("DeltaGraph base is null");
+  for (vid_t u = 0; u < base->num_vertices(); ++u) {
+    auto nbrs = base->neighbors(u);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= nbrs[i - 1]) {
+        return Status::InvalidArgument(
+            "DeltaGraph base must have sorted, duplicate-free adjacency "
+            "(vertex " + std::to_string(u) + " violates this)");
+      }
+    }
+  }
+  DeltaGraph d;
+  uint64_t family = FnvMix64(
+      FnvMix64(kFnvOffset, base->ContentFingerprint()), NextFamilySalt());
+  if (family == 0) family = kFnvOffset;
+  d.base_ = std::move(base);
+  d.family_fingerprint_ = family;
+  return d;
+}
+
+eid_t DeltaGraph::num_edges() const {
+  return base_->num_edges() - deletes_.size() + inserts_.size();
+}
+
+bool DeltaGraph::BaseHasEdge(vid_t u, vid_t v) const {
+  auto nbrs = base_->neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool DeltaGraph::EdgeLive(vid_t u, vid_t v) const {
+  if (inserts_.count({u, v})) return true;
+  if (deletes_.count({u, v})) return false;
+  return BaseHasEdge(u, v);
+}
+
+Status DeltaGraph::CheckVertex(vid_t u, vid_t v) const {
+  if (u >= base_->num_vertices() || v >= base_->num_vertices()) {
+    return Status::OutOfRange(
+        "edge (" + std::to_string(u) + "," + std::to_string(v) +
+        ") outside the fixed vertex set [0," +
+        std::to_string(base_->num_vertices()) + ")");
+  }
+  return Status::OK();
+}
+
+Result<bool> DeltaGraph::AddEdge(vid_t u, vid_t v, weight_t w) {
+  ADGRAPH_RETURN_NOT_OK(CheckVertex(u, v));
+  if (EdgeLive(u, v)) return false;  // keep-first: builder.h policy
+  inserts_[{u, v}] = w;
+  version_ += 1;
+  history_.push_back({u, v, w, /*insert=*/true});
+  return true;
+}
+
+Result<bool> DeltaGraph::RemoveEdge(vid_t u, vid_t v) {
+  ADGRAPH_RETURN_NOT_OK(CheckVertex(u, v));
+  if (!EdgeLive(u, v)) return false;
+  auto it = inserts_.find({u, v});
+  if (it != inserts_.end()) {
+    // The live copy came from the insert log; dropping it restores the
+    // delete marker's effect (if any) on the base copy.
+    inserts_.erase(it);
+  } else {
+    deletes_.insert({u, v});
+  }
+  version_ += 1;
+  history_.push_back({u, v, weight_t{0}, /*insert=*/false});
+  return true;
+}
+
+Result<uint64_t> DeltaGraph::Apply(std::span<const EdgeUpdate> updates) {
+  uint64_t applied = 0;
+  for (const EdgeUpdate& up : updates) {
+    Result<bool> r = up.insert ? AddEdge(up.u, up.v, up.w)
+                               : RemoveEdge(up.u, up.v);
+    ADGRAPH_RETURN_NOT_OK(r.status());
+    if (r.value()) applied += 1;
+  }
+  return applied;
+}
+
+Result<CsrGraph> DeltaGraph::MaterializeInternal() const {
+  const CsrGraph& base = *base_;
+  const bool weighted = base.has_weights();
+  const vid_t n = base.num_vertices();
+  std::vector<eid_t> row_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<vid_t> col_indices;
+  std::vector<weight_t> weights;
+  col_indices.reserve(num_edges());
+  if (weighted) weights.reserve(num_edges());
+
+  auto ins_it = inserts_.begin();
+  for (vid_t u = 0; u < n; ++u) {
+    auto nbrs = base.neighbors(u);
+    auto wts = weighted ? base.edge_weights(u) : std::span<const weight_t>{};
+    size_t bi = 0;
+    // Merge the (sorted) surviving base row with the (sorted) insert log
+    // for u.  Both streams are duplicate-free and — because AddEdge refuses
+    // already-live edges — mutually disjoint, so the merge is too.
+    while (bi < nbrs.size() || (ins_it != inserts_.end() &&
+                                ins_it->first.first == u)) {
+      bool base_turn;
+      if (bi >= nbrs.size()) {
+        base_turn = false;
+      } else if (ins_it == inserts_.end() || ins_it->first.first != u) {
+        base_turn = true;
+      } else {
+        base_turn = nbrs[bi] < ins_it->first.second;
+      }
+      if (base_turn) {
+        if (!deletes_.count({u, nbrs[bi]})) {
+          col_indices.push_back(nbrs[bi]);
+          if (weighted) weights.push_back(wts[bi]);
+        }
+        ++bi;
+      } else {
+        col_indices.push_back(ins_it->first.second);
+        if (weighted) weights.push_back(ins_it->second);
+        ++ins_it;
+      }
+    }
+    row_offsets[u + 1] = col_indices.size();
+  }
+  return CsrGraph::FromArrays(n, std::move(row_offsets),
+                              std::move(col_indices), std::move(weights));
+}
+
+Result<CsrGraph> DeltaGraph::Materialize() const {
+  return MaterializeInternal();
+}
+
+Result<std::shared_ptr<const CsrGraph>> DeltaGraph::Snapshot() {
+  if (snapshot_ && snapshot_version_ == version_) return snapshot_;
+  ADGRAPH_ASSIGN_OR_RETURN(CsrGraph g, MaterializeInternal());
+  g.fingerprint_memo_.store(family_fingerprint_, std::memory_order_relaxed);
+  g.mutation_epoch_ = version_;
+  snapshot_ = std::make_shared<const CsrGraph>(std::move(g));
+  snapshot_version_ = version_;
+  return snapshot_;
+}
+
+Status DeltaGraph::Compact() {
+  if (inserts_.empty() && deletes_.empty()) return Status::OK();
+  ADGRAPH_ASSIGN_OR_RETURN(CsrGraph merged, MaterializeInternal());
+  base_ = std::make_shared<const CsrGraph>(std::move(merged));
+  inserts_.clear();
+  deletes_.clear();
+  return Status::OK();
+}
+
+std::optional<std::vector<EdgeUpdate>> DeltaGraph::UpdatesSince(
+    uint64_t since_version) const {
+  if (since_version > version_) return std::nullopt;
+  if (since_version < history_base_version_) return std::nullopt;
+  size_t first = since_version - history_base_version_;
+  return std::vector<EdgeUpdate>(history_.begin() + first, history_.end());
+}
+
+void DeltaGraph::TrimHistory(size_t keep) {
+  if (history_.size() <= keep) return;
+  size_t drop = history_.size() - keep;
+  history_.erase(history_.begin(), history_.begin() + drop);
+  history_base_version_ += drop;
+}
+
+}  // namespace adgraph::graph

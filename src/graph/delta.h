@@ -1,0 +1,146 @@
+#ifndef ADGRAPH_GRAPH_DELTA_H_
+#define ADGRAPH_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace adgraph::graph {
+
+/// One edge mutation — the unit of the DeltaGraph log, the MUTATE wire verb,
+/// and adgraphApplyEdgeUpdates.
+struct EdgeUpdate {
+  vid_t u = 0;
+  vid_t v = 0;
+  /// Ignored for deletions and for unweighted bases (structural insert).
+  weight_t w = 1;
+  bool insert = true;  ///< false = delete
+};
+
+/// \brief A mutable graph: an immutable base CsrGraph plus a sorted
+/// edge-insert/delete log, periodically folded back into a fresh base by
+/// Compact() (cf. the buffer_graph/disk_graph delta-buffer design, ROADMAP
+/// item 1).
+///
+/// Semantics
+///  - The live edge set is (base \ deletes) ∪ inserts; an insert of a
+///    deleted base edge resurrects it (with the insert's weight on weighted
+///    bases).
+///  - Duplicate/self-loop policy matches GraphBuilder (builder.h):
+///    AddEdge of an already-live (u,v) is a keep-first no-op (returns
+///    false, no version bump); self loops are legal.
+///  - The vertex set is fixed at the base's: ids >= num_vertices() are
+///    kOutOfRange.
+///  - `version()` increments once per *applied* mutation and is never reset
+///    (Compact() changes the representation, not the logical version).
+///
+/// Identity & residency (DESIGN.md §2.12): every DeltaGraph owns a process-
+/// unique *family fingerprint* (the base's content fingerprint mixed with a
+/// global counter salt, so two families mutated apart from the same base
+/// never collide).  Snapshot() publishes an immutable CsrGraph stamped with
+/// that family fingerprint and mutation_epoch() == version(); the residency
+/// cache keys on (fingerprint, epoch, variant), so a resident copy of an
+/// older version can never be served for a newer one, and the server can
+/// drop all stale epochs of a family with one Invalidate(family) call.
+///
+/// Not thread-safe; callers serialize mutations (the net server holds one
+/// mutex per served graph).
+class DeltaGraph {
+ public:
+  /// Default-constructed instances exist only to satisfy Result<DeltaGraph>
+  /// storage; every usable DeltaGraph comes from Create().
+  DeltaGraph() = default;
+
+  /// Wraps a base CSR.  The base must be neighbor-sorted with no duplicate
+  /// (u,v) — the normal form every loader/generator/builder path in the
+  /// repo produces — so edge-presence lookups can binary search;
+  /// kInvalidArgument otherwise.
+  static Result<DeltaGraph> Create(CsrGraph base);
+  static Result<DeltaGraph> Create(std::shared_ptr<const CsrGraph> base);
+
+  vid_t num_vertices() const { return base_->num_vertices(); }
+  /// Live edge count: base - pending deletes + pending inserts.
+  eid_t num_edges() const;
+  bool has_weights() const { return base_->has_weights(); }
+
+  /// Monotonic mutation counter (0 = pristine base).
+  uint64_t version() const { return version_; }
+  /// Stable identity of this mutable graph across all its versions.
+  uint64_t family_fingerprint() const { return family_fingerprint_; }
+  /// Log size (inserts + deletes awaiting Compact()).
+  size_t pending_updates() const { return inserts_.size() + deletes_.size(); }
+
+  /// Inserts (u,v); returns true if applied, false if the edge was already
+  /// live (keep-first: the existing weight stays).  kOutOfRange for vertex
+  /// ids outside the base's vertex set.
+  Result<bool> AddEdge(vid_t u, vid_t v, weight_t w = 1);
+
+  /// Deletes (u,v); returns true if applied, false if the edge was not
+  /// live.  kOutOfRange for out-of-range ids.
+  Result<bool> RemoveEdge(vid_t u, vid_t v);
+
+  /// Applies a batch in order; returns how many actually mutated the graph
+  /// (no-ops — duplicate inserts, deletes of absent edges — don't count and
+  /// don't bump the version).  Stops at the first out-of-range id.
+  Result<uint64_t> Apply(std::span<const EdgeUpdate> updates);
+
+  /// Folds the log into a fresh base CSR.  version() and the family
+  /// fingerprint are unchanged — compaction is a representation change.
+  Status Compact();
+
+  /// Materializes the live edge set as a plain CSR (sorted, duplicate-free)
+  /// carrying its true content fingerprint and epoch 0 — byte-identical to
+  /// rebuilding from scratch with the same edges.  Use Snapshot() instead
+  /// when the result feeds the residency cache.
+  Result<CsrGraph> Materialize() const;
+
+  /// Current immutable snapshot stamped with (family_fingerprint, version)
+  /// for versioned residency keys.  Cached until the next mutation; cheap
+  /// to call repeatedly at the same version.
+  Result<std::shared_ptr<const CsrGraph>> Snapshot();
+
+  /// The applied mutations after `since_version` (exclusive), oldest first
+  /// — the input to incremental recompute.  nullopt when that history has
+  /// been trimmed (caller must fall back to full recompute).
+  std::optional<std::vector<EdgeUpdate>> UpdatesSince(
+      uint64_t since_version) const;
+
+  /// Drops history entries beyond the newest `keep` (bounds memory on
+  /// long-lived graphs; trimmed ranges make UpdatesSince return nullopt).
+  void TrimHistory(size_t keep);
+
+ private:
+  bool BaseHasEdge(vid_t u, vid_t v) const;
+  bool EdgeLive(vid_t u, vid_t v) const;
+  Status CheckVertex(vid_t u, vid_t v) const;
+  Result<CsrGraph> MaterializeInternal() const;
+
+  std::shared_ptr<const CsrGraph> base_;
+  /// Pending inserts, sorted by (u,v); value = weight.  May overlap
+  /// deletes_ (delete-then-reinsert of a base edge).
+  std::map<std::pair<vid_t, vid_t>, weight_t> inserts_;
+  /// Pending deletes of *base* edges, sorted by (u,v).
+  std::set<std::pair<vid_t, vid_t>> deletes_;
+  uint64_t version_ = 0;
+  uint64_t family_fingerprint_ = 0;
+  /// Applied mutations, oldest first; history_[i] was version
+  /// history_base_version_ + i + 1.
+  std::vector<EdgeUpdate> history_;
+  uint64_t history_base_version_ = 0;
+  /// Snapshot cache (invalidated by mutation).
+  std::shared_ptr<const CsrGraph> snapshot_;
+  uint64_t snapshot_version_ = ~uint64_t{0};
+};
+
+}  // namespace adgraph::graph
+
+#endif  // ADGRAPH_GRAPH_DELTA_H_

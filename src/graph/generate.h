@@ -26,8 +26,12 @@ struct RmatParams {
   bool permute_vertices = true;
 };
 
-/// Generates a directed R-MAT edge list (may contain duplicates and self
-/// loops, like raw crawls; pass through CsrBuildOptions to clean).
+/// Generates a directed R-MAT edge list.  Like a raw crawl the COO may
+/// contain duplicates and self loops; every CSR consumer in the repo
+/// normalizes under the shared policy (GraphBuilder docs): duplicates
+/// collapse keep-first via CsrBuildOptions::remove_duplicates, self loops
+/// stay unless remove_self_loops is requested.  The lattice/attachment
+/// generators below never emit duplicates in the first place.
 Result<CooGraph> GenerateRmat(const RmatParams& params);
 
 /// G(n, m) Erdős–Rényi: m directed edges sampled uniformly.

@@ -173,4 +173,19 @@ Result<Json> Client::WaitJob(uint64_t job_id, double timeout_ms,
   }
 }
 
+Result<Json> Client::Mutate(const std::string& graph, Json updates,
+                            bool compact, double timeout_ms) {
+  Json request = Json::MakeObject();
+  request.Set("op", "MUTATE");
+  request.Set("graph", graph);
+  request.Set("updates", std::move(updates));
+  if (compact) request.Set("compact", true);
+  ADGRAPH_ASSIGN_OR_RETURN(Json response, Call(request, timeout_ms));
+  if (!response.GetBool("ok", false)) {
+    return Status::Internal("MUTATE failed: " +
+                            response.GetString("error", "(no error field)"));
+  }
+  return response;
+}
+
 }  // namespace adgraph::net

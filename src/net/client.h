@@ -54,6 +54,13 @@ class Client {
   Result<Json> WaitJob(uint64_t job_id, double timeout_ms = 30000,
                        double poll_interval_ms = 1.0);
 
+  /// MUTATE round trip: applies edge updates to a served graph.  `updates`
+  /// is a JSON array of {"op":"add"|"del","u":...,"v":...,"w":...} objects;
+  /// `compact` folds the delta log into a fresh base afterwards.  Returns
+  /// the server's {version, applied, num_edges, fingerprint} response.
+  Result<Json> Mutate(const std::string& graph, Json updates,
+                      bool compact = false, double timeout_ms = 5000);
+
  private:
   int fd_ = -1;
   std::string inbuf_;

@@ -69,6 +69,19 @@ Result<std::unique_ptr<Server>> Server::Start(serve::Scheduler* scheduler,
   }
   std::unique_ptr<Server> server(
       new Server(scheduler, std::move(graphs), std::move(options)));
+  // Wrap every normal-form graph in a delta buffer so MUTATE can serve it;
+  // a base that fails normal-form validation stays static (SUBMIT works,
+  // MUTATE reports failed_precondition).
+  for (const auto& [name, base] : server->graphs_) {
+    auto delta = graph::DeltaGraph::Create(base);
+    if (!delta.ok()) continue;
+    auto dynamic = std::make_unique<DynamicGraph>();
+    dynamic->delta = std::move(*delta);
+    auto snapshot = dynamic->delta.Snapshot();
+    if (!snapshot.ok()) continue;
+    dynamic->snapshot = std::move(*snapshot);
+    server->dynamic_.emplace(name, std::move(dynamic));
+  }
   ADGRAPH_RETURN_NOT_OK(server->Listen());
   server->RegisterMetrics();
   ADGRAPH_ASSIGN_OR_RETURN(auto accept_pipe, MakeWakePipe());
@@ -215,6 +228,7 @@ ServerCounters Server::Counters() const {
   counters.submits_rejected_quota = submits_rejected_quota_.load();
   counters.submits_rejected_scheduler = submits_rejected_scheduler_.load();
   counters.jobs_orphaned = jobs_orphaned_.load();
+  counters.mutations_applied = mutations_applied_.load();
   return counters;
 }
 
@@ -272,6 +286,7 @@ void Server::AdoptIncoming(Shard* shard) {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->session_id = next_session_id_.fetch_add(1);
+    conn->shard = shard;
     shard->connections.push_back(std::move(conn));
   }
 }
@@ -446,6 +461,8 @@ Json Server::HandleRequest(Connection* conn, const std::string& line) {
     response = HandlePoll(conn, request);
   } else if (op == "CANCEL") {
     response = HandleCancel(conn, request);
+  } else if (op == "MUTATE") {
+    response = HandleMutate(conn, request);
   } else if (op == "STATS") {
     response = HandleStats(conn, request);
   } else {
@@ -518,6 +535,14 @@ Json Server::HandleSubmit(Connection* conn, const Json& request) {
 
   serve::JobSpec spec;
   spec.graph = graph_it->second;
+  if (auto dyn_it = dynamic_.find(graph_name); dyn_it != dynamic_.end()) {
+    // Mutable graph: run against the current published snapshot, whose
+    // (family fingerprint, epoch) stamp keys the residency cache per
+    // version — a job admitted after a MUTATE can never reuse a resident
+    // copy of an older epoch.
+    std::lock_guard<std::mutex> lock(dyn_it->second->mutex);
+    spec.graph = dyn_it->second->snapshot;
+  }
   auto params = JobParamsFromJson(*algo, request.Find("params"),
                                   spec.graph->num_vertices());
   if (!params.ok()) return ErrorResponse(params.status());
@@ -603,17 +628,37 @@ Json Server::HandlePoll(Connection* conn, const Json& request) {
   }
   PendingJob& job = it->second;
   RefreshPendingJob(conn, job_id, &job);
+  if (job.cancelled) {
+    // Deterministic terminal report: a POLL after CANCEL always delivers
+    // status "cancelled" and consumes the job id, whether or not the
+    // scheduler resolved the job in the meantime — the response no longer
+    // races the worker/reaper.  A still-charged future is handed to the
+    // orphan reaper so the tenant's quota releases when it resolves.
+    if (!job.done && job.charged) {
+      jobs_orphaned_.fetch_add(1);
+      conn->shard->orphans.push_back(
+          OrphanJob{conn->tenant, job.charged_bytes, std::move(job.future)});
+      job.charged = false;
+    }
+    Json response = Json::MakeObject();
+    response.Set("ok", true);
+    response.Set("done", true);
+    response.Set("job", job_id);
+    response.Set("cancelled", true);
+    response.Set("status",
+                 std::string(WireStatusName(StatusCode::kCancelled)));
+    conn->jobs.erase(it);
+    return response;
+  }
   if (!job.done) {
     Json response = Json::MakeObject();
     response.Set("ok", true);
     response.Set("done", false);
     response.Set("job", job_id);
-    if (job.cancelled) response.Set("cancelled", true);
     return response;
   }
   Json response = OutcomeToJson(job.outcome);
   response.Set("job", job_id);
-  if (job.cancelled) response.Set("cancelled", true);
   if (job.outcome.status.IsDeadlineExceeded()) {
     MetricsFor(conn->tenant)->shed_wire->Increment();
   }
@@ -647,6 +692,98 @@ Json Server::HandleCancel(Connection* conn, const Json& request) {
   return response;
 }
 
+Json Server::HandleMutate(Connection* conn, const Json& request) {
+  if (!conn->hello_done) {
+    protocol_errors_.fetch_add(1);
+    metric_protocol_errors_->Increment();
+    return ErrorResponse("invalid_argument", "HELLO must come first");
+  }
+  std::string graph_name = request.GetString("graph", "default");
+  if (graphs_.find(graph_name) == graphs_.end()) {
+    return ErrorResponse("not_found", "unknown graph '" + graph_name + "'");
+  }
+  auto dyn_it = dynamic_.find(graph_name);
+  if (dyn_it == dynamic_.end()) {
+    return ErrorResponse(
+        "failed_precondition",
+        "graph '" + graph_name + "' does not accept mutations");
+  }
+
+  std::vector<graph::EdgeUpdate> updates;
+  const Json* updates_json = request.Find("updates");
+  if (updates_json != nullptr && !updates_json->is_null()) {
+    if (!updates_json->is_array()) {
+      return ErrorResponse("invalid_argument", "'updates' must be an array");
+    }
+    updates.reserve(updates_json->size());
+    for (const Json& item : updates_json->items()) {
+      if (!item.is_object()) {
+        return ErrorResponse("invalid_argument",
+                             "each update must be an object");
+      }
+      std::string kind = item.GetString("op", "add");
+      graph::EdgeUpdate update;
+      if (kind == "add" || kind == "insert") {
+        update.insert = true;
+      } else if (kind == "del" || kind == "delete" || kind == "remove") {
+        update.insert = false;
+      } else {
+        return ErrorResponse("invalid_argument",
+                             "update op must be add or del, got '" + kind +
+                                 "'");
+      }
+      update.u = static_cast<graph::vid_t>(item.GetNumber("u", 0));
+      update.v = static_cast<graph::vid_t>(item.GetNumber("v", 0));
+      update.w = item.GetNumber("w", 1);
+      updates.push_back(update);
+    }
+  }
+  const bool compact = request.GetBool("compact", false);
+
+  trace::Span mutate_span(conn->trace_track, "mutate", "net");
+  mutate_span.ArgNum("updates", static_cast<uint64_t>(updates.size()));
+  DynamicGraph* dynamic = dyn_it->second.get();
+  uint64_t applied = 0;
+  uint64_t version = 0;
+  uint64_t num_edges = 0;
+  uint64_t fingerprint = 0;
+  {
+    std::lock_guard<std::mutex> lock(dynamic->mutex);
+    auto applied_result = dynamic->delta.Apply(updates);
+    if (!applied_result.ok()) return ErrorResponse(applied_result.status());
+    applied = *applied_result;
+    if (compact) {
+      Status compacted = dynamic->delta.Compact();
+      if (!compacted.ok()) return ErrorResponse(compacted);
+    }
+    // Bound per-graph history; incremental windows beyond this fall back
+    // to full recompute anyway.
+    dynamic->delta.TrimHistory(64 * 1024);
+    auto snapshot = dynamic->delta.Snapshot();
+    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+    dynamic->snapshot = std::move(*snapshot);
+    version = dynamic->delta.version();
+    num_edges = dynamic->delta.num_edges();
+    fingerprint = dynamic->delta.family_fingerprint();
+  }
+  if (applied > 0) {
+    // Doom resident copies of older epochs of this family on every worker
+    // so no post-mutation job is served a stale device graph (§2.12).
+    scheduler_->InvalidateResidency(fingerprint, version);
+    mutations_applied_.fetch_add(applied);
+  }
+
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("graph", graph_name);
+  response.Set("applied", applied);
+  response.Set("version", version);
+  response.Set("num_edges", num_edges);
+  response.Set("fingerprint", FingerprintHex(fingerprint));
+  if (compact) response.Set("compacted", true);
+  return response;
+}
+
 Json Server::HandleStats(Connection* conn, const Json& request) {
   (void)conn;
   (void)request;
@@ -670,6 +807,7 @@ Json Server::HandleStats(Connection* conn, const Json& request) {
   server.Set("protocol_errors", counters.protocol_errors);
   server.Set("submits_accepted", counters.submits_accepted);
   server.Set("submits_rejected_quota", counters.submits_rejected_quota);
+  server.Set("mutations_applied", counters.mutations_applied);
 
   Json tenants = Json::MakeArray();
   for (const TenantConfig& config : tenants_.Configs()) {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "graph/csr.h"
+#include "graph/delta.h"
 #include "net/json.h"
 #include "net/tenant.h"
 #include "net/wire.h"
@@ -68,6 +69,7 @@ struct ServerCounters {
   uint64_t submits_rejected_quota = 0;
   uint64_t submits_rejected_scheduler = 0;
   uint64_t jobs_orphaned = 0;
+  uint64_t mutations_applied = 0;
 };
 
 class Server {
@@ -99,6 +101,8 @@ class Server {
   TenantTable* tenants() { return &tenants_; }
 
  private:
+  struct Shard;
+
   /// One job a session has in flight: the scheduler future plus the quota
   /// charge that must be released exactly once when the outcome lands.
   struct PendingJob {
@@ -126,6 +130,9 @@ class Server {
     uint64_t next_job_id = 1;
     std::map<uint64_t, PendingJob> jobs;
     uint64_t trace_track = 0;  ///< lazily registered when tracing is on
+    /// Owning shard; lets request handlers orphan a still-charged future
+    /// (POLL on a cancelled job) without waiting for the session to die.
+    Shard* shard = nullptr;
   };
 
   /// A job whose session died before its outcome arrived; the reaper polls
@@ -176,6 +183,7 @@ class Server {
   Json HandleSubmit(Connection* conn, const Json& request);
   Json HandlePoll(Connection* conn, const Json& request);
   Json HandleCancel(Connection* conn, const Json& request);
+  Json HandleMutate(Connection* conn, const Json& request);
   Json HandleStats(Connection* conn, const Json& request);
 
   /// Checks a pending job's future without blocking; moves the outcome in
@@ -190,8 +198,20 @@ class Server {
 
   TenantMetrics* MetricsFor(const std::string& tenant);
 
+  /// Mutable state of one served graph: the delta layered over the start-up
+  /// base, plus the published snapshot SUBMIT reads.  Mutations serialize on
+  /// the per-graph mutex; submits only copy the snapshot pointer under it.
+  struct DynamicGraph {
+    std::mutex mutex;
+    graph::DeltaGraph delta;
+    std::shared_ptr<const graph::CsrGraph> snapshot;
+  };
+
   serve::Scheduler* scheduler_;
   GraphMap graphs_;
+  /// Per-name mutation state; a graph missing here (non-normal-form base)
+  /// stays static and MUTATE on it is failed_precondition.
+  std::map<std::string, std::unique_ptr<DynamicGraph>> dynamic_;
   ServerOptions options_;
   TenantTable tenants_;
 
@@ -217,6 +237,7 @@ class Server {
   std::atomic<uint64_t> submits_rejected_quota_{0};
   std::atomic<uint64_t> submits_rejected_scheduler_{0};
   std::atomic<uint64_t> jobs_orphaned_{0};
+  std::atomic<uint64_t> mutations_applied_{0};
 
   // obs handles on the scheduler's registry (stable pointers).
   obs::Counter* metric_sessions_opened_ = nullptr;

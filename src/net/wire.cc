@@ -38,6 +38,7 @@ std::string_view WireStatusName(StatusCode code) {
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "internal";
 }

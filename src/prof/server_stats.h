@@ -29,6 +29,7 @@ struct DeviceStats {
   uint64_t cache_evictions = 0;       ///< entries evicted (LRU / for space)
   uint64_t cache_bytes_evicted = 0;   ///< device bytes freed by eviction
   uint64_t cache_resident_bytes = 0;  ///< device bytes currently cached
+  uint64_t cache_stale_invalidated = 0;  ///< stale epochs dropped (§2.12)
   // Gang (multi-device partitioned) jobs this worker drove (DESIGN.md §2.7).
   uint64_t gang_jobs = 0;             ///< gang jobs completed OK
   uint64_t exchange_bytes = 0;        ///< interconnect bytes those jobs moved
@@ -88,6 +89,7 @@ struct ServerStats {
   uint64_t cache_evictions = 0;
   uint64_t cache_bytes_evicted = 0;
   uint64_t cache_resident_bytes = 0;
+  uint64_t cache_stale_invalidated = 0;
   // Gang (multi-device partitioned) execution, summed over workers.
   uint64_t gang_jobs_completed = 0;
   uint64_t exchange_bytes_total = 0;   ///< interconnect traffic of gang jobs

@@ -19,30 +19,37 @@ GraphCache::GraphCache(vgpu::Device* device, Options options)
 
 GraphCache::~GraphCache() = default;
 
+void GraphCache::EraseEntry(std::map<Key, Entry>::iterator it) {
+  stats_.resident_bytes -= it->second.bytes;
+  entries_.erase(it);
+}
+
 core::ResidentCsr GraphCache::PinEntry(const Key& key, Entry& entry) {
   entry.last_used = ++use_clock_;
   entry.pins += 1;
   return core::ResidentCsr(entry.csr, [this, key] {
     auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.pins > 0) it->second.pins -= 1;
+    if (it == entries_.end()) return;
+    if (it->second.pins > 0) it->second.pins -= 1;
+    // A doomed entry outlived Invalidate() only because this reader held
+    // it; the last unpin frees the stale copy.
+    if (it->second.pins == 0 && it->second.doomed) EraseEntry(it);
   });
 }
 
 core::ResidentCsr GraphCache::PinIfResident(const graph::CsrGraph& base,
                                             core::GraphVariant variant) {
   if (!options_.enabled) return {};
-  Key key{core::FingerprintCsr(base), static_cast<uint8_t>(variant)};
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return {};
+  auto it = entries_.find(KeyFor(base, variant));
+  if (it == entries_.end() || it->second.doomed) return {};
   return PinEntry(it->first, it->second);
 }
 
 uint64_t GraphCache::ResidentBytesFor(const graph::CsrGraph& base,
                                       core::GraphVariant variant) const {
   if (!options_.enabled) return 0;
-  Key key{core::FingerprintCsr(base), static_cast<uint8_t>(variant)};
-  auto it = entries_.find(key);
-  return it == entries_.end() ? 0 : it->second.bytes;
+  auto it = entries_.find(KeyFor(base, variant));
+  return it == entries_.end() || it->second.doomed ? 0 : it->second.bytes;
 }
 
 uint64_t GraphCache::EvictForSpace(uint64_t bytes) {
@@ -60,17 +67,50 @@ uint64_t GraphCache::EvictForSpace(uint64_t bytes) {
     trace::Span span(device_->trace_track(), "cache.evict", "cache");
     span.Arg("variant",
              std::string(core::GraphVariantName(
-                 static_cast<core::GraphVariant>(victim->first.second))));
+                 static_cast<core::GraphVariant>(std::get<2>(victim->first)))));
     span.ArgNum("bytes", victim->second.bytes);
     freed += victim->second.bytes;
     stats_.evictions += 1;
     stats_.bytes_evicted += victim->second.bytes;
-    stats_.resident_bytes -= victim->second.bytes;
     // Unpinned means no outstanding handle shares the csr, so erasing the
     // entry drops the last reference and frees the device buffers here.
-    entries_.erase(victim);
+    EraseEntry(victim);
   }
   return freed;
+}
+
+uint64_t GraphCache::Invalidate(uint64_t fingerprint,
+                                uint64_t keep_min_epoch) {
+  if (!options_.enabled) return 0;
+  uint64_t dropped = 0;
+  uint64_t bytes = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Key& key = it->first;
+    if (std::get<0>(key) != fingerprint ||
+        std::get<1>(key) >= keep_min_epoch) {
+      ++it;
+      continue;
+    }
+    dropped += 1;
+    bytes += it->second.bytes;
+    if (it->second.pins > 0) {
+      // In-flight readers keep their pinned copy consistent; mark it so no
+      // future lookup serves it and the last unpin frees it.
+      it->second.doomed = true;
+      ++it;
+    } else {
+      auto victim = it++;
+      EraseEntry(victim);
+    }
+  }
+  if (dropped > 0) {
+    stats_.stale_invalidated += dropped;
+    trace::Span span(device_->trace_track(), "cache.stale_invalidate",
+                     "cache");
+    span.ArgNum("entries", dropped);
+    span.ArgNum("bytes", bytes);
+  }
+  return dropped;
 }
 
 Result<core::ResidentCsr> GraphCache::Acquire(vgpu::Device* device,
@@ -79,9 +119,9 @@ Result<core::ResidentCsr> GraphCache::Acquire(vgpu::Device* device,
   if (!options_.enabled) {
     return core::Stage(nullptr, device, base, variant);
   }
-  Key key{core::FingerprintCsr(base), static_cast<uint8_t>(variant)};
+  Key key = KeyFor(base, variant);
   auto hit = entries_.find(key);
-  if (hit != entries_.end()) {
+  if (hit != entries_.end() && !hit->second.doomed) {
     stats_.hits += 1;
     trace::Span span(device_->trace_track(), "cache.hit", "cache");
     span.Arg("variant", std::string(core::GraphVariantName(variant)));
@@ -111,8 +151,10 @@ Result<core::ResidentCsr> GraphCache::Acquire(vgpu::Device* device,
   const uint64_t bytes = device->memory_used_bytes() - used_before;
   span.ArgNum("bytes", bytes);
 
-  if (options_.max_entries == 0 || bytes > capacity_) {
-    // Uncacheable: serve this job from a one-shot owned upload.
+  if (options_.max_entries == 0 || bytes > capacity_ ||
+      entries_.count(key)) {
+    // Uncacheable — over budget, or a doomed copy of the same key is still
+    // pinned by an in-flight reader: serve a one-shot owned upload.
     return core::ResidentCsr(std::move(uploaded));
   }
   while (entries_.size() >= options_.max_entries ||

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <tuple>
 #include <utility>
 
 #include "core/residency.h"
@@ -14,9 +15,15 @@
 namespace adgraph::serve {
 
 /// \brief Per-device graph residency cache (DESIGN.md §2.6): a
-/// content-keyed map from (graph fingerprint, variant) to an uploaded
-/// DeviceCsr, so repeated jobs over the same graph skip the host-side
-/// variant build *and* the modeled PCIe upload.
+/// content-keyed map from (graph fingerprint, mutation epoch, variant) to
+/// an uploaded DeviceCsr, so repeated jobs over the same graph skip the
+/// host-side variant build *and* the modeled PCIe upload.
+///
+/// The epoch component exists for dynamic graphs (§2.12): DeltaGraph
+/// snapshots share one *family* fingerprint across mutations and carry the
+/// version in mutation_epoch(), so without the epoch in the key a resident
+/// copy of version k would silently satisfy a job holding version k+1.
+/// Static graphs are epoch 0 forever and behave exactly as before.
 ///
 /// Ownership and threading mirror the device itself: each serve::Scheduler
 /// worker constructs one GraphCache beside its vgpu::Device on the worker
@@ -52,6 +59,7 @@ class GraphCache final : public core::GraphResidency {
     uint64_t evictions = 0;       ///< entries evicted
     uint64_t bytes_evicted = 0;   ///< device bytes freed by eviction
     uint64_t resident_bytes = 0;  ///< device bytes currently cached
+    uint64_t stale_invalidated = 0;  ///< entries dropped by Invalidate()
   };
 
   /// `device` must outlive the cache (both are worker-thread locals, the
@@ -89,6 +97,17 @@ class GraphCache final : public core::GraphResidency {
   /// remain.  Returns the bytes actually freed.
   uint64_t EvictForSpace(uint64_t bytes);
 
+  /// Drops every cached variant of `fingerprint` whose epoch is older than
+  /// `keep_min_epoch` (default: all epochs).  With the epoch in the key
+  /// stale entries can never be *served*; this frees their device memory
+  /// eagerly after a mutation instead of waiting for LRU pressure.  Pinned
+  /// entries are doomed — unservable immediately, erased when the last
+  /// in-flight reader unpins.  Emits a `cache.stale_invalidate` trace span
+  /// and counts into stats().stale_invalidated.  Returns entries dropped
+  /// or doomed.
+  uint64_t Invalidate(uint64_t fingerprint,
+                      uint64_t keep_min_epoch = ~uint64_t{0});
+
   bool enabled() const { return options_.enabled; }
   /// Effective budget (capacity_bytes, or the fraction of device RAM).
   uint64_t capacity_bytes() const { return capacity_; }
@@ -96,18 +115,27 @@ class GraphCache final : public core::GraphResidency {
   size_t num_entries() const { return entries_.size(); }
 
  private:
-  /// (content fingerprint, variant) — identity-free, so two JobSpecs
-  /// sharing a graph's *content* share its residency.
-  using Key = std::pair<uint64_t, uint8_t>;
+  /// (fingerprint, mutation epoch, variant) — identity-free, so two
+  /// JobSpecs sharing a graph's *content* (same fingerprint and epoch)
+  /// share its residency, while successive versions of a mutable graph
+  /// never collide.
+  using Key = std::tuple<uint64_t, uint64_t, uint8_t>;
 
   struct Entry {
     std::shared_ptr<const core::DeviceCsr> csr;
     uint64_t bytes = 0;      ///< device bytes of the upload (aligned)
     uint64_t last_used = 0;  ///< LRU clock stamp
     uint32_t pins = 0;       ///< outstanding ResidentCsr handles
+    bool doomed = false;     ///< invalidated while pinned; erase on unpin
   };
 
+  static Key KeyFor(const graph::CsrGraph& base, core::GraphVariant variant) {
+    return Key{core::FingerprintCsr(base), base.mutation_epoch(),
+               static_cast<uint8_t>(variant)};
+  }
+
   core::ResidentCsr PinEntry(const Key& key, Entry& entry);
+  void EraseEntry(std::map<Key, Entry>::iterator it);
 
   vgpu::Device* device_;
   Options options_;

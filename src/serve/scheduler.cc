@@ -389,12 +389,14 @@ void Scheduler::WorkerLoop(Worker* worker) {
 
   for (;;) {
     PendingJob job;
+    std::vector<std::pair<uint64_t, uint64_t>> invalidations;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock, [this, worker] {
         return shutdown_ || FindRunnableLocked(*worker) != kNone;
       });
       if (shutdown_) return;
+      invalidations.swap(worker->pending_invalidations);
       size_t index = FindRunnableLocked(*worker);
       job = std::move(queue_[index]);
       queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
@@ -411,6 +413,11 @@ void Scheduler::WorkerLoop(Worker* worker) {
       metric_queue_depth_->Set(static_cast<double>(queue_.size()));
       space_cv_.notify_one();
     }
+
+    // Apply queued residency invalidations on the cache's owning thread
+    // before this job stages anything (stale epochs can't be served either
+    // way — the versioned key guarantees that — this frees their memory).
+    for (const auto& [fp, keep] : invalidations) cache.Invalidate(fp, keep);
 
     const uint32_t gang_size = std::max<uint32_t>(1, job.spec.gang_devices);
     const Algorithm algo = job.spec.algorithm();
@@ -521,6 +528,7 @@ void Scheduler::WorkerLoop(Worker* worker) {
       worker->cache_evictions = cs.evictions;
       worker->cache_bytes_evicted = cs.bytes_evicted;
       worker->cache_resident_bytes = cs.resident_bytes;
+      worker->cache_stale_invalidated = cs.stale_invalidated;
       if (gang_size > 1 && outcome.status.ok()) {
         worker->gang_jobs += 1;
         worker->exchange_bytes += outcome.exchange_bytes;
@@ -728,6 +736,15 @@ void Scheduler::Drain() {
   });
 }
 
+void Scheduler::InvalidateResidency(uint64_t fingerprint,
+                                    uint64_t keep_min_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return;
+  for (auto& worker : workers_) {
+    worker->pending_invalidations.emplace_back(fingerprint, keep_min_epoch);
+  }
+}
+
 void Scheduler::Shutdown() {
   std::vector<PendingJob> orphans;
   {
@@ -842,6 +859,7 @@ prof::ServerStats Scheduler::Snapshot() const {
     d.cache_evictions = worker->cache_evictions;
     d.cache_bytes_evicted = worker->cache_bytes_evicted;
     d.cache_resident_bytes = worker->cache_resident_bytes;
+    d.cache_stale_invalidated = worker->cache_stale_invalidated;
     d.gang_jobs = worker->gang_jobs;
     d.exchange_bytes = worker->exchange_bytes;
     d.exchange_rounds = worker->exchange_rounds;
@@ -850,6 +868,7 @@ prof::ServerStats Scheduler::Snapshot() const {
     stats.cache_evictions += d.cache_evictions;
     stats.cache_bytes_evicted += d.cache_bytes_evicted;
     stats.cache_resident_bytes += d.cache_resident_bytes;
+    stats.cache_stale_invalidated += d.cache_stale_invalidated;
     stats.gang_jobs_completed += d.gang_jobs;
     stats.exchange_bytes_total += d.exchange_bytes;
     stats.exchange_rounds_total += d.exchange_rounds;

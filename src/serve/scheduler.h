@@ -112,6 +112,15 @@ class Scheduler {
   /// Blocks until every accepted job has completed and the queue is empty.
   void Drain();
 
+  /// Asks every worker to drop cached residency for `fingerprint` (all
+  /// epochs older than `keep_min_epoch`).  Caches are worker-thread-owned,
+  /// so the request is queued here and each worker applies it on its own
+  /// thread before dequeuing its next job — i.e. any job submitted after
+  /// this call observes the invalidation.  The net front door calls this
+  /// with the mutated graph's family fingerprint after a MUTATE.
+  void InvalidateResidency(uint64_t fingerprint,
+                           uint64_t keep_min_epoch = ~uint64_t{0});
+
   /// Stops the workers: waits for in-flight jobs, fails the still-queued
   /// ones with kUnavailable.  Idempotent; the destructor calls it.
   void Shutdown();
@@ -215,6 +224,10 @@ class Scheduler {
     uint64_t cache_evictions = 0;
     uint64_t cache_bytes_evicted = 0;
     uint64_t cache_resident_bytes = 0;
+    uint64_t cache_stale_invalidated = 0;
+    /// Residency invalidations queued by InvalidateResidency(), drained on
+    /// the worker thread before the next dequeue (cache is thread-owned).
+    std::vector<std::pair<uint64_t, uint64_t>> pending_invalidations;
     // Gang execution (DESIGN.md §2.7), updated after each gang job.
     uint64_t gang_jobs = 0;
     uint64_t exchange_bytes = 0;

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kFailedPrecondition:
       return "Failed precondition";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

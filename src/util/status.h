@@ -45,6 +45,10 @@ enum class StatusCode {
   /// its frontier was initialized.  Distinct from kInvalidArgument — the
   /// arguments are fine; the precondition on current state is not.
   kFailedPrecondition = 13,
+  /// The job was cancelled by its submitter before (or while) it ran.  A
+  /// POLL on a cancelled job reports this terminal state deterministically,
+  /// whether or not the reaper already collected the slot.
+  kCancelled = 14,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Out of memory").
@@ -114,6 +118,9 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -132,6 +139,7 @@ class Status {
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// The error message, or "" for an OK status.
   const std::string& message() const {

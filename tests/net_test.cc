@@ -449,6 +449,149 @@ TEST(ServerTest, CancelMarksJobAndStatsReports) {
   ASSERT_NE(stats.Find("jobs"), nullptr);
 }
 
+// Regression: POLL after CANCEL used to race the orphan reaper — the
+// response depended on whether the job had already resolved.  It must now be
+// a deterministic terminal answer, independent of completion timing.
+TEST(ServerTest, PollAfterCancelIsDeterministicTerminal) {
+  auto live = StartServer(TestGraph(),
+                          {{.name = "alpha", .max_inflight_bytes = 1ull << 30}},
+                          /*floor_ms=*/40);
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("alpha").ok());
+  auto submitted = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"cc"})").value()).value();
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  const uint64_t job_id =
+      static_cast<uint64_t>(submitted.GetNumber("job", 0));
+
+  Json cancel = Json::MakeObject();
+  cancel.Set("op", "CANCEL");
+  cancel.Set("job", job_id);
+  ASSERT_TRUE(client.Call(cancel).value().GetBool("ok", false));
+
+  // Immediately after CANCEL (the job may still be running): terminal.
+  Json poll = Json::MakeObject();
+  poll.Set("op", "POLL");
+  poll.Set("job", job_id);
+  auto response = client.Call(poll).value();
+  EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  EXPECT_TRUE(response.GetBool("done", false))
+      << "POLL after CANCEL must be terminal, not reaper-timing dependent";
+  EXPECT_TRUE(response.GetBool("cancelled", false));
+  EXPECT_EQ(response.GetString("status", ""), "cancelled");
+
+  // Delivered-once semantics hold for the cancelled terminal too.
+  auto repoll = client.Call(poll).value();
+  EXPECT_FALSE(repoll.GetBool("ok", true));
+  EXPECT_EQ(repoll.GetString("code", ""), "not_found");
+
+  // The still-charged future is handed to the orphan reaper, which must
+  // release the tenant's admission charge once the job resolves.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  TenantTable::Usage usage;
+  while (std::chrono::steady_clock::now() < deadline) {
+    usage = live.server->tenants()->GetUsage("alpha");
+    if (usage.inflight_jobs == 0 && usage.inflight_bytes == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(usage.inflight_jobs, 0u);
+  EXPECT_EQ(usage.inflight_bytes, 0u);
+}
+
+// --- MUTATE (dynamic graphs) ----------------------------------------------
+
+TEST(ServerTest, MutateThenSubmitSeesFreshGraph) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+
+  // Baseline result fingerprint on the pristine graph.
+  auto request = Json::Parse(
+      R"({"op":"SUBMIT","algo":"pagerank","params":{"max_iterations":30}})")
+      .value();
+  auto first = client.Call(request).value();
+  ASSERT_TRUE(first.GetBool("ok", false)) << first.Dump();
+  auto first_done = client.WaitJob(
+      static_cast<uint64_t>(first.GetNumber("job", 0))).value();
+  ASSERT_EQ(first_done.GetString("status", ""), "ok");
+  const std::string before_fp = first_done.GetString("fingerprint", "");
+
+  // Mutate: a batch of inserts, at least one of which must be novel.
+  Json updates = Json::MakeArray();
+  for (uint32_t v = 60; v < 68; ++v) {
+    Json update = Json::MakeObject();
+    update.Set("op", "add");
+    update.Set("u", 0);
+    update.Set("v", static_cast<double>(v));
+    updates.PushBack(std::move(update));
+  }
+  auto mutated = client.Mutate("default", std::move(updates)).value();
+  EXPECT_GT(mutated.GetNumber("applied", 0), 0) << mutated.Dump();
+  EXPECT_GT(mutated.GetNumber("version", 0), 0);
+  EXPECT_NE(mutated.GetString("fingerprint", ""), "");
+  EXPECT_GE(live.server->Counters().mutations_applied, 1u);
+
+  // A submit after the mutation must run on the new version.
+  auto second = client.Call(request).value();
+  ASSERT_TRUE(second.GetBool("ok", false)) << second.Dump();
+  auto second_done = client.WaitJob(
+      static_cast<uint64_t>(second.GetNumber("job", 0))).value();
+  ASSERT_EQ(second_done.GetString("status", ""), "ok");
+  EXPECT_NE(second_done.GetString("fingerprint", ""), before_fp)
+      << "the job ran on the stale pre-mutation snapshot";
+}
+
+TEST(ServerTest, MutateErrorsAreStructured) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+
+  // Unknown graph name.
+  Json updates = Json::MakeArray();
+  Json add = Json::MakeObject();
+  add.Set("op", "add");
+  add.Set("u", 0);
+  add.Set("v", 1);
+  updates.PushBack(std::move(add));
+  auto unknown = client.Mutate("nope", std::move(updates));
+  EXPECT_FALSE(unknown.ok());
+
+  // Out-of-range vertex id: structured error, session survives.
+  Json request = Json::MakeObject();
+  request.Set("op", "MUTATE");
+  request.Set("graph", "default");
+  Json bad_updates = Json::MakeArray();
+  Json bad = Json::MakeObject();
+  bad.Set("op", "add");
+  bad.Set("u", 0);
+  bad.Set("v", static_cast<double>(1u << 30));
+  bad_updates.PushBack(std::move(bad));
+  request.Set("updates", std::move(bad_updates));
+  auto response = client.Call(request).value();
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code", ""), "out_of_range");
+  EXPECT_TRUE(client.Call(Json::Parse(R"({"op":"STATS"})").value())
+                  .value()
+                  .GetBool("ok", false))
+      << "the session must survive a rejected mutation";
+}
+
+TEST(ServerTest, MutateCompactFoldsTheDelta) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+  Json updates = Json::MakeArray();
+  Json add = Json::MakeObject();
+  add.Set("op", "add");
+  add.Set("u", 1);
+  add.Set("v", 1);  // self loop: legal under the shared policy
+  updates.PushBack(std::move(add));
+  auto response =
+      client.Mutate("default", std::move(updates), /*compact=*/true).value();
+  EXPECT_TRUE(response.GetBool("compacted", false)) << response.Dump();
+  EXPECT_EQ(response.GetNumber("applied", -1), 1);
+}
+
 TEST(ServerTest, SequenceNumbersEchoInOrder) {
   auto live = StartServer(TestGraph());
   auto client = Client::Connect("127.0.0.1", live.server->port()).value();

@@ -101,6 +101,11 @@ int Usage() {
                "           (runs until SIGINT/SIGTERM, then drains + flushes)\n"
                "or:    adgraph_cli client --connect=HOST:PORT --jobs=FILE\n"
                "           [--tenant=NAME] [--deadline-ms=F] [--timeout-ms=F]\n"
+               "           (job files may hold `mutate add=U:V[:W] del=U:V\n"
+               "            compact=1` lines — applied in order)\n"
+               "or:    adgraph_cli mutate --connect=HOST:PORT [--graph=NAME]\n"
+               "           [--add=U:V[:W],...] [--del=U:V,...] [--compact]\n"
+               "           [--tenant=NAME]\n"
                "or:    adgraph_cli --version\n",
                ADGRAPH_VERSION_MAJOR, ADGRAPH_VERSION_MINOR,
                ADGRAPH_VERSION_PATCH);
@@ -403,10 +408,16 @@ Status RunPartitioned(const Flags& flags, const vgpu::ArchConfig& arch,
 
 /// One parsed `ALGO key=value...` line from the --jobs file.  The graph
 /// handle is attached later (after we know whether weights are needed).
+/// A line whose first token is `mutate` instead of an algorithm name sets
+/// `mutate` (and leaves `algo` meaningless): `mutate add=U:V[:W]`,
+/// `mutate del=U:V`, `mutate compact=1` — comma-separated specs allowed,
+/// plus `graph=NAME`.  Only `client` mode accepts these (the mutation API
+/// lives behind the server's MUTATE verb).
 struct ParsedJobLine {
-  serve::Algorithm algo;
+  serve::Algorithm algo = serve::Algorithm::kBfs;
   std::map<std::string, std::string> kv;
   int line_number = 0;
+  bool mutate = false;
 };
 
 Result<ParsedJobLine> ParseJobLine(const std::string& line, int line_number) {
@@ -415,7 +426,11 @@ Result<ParsedJobLine> ParseJobLine(const std::string& line, int line_number) {
   in >> algo_name;
   ParsedJobLine parsed;
   parsed.line_number = line_number;
-  ADGRAPH_ASSIGN_OR_RETURN(parsed.algo, serve::ParseAlgorithm(algo_name));
+  if (algo_name == "mutate") {
+    parsed.mutate = true;
+  } else {
+    ADGRAPH_ASSIGN_OR_RETURN(parsed.algo, serve::ParseAlgorithm(algo_name));
+  }
   std::string token;
   while (in >> token) {
     auto eq = token.find('=');
@@ -427,6 +442,58 @@ Result<ParsedJobLine> ParseJobLine(const std::string& line, int line_number) {
     parsed.kv[token.substr(0, eq)] = token.substr(eq + 1);
   }
   return parsed;
+}
+
+/// Parses a comma-separated list of `U:V[:W]` edge specs (W only legal when
+/// `allow_weight`) and appends one MUTATE update object per spec onto the
+/// JSON `updates` array.
+Status AppendEdgeSpecs(const std::string& specs, const char* op,
+                       bool allow_weight, net::Json* updates) {
+  std::istringstream list(specs);
+  std::string spec;
+  while (std::getline(list, spec, ',')) {
+    std::istringstream fields(spec);
+    std::string u, v, w;
+    if (!std::getline(fields, u, ':') || !std::getline(fields, v, ':') ||
+        u.empty() || v.empty()) {
+      return Status::InvalidArgument("edge spec '" + spec +
+                                     "' wants U:V" +
+                                     (allow_weight ? "[:W]" : ""));
+    }
+    std::getline(fields, w, ':');
+    if (!w.empty() && !allow_weight) {
+      return Status::InvalidArgument("edge spec '" + spec +
+                                     "': deletions take no weight");
+    }
+    net::Json update = net::Json::MakeObject();
+    update.Set("op", std::string(op));
+    update.Set("u", std::atof(u.c_str()));
+    update.Set("v", std::atof(v.c_str()));
+    if (!w.empty()) update.Set("w", std::atof(w.c_str()));
+    updates->PushBack(std::move(update));
+  }
+  return Status::OK();
+}
+
+/// Turns one parsed `mutate ...` job line into the MUTATE request pieces:
+/// fills `updates` (may stay empty for a pure `compact=1` line) and reports
+/// whether the line asked for compaction.
+Result<bool> BuildMutationLine(const ParsedJobLine& line, net::Json* updates) {
+  bool compact = false;
+  for (const auto& [key, value] : line.kv) {
+    if (key == "add") {
+      ADGRAPH_RETURN_NOT_OK(AppendEdgeSpecs(value, "add", true, updates));
+    } else if (key == "del") {
+      ADGRAPH_RETURN_NOT_OK(AppendEdgeSpecs(value, "del", false, updates));
+    } else if (key == "compact") {
+      compact = value != "0" && value != "false";
+    } else if (key != "graph" && key != "tag") {
+      return Status::InvalidArgument(
+          "jobs line " + std::to_string(line.line_number) +
+          ": mutate takes add= del= compact= graph= tag=, got '" + key + "'");
+    }
+  }
+  return compact;
 }
 
 /// Builds the scheduler-pool options shared by `serve-batch` and `serve`
@@ -532,6 +599,16 @@ int ServeBatch(const Flags& flags) {
     auto parsed = ParseJobLine(raw, number);
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    if (parsed->mutate) {
+      // The in-process batch scheduler serves one immutable snapshot;
+      // dynamic graphs live behind the TCP server's MUTATE verb.
+      std::fprintf(stderr,
+                   "jobs line %d: mutate lines need the TCP server (run "
+                   "`adgraph_cli serve` and submit via `adgraph_cli "
+                   "client`)\n",
+                   number);
       return 1;
     }
     needs_weights |= serve::GetHandler(parsed->algo).requires_weights;
@@ -950,6 +1027,41 @@ int ClientMain(const Flags& flags) {
   int failures = 0;
   std::map<std::string, int> tally;
   for (const ParsedJobLine& line : lines) {
+    if (line.mutate) {
+      // Mutations run synchronously in file order, so a job line after a
+      // mutate line is guaranteed to see the mutated graph.
+      auto tag_it = line.kv.find("tag");
+      std::string tag = tag_it != line.kv.end()
+                            ? tag_it->second
+                            : "line" + std::to_string(line.line_number);
+      net::Json updates = net::Json::MakeArray();
+      auto compact = BuildMutationLine(line, &updates);
+      if (!compact.ok()) {
+        std::fprintf(stderr, "%s\n", compact.status().ToString().c_str());
+        return 1;
+      }
+      auto graph_it = line.kv.find("graph");
+      std::string graph_name =
+          graph_it != line.kv.end() ? graph_it->second : "default";
+      auto response = client.Mutate(graph_name, std::move(updates), *compact,
+                                    timeout_ms);
+      if (!response.ok()) {
+        ++failures;
+        tally["mutate failed"] += 1;
+        std::printf("%-12s mutate   FAILED: %s\n", ("[" + tag + "]").c_str(),
+                    response.status().ToString().c_str());
+        continue;
+      }
+      tally["mutated"] += 1;
+      std::printf("%-12s mutate   applied %3.0f   version %.0f   edges %.0f"
+                  "   fp %s\n",
+                  ("[" + tag + "]").c_str(),
+                  response->GetNumber("applied", 0),
+                  response->GetNumber("version", 0),
+                  response->GetNumber("num_edges", 0),
+                  response->GetString("fingerprint", "-").c_str());
+      continue;
+    }
     net::Json request = net::Json::MakeObject();
     request.Set("op", "SUBMIT");
     request.Set("algo", std::string(serve::AlgorithmName(line.algo)));
@@ -1036,6 +1148,86 @@ int ClientMain(const Flags& flags) {
   return failures > 0 ? 1 : 0;
 }
 
+// --- mutate ----------------------------------------------------------------
+
+/// `adgraph_cli mutate --connect=HOST:PORT [--graph=NAME] [--add=U:V[:W],...]
+/// [--del=U:V,...] [--compact] [--tenant=NAME]`: one MUTATE round trip
+/// against a running server — the shell-scriptable face of the dynamic-graph
+/// API (the job-file form is `mutate add=...` lines in `client` mode).
+int MutateMain(const Flags& flags) {
+  if (!flags.Has("connect")) {
+    std::fprintf(stderr, "mutate: --connect=HOST:PORT is required\n");
+    return Usage();
+  }
+  if (!flags.Has("add") && !flags.Has("del") && !flags.Has("compact")) {
+    std::fprintf(stderr,
+                 "mutate: nothing to do — give --add=U:V[:W],... and/or "
+                 "--del=U:V,... and/or --compact\n");
+    return Usage();
+  }
+  std::string endpoint = flags.GetString("connect", "");
+  auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "mutate: --connect wants HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "mutate: bad port in '%s'\n", endpoint.c_str());
+    return 1;
+  }
+
+  net::Json updates = net::Json::MakeArray();
+  if (flags.Has("add")) {
+    Status status =
+        AppendEdgeSpecs(flags.GetString("add", ""), "add", true, &updates);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mutate: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (flags.Has("del")) {
+    Status status =
+        AppendEdgeSpecs(flags.GetString("del", ""), "del", false, &updates);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mutate: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const double timeout_ms = flags.GetDouble("timeout-ms", 30000.0);
+  auto client_result = net::Client::Connect(endpoint.substr(0, colon),
+                                            static_cast<uint16_t>(port));
+  if (!client_result.ok()) {
+    std::fprintf(stderr, "%s\n", client_result.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client = std::move(*client_result);
+  auto hello = client.Hello(flags.GetString("tenant", ""), timeout_ms);
+  if (!hello.ok()) {
+    std::fprintf(stderr, "%s\n", hello.status().ToString().c_str());
+    return 1;
+  }
+  auto response =
+      client.Mutate(flags.GetString("graph", "default"), std::move(updates),
+                    flags.GetBool("compact", false), timeout_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph %s: applied %.0f update(s), version %.0f, %.0f edges, "
+              "fp %s%s\n",
+              response->GetString("graph", "?").c_str(),
+              response->GetNumber("applied", 0),
+              response->GetNumber("version", 0),
+              response->GetNumber("num_edges", 0),
+              response->GetString("fingerprint", "-").c_str(),
+              response->GetBool("compacted", false) ? " (compacted)" : "");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto flags_result = Flags::Parse(argc, argv);
   if (!flags_result.ok()) return Usage();
@@ -1054,6 +1246,9 @@ int Main(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional()[0] == "client") {
     return ClientMain(flags);
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "mutate") {
+    return MutateMain(flags);
   }
   if (!flags.Has("algo")) return Usage();
 
