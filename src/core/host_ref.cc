@@ -114,7 +114,7 @@ std::vector<double> PageRank(const CsrGraph& g, double alpha,
     double dangling = 0;
     std::fill(next.begin(), next.end(), 0.0);
     for (vid_t u = 0; u < n; ++u) {
-      vid_t deg = g.degree(u);
+      eid_t deg = g.degree(u);
       if (deg == 0) {
         dangling += rank[u];
         continue;
@@ -207,7 +207,7 @@ std::vector<uint32_t> CoreNumbers(const CsrGraph& g) {
   std::vector<uint32_t> degree(n);
   uint32_t max_degree = 0;
   for (vid_t v = 0; v < n; ++v) {
-    degree[v] = sym.degree(v);
+    degree[v] = static_cast<uint32_t>(sym.degree(v));
     max_degree = std::max(max_degree, degree[v]);
   }
   // Matula-Beck peeling via bucket queue.

@@ -138,7 +138,9 @@ Result<CoreDecompositionResult> RunCoreDecomposition(vgpu::Device* device,
                            graph::CsrGraph::FromCoo(g.ToCoo(), sym_options));
   const vid_t n = sym.num_vertices();
   uint32_t max_degree = 0;
-  for (vid_t v = 0; v < n; ++v) max_degree = std::max(max_degree, sym.degree(v));
+  for (vid_t v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, static_cast<uint32_t>(sym.degree(v)));
+  }
 
   ADGRAPH_ASSIGN_OR_RETURN(DeviceCsr d, DeviceCsr::Upload(device, sym));
   ADGRAPH_ASSIGN_OR_RETURN(auto degree,

@@ -16,16 +16,20 @@ using vgpu::DevPtr;
 using vgpu::KernelTask;
 using vgpu::Lanes;
 
-KernelTask SpmvKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
-                      DevPtr<double> weights, DevPtr<double> x,
-                      DevPtr<double> y, uint32_t num_vertices,
-                      Semiring semiring) {
+}  // namespace
+
+namespace detail {
+
+KernelTask SpmvRowSliceKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
+                              DevPtr<double> weights, DevPtr<double> x,
+                              DevPtr<double> y, uint32_t num_rows,
+                              Semiring semiring) {
   const bool weighted = !weights.is_null();
   const double identity = semiring == Semiring::kMinPlus
                               ? std::numeric_limits<double>::infinity()
                               : 0.0;
   auto u = c.GlobalThreadId();
-  c.If(c.Lt(u, num_vertices), [&](Ctx& c) {
+  c.If(c.Lt(u, num_rows), [&](Ctx& c) {
     auto begin = c.Load(row, u);
     auto end = c.Load(row, c.Add(u, 1u));
     auto acc = c.Splat(identity);
@@ -54,7 +58,7 @@ KernelTask SpmvKernel(Ctx& c, DevPtr<eid_t> row, DevPtr<vid_t> col,
   co_return;
 }
 
-}  // namespace
+}  // namespace detail
 
 Status RunSpmvOnDevice(vgpu::Device* device, const DeviceCsr& g,
                        DevPtr<double> x, DevPtr<double> y,
@@ -65,10 +69,10 @@ Status RunSpmvOnDevice(vgpu::Device* device, const DeviceCsr& g,
   auto stats = device->Launch(
       "spmv", rt::CoverThreads(g.num_vertices, options.block_size),
       [&](Ctx& c) {
-        return SpmvKernel(c, g.row_offsets.ptr(), g.col_indices.ptr(),
-                          g.has_weights() ? g.weights.ptr()
-                                          : DevPtr<double>{},
-                          x, y, g.num_vertices, options.semiring);
+        return detail::SpmvRowSliceKernel(
+            c, g.row_offsets.ptr(), g.col_indices.ptr(),
+            g.has_weights() ? g.weights.ptr() : DevPtr<double>{}, x, y,
+            g.num_vertices, options.semiring);
       });
   return stats.ok() ? Status::OK() : stats.status();
 }

@@ -272,8 +272,8 @@ Result<graph::CsrGraph> OrientByDegree(const graph::CsrGraph& g) {
   graph::CooGraph oriented;
   oriented.num_vertices = sym.num_vertices();
   auto keep = [&sym](vid_t u, vid_t v) {
-    vid_t du = sym.degree(u);
-    vid_t dv = sym.degree(v);
+    eid_t du = sym.degree(u);
+    eid_t dv = sym.degree(v);
     return du != dv ? du < dv : u < v;
   };
   for (vid_t u = 0; u < sym.num_vertices(); ++u) {

@@ -62,8 +62,10 @@ class CsrGraph {
   }
   bool has_weights() const { return !weights_.empty(); }
 
-  vid_t degree(vid_t v) const {
-    return static_cast<vid_t>(row_offsets_[v + 1] - row_offsets_[v]);
+  /// 64-bit: a single adjacency list can exceed 2^32 edges on the
+  /// out-of-core path, so degrees are edge counts, not vertex ids.
+  eid_t degree(vid_t v) const {
+    return row_offsets_[v + 1] - row_offsets_[v];
   }
   std::span<const vid_t> neighbors(vid_t v) const {
     return {col_indices_.data() + row_offsets_[v],

@@ -11,7 +11,7 @@ DegreeStats ComputeDegreeStats(const CsrGraph& g) {
   stats.num_vertices = g.num_vertices();
   stats.num_edges = g.num_edges();
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
-    vid_t d = g.degree(v);
+    eid_t d = g.degree(v);
     stats.max_degree = std::max(stats.max_degree, d);
     if (d == 0) stats.isolated_vertices += 1;
   }
@@ -27,7 +27,7 @@ DegreeDistribution ComputeDegreeDistribution(const CsrGraph& g) {
   DegreeDistribution dist;
   const vid_t n = g.num_vertices();
   if (n == 0) return dist;
-  std::vector<vid_t> degrees(n);
+  std::vector<eid_t> degrees(n);
   for (vid_t v = 0; v < n; ++v) degrees[v] = g.degree(v);
   std::sort(degrees.begin(), degrees.end());
   auto pct = [&](double p) {
@@ -41,12 +41,12 @@ DegreeDistribution ComputeDegreeDistribution(const CsrGraph& g) {
   dist.p100 = degrees.back();
   // Log2 histogram.
   uint32_t max_bin = 0;
-  for (vid_t d : degrees) {
+  for (eid_t d : degrees) {
     uint32_t bin = d <= 1 ? 0 : static_cast<uint32_t>(std::log2(d));
     max_bin = std::max(max_bin, bin);
   }
   dist.log2_bins.assign(max_bin + 1, 0);
-  for (vid_t d : degrees) {
+  for (eid_t d : degrees) {
     uint32_t bin = d <= 1 ? 0 : static_cast<uint32_t>(std::log2(d));
     dist.log2_bins[bin] += 1;
   }

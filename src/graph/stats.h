@@ -12,7 +12,7 @@ namespace adgraph::graph {
 struct DegreeStats {
   vid_t num_vertices = 0;
   eid_t num_edges = 0;
-  vid_t max_degree = 0;
+  eid_t max_degree = 0;  ///< 64-bit: a row can hold > 2^32 edges
   double avg_degree = 0;
   vid_t isolated_vertices = 0;  ///< out-degree 0
   /// Max degree / average degree: the intra-warp load-imbalance driver.
@@ -28,7 +28,7 @@ DegreeStats ComputeDegreeStats(const CsrGraph& g);
 /// the power-law evidence Table 4's dataset selection is based on.
 struct DegreeDistribution {
   /// degree value at the given out-degree percentile (0, 50, 90, 99, 100).
-  vid_t p0 = 0, p50 = 0, p90 = 0, p99 = 0, p100 = 0;
+  eid_t p0 = 0, p50 = 0, p90 = 0, p99 = 0, p100 = 0;
   /// histogram over power-of-two degree bins: bins[i] counts vertices with
   /// degree in [2^i, 2^(i+1)); bins[0] also includes degree 0 and 1.
   std::vector<uint64_t> log2_bins;

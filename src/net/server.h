@@ -112,6 +112,16 @@ class Server {
     bool cancelled = false;
     bool done = false;
     serve::JobOutcome outcome;
+    /// Non-empty when the job ran on a mutable graph: the name whose
+    /// warm-start store a successful outcome seeds (DESIGN.md §2.12).
+    std::string dynamic_graph;
+    size_t algo_index = 0;
+    /// Delta version of the snapshot the job was submitted against.
+    uint64_t snapshot_version = 0;
+    bool incremental_requested = false;
+    /// Incremental was asked for but no previous result existed; the
+    /// scheduler ran a plain full job, and POLL reports the fallback.
+    bool cold_warm_start = false;
   };
 
   struct Connection {
@@ -205,6 +215,15 @@ class Server {
     std::mutex mutex;
     graph::DeltaGraph delta;
     std::shared_ptr<const graph::CsrGraph> snapshot;
+    /// Warm-start source of `"incremental": true` submits: the newest
+    /// successful payload per algorithm (keyed by the params variant
+    /// index) and the delta version it corresponds to.  Guarded by
+    /// `mutex`; seeded by every successful job on this graph.
+    struct PreviousResult {
+      std::shared_ptr<const serve::JobPayload> payload;
+      uint64_t version = 0;
+    };
+    std::map<size_t, PreviousResult> previous;
   };
 
   serve::Scheduler* scheduler_;

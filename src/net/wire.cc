@@ -174,6 +174,23 @@ Json OutcomeToJson(const serve::JobOutcome& outcome) {
       response.Set("exchange_bytes", outcome.exchange_bytes);
       response.Set("exchange_rounds", outcome.exchange_rounds);
     }
+    if (outcome.streamed) {
+      // Out-of-core streamed execution (submit field "ooc": true).
+      response.Set("streamed", true);
+      response.Set("ooc_shards", static_cast<uint64_t>(outcome.ooc_shards));
+      response.Set("ooc_staged_bytes", outcome.ooc_staged_bytes);
+      response.Set("ooc_overlap_speedup", outcome.ooc_overlap_speedup);
+    }
+  }
+  if (outcome.incremental_requested) {
+    // Incremental recompute (submit field "incremental": true): whether
+    // the delta path actually ran, and why not when it did not — the
+    // silent-fallback observability this field exists for.
+    response.Set("incremental", outcome.incremental);
+    if (!outcome.fallback_reason.empty()) {
+      response.Set("fallback_reason", outcome.fallback_reason);
+    }
+    response.Set("version", outcome.result_version);
   }
   return response;
 }

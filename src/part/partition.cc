@@ -68,6 +68,49 @@ Result<PartitionPlan> MakePartitionPlan(const graph::CsrGraph& g,
   return plan;
 }
 
+uint64_t ShardDeviceBytes(std::span<const graph::eid_t> row_offsets,
+                          graph::vid_t lo, graph::vid_t hi, bool weighted) {
+  const uint64_t rows = static_cast<uint64_t>(hi - lo) + 1;
+  const uint64_t edges = row_offsets[hi] - row_offsets[lo];
+  return rows * sizeof(eid_t) + edges * sizeof(vid_t) +
+         (weighted ? edges * sizeof(graph::weight_t) : 0);
+}
+
+Result<PartitionPlan> MakeByteBoundedPlan(
+    std::span<const graph::eid_t> row_offsets, bool weighted,
+    uint64_t shard_bytes) {
+  if (row_offsets.empty()) {
+    return Status::InvalidArgument("row_offsets must have n+1 entries");
+  }
+  if (shard_bytes == 0) {
+    return Status::InvalidArgument("shard byte budget must be positive");
+  }
+  const vid_t n = static_cast<vid_t>(row_offsets.size() - 1);
+  const uint64_t edge_bytes =
+      sizeof(vid_t) + (weighted ? sizeof(graph::weight_t) : 0);
+  PartitionPlan plan;
+  plan.boundaries.push_back(0);
+  vid_t lo = 0;
+  while (lo < n) {
+    // Grow [lo, hi) while the footprint fits; always take at least one row.
+    vid_t hi = lo + 1;
+    uint64_t bytes = 2 * sizeof(eid_t) +
+                     (row_offsets[hi] - row_offsets[lo]) * edge_bytes;
+    while (hi < n) {
+      const uint64_t next = bytes + sizeof(eid_t) +
+                            (row_offsets[hi + 1] - row_offsets[hi]) *
+                                edge_bytes;
+      if (next > shard_bytes) break;
+      bytes = next;
+      ++hi;
+    }
+    plan.boundaries.push_back(hi);
+    lo = hi;
+  }
+  if (n == 0) plan.boundaries.push_back(0);
+  return plan;
+}
+
 Result<graph::CsrGraph> BuildShardGraph(const graph::CsrGraph& g,
                                         const PartitionPlan& plan,
                                         uint32_t shard) {

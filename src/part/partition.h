@@ -2,6 +2,7 @@
 #define ADGRAPH_PART_PARTITION_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/csr.h"
@@ -49,6 +50,26 @@ struct PartitionPlan {
 Result<PartitionPlan> MakePartitionPlan(const graph::CsrGraph& g,
                                         uint32_t num_shards,
                                         PartitionStrategy strategy);
+
+/// \brief Byte-bounded vertex-range plan — the shard-count-free dual of
+/// MakePartitionPlan used by the out-of-core streamer (DESIGN.md §2.13).
+///
+/// Walks the row-offset curve greedily, closing a shard as soon as adding
+/// the next vertex would push its device footprint — a rebased row slice
+/// ((rows+1) * sizeof(eid_t)) plus columns (and weights when `weighted`) —
+/// past `shard_bytes`.  Every shard holds at least one vertex, so a single
+/// hub row larger than the budget still gets a (single-row, oversized)
+/// shard rather than failing; callers size their staging buffers from the
+/// resulting maximum, not from `shard_bytes`.  Takes the offsets as a span
+/// so a memory-mapped CSR can be planned without copying its arrays.
+Result<PartitionPlan> MakeByteBoundedPlan(
+    std::span<const graph::eid_t> row_offsets, bool weighted,
+    uint64_t shard_bytes);
+
+/// Device bytes of the vertex range [lo, hi) staged as a shard: rebased
+/// rows, columns, optional weights.  The unit MakeByteBoundedPlan bounds.
+uint64_t ShardDeviceBytes(std::span<const graph::eid_t> row_offsets,
+                          graph::vid_t lo, graph::vid_t hi, bool weighted);
 
 /// \brief Materializes one shard's graph.
 ///

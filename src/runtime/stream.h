@@ -68,6 +68,13 @@ class Stream {
   const std::string& name() const { return name_; }
   uint64_t launches() const { return launches_; }
 
+  /// Modeled host->device transfer time staged through this stream via
+  /// CopyToDeviceAsync, and the bytes behind it.  The out-of-core driver
+  /// uses per-stream accounting to build the copy/compute overlap timeline
+  /// (device->transfer_ms() only gives the global sum).
+  double transfer_ms() const { return transfer_ms_; }
+  uint64_t staged_bytes() const { return staged_bytes_; }
+
   /// Enqueues (and, in the simulator, immediately executes) a kernel.
   Result<vgpu::KernelStats> Launch(std::string_view kernel_name,
                                    vgpu::LaunchDims dims,
@@ -81,6 +88,23 @@ class Stream {
                         dims, kernel));
     launches_ += 1;
     return stats;
+  }
+
+  /// Stages a host->device copy on this stream (the cudaMemcpyAsync idiom).
+  /// The simulator executes it eagerly, but the transfer time is charged to
+  /// this stream's own clock so a prefetch stream and a compute stream can
+  /// be overlapped analytically by the caller.
+  template <typename T>
+  Status CopyToDeviceAsync(vgpu::DevPtr<T> dst, const T* src,
+                           uint64_t count) {
+    ADGRAPH_RETURN_NOT_OK(CheckOwningThread("CopyToDeviceAsync"));
+    trace::Span span(device_->trace_track(), name_ + "/copy_async", "stream");
+    span.ArgNum("bytes", static_cast<double>(count * sizeof(T)));
+    const double before = device_->transfer_ms();
+    ADGRAPH_RETURN_NOT_OK(device_->CopyToDevice(dst, src, count));
+    transfer_ms_ += device_->transfer_ms() - before;
+    staged_bytes_ += count * sizeof(T);
+    return Status::OK();
   }
 
   /// Records `event` at the stream's current position (device time now).
@@ -119,6 +143,8 @@ class Stream {
   std::string name_;
   std::thread::id owner_;
   uint64_t launches_ = 0;
+  double transfer_ms_ = 0;
+  uint64_t staged_bytes_ = 0;
 };
 
 }  // namespace adgraph::rt

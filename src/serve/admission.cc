@@ -1,11 +1,32 @@
 #include "serve/admission.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "ooc/ooc_csr.h"
 #include "serve/graph_cache.h"
 #include "serve/registry.h"
 
 namespace adgraph::serve {
+namespace {
+
+/// The streamed working-set estimate for `spec`, or nullopt when the spec
+/// is not eligible: streaming must be requested, and the algorithm must
+/// have a streamed path (BFS without parents, PageRank).
+std::optional<uint64_t> StreamedEstimate(const JobSpec& spec) {
+  if (!spec.allow_streamed || spec.gang_devices > 1) return std::nullopt;
+  if (spec.algorithm() == Algorithm::kBfs &&
+      std::get<core::BfsOptions>(spec.params).compute_parents) {
+    return std::nullopt;
+  }
+  auto estimate = ooc::EstimateStreamedBytes(
+      spec.algorithm(), spec.graph->num_vertices(), spec.graph->has_weights(),
+      spec.ooc_shard_bytes);
+  if (!estimate.ok()) return std::nullopt;
+  return *estimate;
+}
+
+}  // namespace
 
 AdmissionDecision CheckAdmission(const vgpu::Device& device,
                                  const JobSpec& spec, double headroom,
@@ -33,6 +54,24 @@ AdmissionDecision CheckAdmission(const vgpu::Device& device,
     decision.available_bytes = device.memory_free_bytes();
   }
   if (padded > decision.available_bytes) {
+    // Whole-graph working set does not fit even after eviction.  Before
+    // rejecting, try the out-of-core tier: the streamed path keeps only
+    // O(n) iteration state plus two staging slots device-resident and
+    // streams the adjacency from host (or disk) through them.
+    if (auto streamed = StreamedEstimate(spec); streamed.has_value()) {
+      uint64_t streamed_padded = static_cast<uint64_t>(
+          static_cast<double>(*streamed) * (headroom < 1.0 ? 1.0 : headroom));
+      if (streamed_padded <= decision.available_bytes) {
+        decision.admit = true;
+        decision.streamed = true;
+        decision.streamed_bytes = *streamed;
+        // What admission actually lets the job allocate: the streamed
+        // working set, not the whole graph.  No residency discount — the
+        // streamed path stages shards itself, bypassing the graph cache.
+        decision.charged_bytes = *streamed;
+        return decision;
+      }
+    }
     decision.admit = false;
     decision.reason =
         std::string(AlgorithmName(spec.algorithm())) +

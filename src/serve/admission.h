@@ -27,6 +27,12 @@ struct AdmissionDecision {
   uint64_t evicted_bytes = 0;
   uint64_t available_bytes = 0;   ///< device capacity minus live usage
   uint64_t capacity_bytes = 0;    ///< device RAM (scaled)
+  /// Admitted via the out-of-core streamed path (spec.allow_streamed): the
+  /// whole-graph working set did not fit even after eviction, but the
+  /// streamed one — O(n) state plus two staging slots — does.  The job
+  /// runs through ooc::RunStreamed instead of the registry handler.
+  bool streamed = false;
+  uint64_t streamed_bytes = 0;    ///< streamed working-set estimate
   std::string reason;             ///< human-readable rejection reason
 };
 

@@ -144,7 +144,24 @@ Result<core::ResidentCsr> GraphCache::Acquire(vgpu::Device* device,
   if (!upload.ok() && upload.status().IsOutOfMemory()) {
     // Make room out of our own residency before letting the job die: a
     // full device whose ballast is unpinned cached graphs is our fault.
-    EvictForSpace(std::numeric_limits<uint64_t>::max());
+    // The retry is bounded to exactly one attempt, and only when eviction
+    // actually freed something — when every resident entry is pinned by an
+    // in-flight job there is nothing to reclaim, and re-uploading forever
+    // (or surfacing the allocator's raw kOutOfMemory) hid the real
+    // condition.  Report it as deterministic admission-style exhaustion.
+    const uint64_t freed =
+        EvictForSpace(std::numeric_limits<uint64_t>::max());
+    if (freed == 0) {
+      return Status::ResourceExhausted(
+          entries_.empty()
+              ? "graph cache: device memory exhausted with no cached "
+                "entries to evict: " +
+                    upload.status().message()
+              : "graph cache: device memory exhausted and all " +
+                    std::to_string(entries_.size()) +
+                    " resident entries are pinned by in-flight jobs: " +
+                    upload.status().message());
+    }
     upload = core::DeviceCsr::Upload(device, *host);
   }
   ADGRAPH_ASSIGN_OR_RETURN(core::DeviceCsr uploaded, std::move(upload));

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <variant>
 
 #include "core/api.h"
 #include "graph/csr.h"
+#include "graph/delta.h"
 #include "part/partition.h"
 #include "prof/metrics.h"
 #include "util/status.h"
@@ -76,6 +78,32 @@ struct JobSpec {
   vgpu::InterconnectConfig gang_interconnect = vgpu::NvlinkPreset();
   /// How the gang shards the vertex range.
   part::PartitionStrategy gang_strategy = part::PartitionStrategy::kUniform;
+  // --- Out-of-core streaming (DESIGN.md §2.13) --------------------------
+  /// When true and the algorithm has a streamed path (BFS without parents,
+  /// PageRank), a job whose whole-graph working set fails admission is
+  /// admitted anyway iff the streamed working set — O(n) iteration state
+  /// plus two staging slots — fits, and runs via ooc::RunStreamed with
+  /// byte-identical results.  Evict-to-admit thereby becomes a
+  /// device<->host<->disk tiering decision instead of a hard reject.
+  bool allow_streamed = false;
+  /// Per staging slot byte budget of the streamed path (0 = ooc default).
+  uint64_t ooc_shard_bytes = 0;
+  // --- Incremental recompute (DESIGN.md §2.12) --------------------------
+  /// Warm start: when set (together with `delta`), the worker runs
+  /// core::RunIncremental from this previous result — computed when the
+  /// graph was at `previous_version` — instead of a cold full run.  The
+  /// path actually taken (incremental, or one of the documented fallbacks
+  /// to full recompute) is reported in JobOutcome::{incremental,
+  /// fallback_reason} and counted by adgraph_incremental_fallbacks_total.
+  std::shared_ptr<const JobPayload> warm_start = nullptr;
+  uint64_t previous_version = 0;
+  /// The mutable graph the delta path re-expands over; must outlive the
+  /// job.  Required (with `delta_mutex`) when warm_start is set.
+  graph::DeltaGraph* delta = nullptr;
+  /// Held around delta access — the front door's per-graph mutation mutex,
+  /// so warm-started jobs serialize against concurrent MUTATEs.  May be
+  /// null when the caller guarantees no concurrent mutation.
+  std::mutex* delta_mutex = nullptr;
 
   Algorithm algorithm() const {
     return static_cast<Algorithm>(params.index());
@@ -114,6 +142,23 @@ struct JobOutcome {
   uint64_t exchange_bytes = 0;    ///< peer bytes moved over the interconnect
   uint64_t exchange_rounds = 0;   ///< bulk-synchronous exchange rounds
   double exchange_ms = 0;         ///< modeled interconnect time
+  // --- Out-of-core streaming (spec.allow_streamed) ----------------------
+  /// True when the job ran via the double-buffered streamed path after the
+  /// whole-graph working set failed admission.
+  bool streamed = false;
+  uint32_t ooc_shards = 0;         ///< shards in the byte-bounded plan
+  uint64_t ooc_staged_bytes = 0;   ///< host->device bytes streamed
+  /// Modeled serialized-staging makespan over the double-buffered one.
+  double ooc_overlap_speedup = 0;
+  // --- Incremental recompute (spec.warm_start) --------------------------
+  bool incremental_requested = false;
+  bool incremental = false;        ///< the delta path ran on the device
+  /// Why full recompute ran instead ("" when the delta path ran).
+  std::string fallback_reason;
+  /// Delta version the payload corresponds to (warm-started jobs compute
+  /// on the delta's snapshot at execution time, which may be newer than
+  /// the one published at submit).
+  uint64_t result_version = 0;
 };
 
 /// Modeled device time carried inside the payload (the per-algorithm

@@ -253,6 +253,20 @@ Status ValidateJobSpec(const JobSpec& spec) {
     ADGRAPH_RETURN_NOT_OK(
         vgpu::ValidateInterconnectConfig(spec.gang_interconnect));
   }
+  if (spec.warm_start != nullptr) {
+    if (spec.delta == nullptr) {
+      return Status::InvalidArgument(
+          "incremental warm start requires the mutable graph's delta");
+    }
+    if (spec.gang_devices > 1) {
+      return Status::InvalidArgument(
+          "incremental warm start does not compose with gang execution");
+    }
+    if (spec.warm_start->index() != spec.params.index()) {
+      return Status::InvalidArgument(
+          "warm-start payload is from a different algorithm than the job");
+    }
+  }
   return Status::OK();
 }
 

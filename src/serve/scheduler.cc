@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "capi/adgraph.h"
+#include "core/incremental.h"
+#include "ooc/streamed.h"
 #include "part/engine.h"
 #include "part/run.h"
 #include "prof/metrics.h"
@@ -202,6 +204,16 @@ void Scheduler::RegisterMetrics() {
     m.exchange_rounds = registry_.GetCounter(
         "adgraph_exchange_rounds_total",
         "Bulk-synchronous exchange rounds of gang jobs.", id);
+    m.incremental_fallbacks = registry_.GetCounter(
+        "adgraph_incremental_fallbacks_total",
+        "Warm-started jobs that fell back to full recompute (deletions, "
+        "trimmed history, algorithm mismatch, ...).",
+        id);
+    m.streamed_jobs = registry_.GetCounter(
+        "adgraph_streamed_jobs_total",
+        "Jobs admitted past a whole-graph reject and run via the "
+        "out-of-core streamed path.",
+        id);
     m.modeled_latency = registry_.GetHistogram(
         "adgraph_job_modeled_ms", "Modeled device time per completed job.",
         id, LatencyBuckets());
@@ -652,9 +664,56 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
   double modeled_before = device->elapsed_ms();
   double transfer_before = device->transfer_ms();
   uint64_t hits_before = cache != nullptr ? cache->stats().hits : 0;
-  Result<JobPayload> payload = handler.run(
-      device, job.spec,
-      (cache != nullptr && cache->enabled()) ? cache : nullptr);
+  core::GraphResidency* residency =
+      (cache != nullptr && cache->enabled()) ? cache : nullptr;
+  Result<JobPayload> payload = Status::Internal("job not dispatched");
+  if (decision.streamed) {
+    // Out-of-core tier (DESIGN.md §2.13): the whole graph never becomes
+    // device-resident — vertex-range shards double-buffer through two
+    // staging slots, prefetching shard k+1 while shard k computes.  The
+    // residency cache is bypassed; admission charged only the streamed
+    // working set.
+    ooc::StreamedStats streamed_stats;
+    ooc::OocOptions ooc_options;
+    ooc_options.shard_bytes = job.spec.ooc_shard_bytes;
+    payload = ooc::RunStreamed(device, job.spec.algorithm(), job.spec.graph,
+                               job.spec.params, ooc_options, &streamed_stats);
+    outcome.streamed = true;
+    outcome.ooc_shards = streamed_stats.num_shards;
+    outcome.ooc_staged_bytes = streamed_stats.staged_bytes;
+    outcome.ooc_overlap_speedup = streamed_stats.overlap_speedup();
+    worker->metrics.streamed_jobs->Increment();
+    job_span.ArgNum("ooc_shards",
+                    static_cast<uint64_t>(streamed_stats.num_shards));
+    job_span.ArgNum("ooc_staged_bytes", streamed_stats.staged_bytes);
+  } else if (job.spec.warm_start != nullptr) {
+    // Incremental recompute (DESIGN.md §2.12), serialized against MUTATEs
+    // through the front door's per-graph mutex.  Whichever path runs —
+    // delta re-expansion or one of the documented fallbacks to a full
+    // recompute — the payload is usable; the fallback is made visible
+    // instead of silent.
+    outcome.incremental_requested = true;
+    core::IncrementalInfo info;
+    std::unique_lock<std::mutex> delta_lock;
+    if (job.spec.delta_mutex != nullptr) {
+      delta_lock = std::unique_lock<std::mutex>(*job.spec.delta_mutex);
+    }
+    payload = core::RunIncremental(
+        device, core::AlgoSpec{job.spec.algorithm()}, *job.spec.delta,
+        job.spec.params, *job.spec.warm_start, job.spec.previous_version,
+        core::IncrementalOptions{}, residency, &info);
+    outcome.result_version = job.spec.delta->version();
+    outcome.incremental = info.incremental;
+    outcome.fallback_reason = info.fallback_reason;
+    if (!info.incremental) {
+      worker->metrics.incremental_fallbacks->Increment();
+      if (!info.fallback_reason.empty()) {
+        job_span.Arg("fallback", info.fallback_reason);
+      }
+    }
+  } else {
+    payload = handler.run(device, job.spec, residency);
+  }
   outcome.modeled_ms = device->elapsed_ms() - modeled_before;
   outcome.modeled_transfer_ms = device->transfer_ms() - transfer_before;
   outcome.cache_hit = cache != nullptr && cache->stats().hits > hits_before;

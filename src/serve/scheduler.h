@@ -198,6 +198,12 @@ class Scheduler {
     // Partitioned-exchange interconnect traffic of gang jobs.
     obs::Counter* exchange_bytes = nullptr;
     obs::Counter* exchange_rounds = nullptr;
+    /// Warm-started jobs that fell back to full recompute (§2.12) — the
+    /// silent-fallback regression signal satellite dashboards alert on.
+    obs::Counter* incremental_fallbacks = nullptr;
+    /// Jobs admitted past a whole-graph kResourceExhausted and run via the
+    /// out-of-core streamed path (§2.13).
+    obs::Counter* streamed_jobs = nullptr;
     obs::Histogram* modeled_latency = nullptr;
     obs::Histogram* wall_latency = nullptr;
     obs::Histogram* queue_wait = nullptr;

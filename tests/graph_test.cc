@@ -562,5 +562,65 @@ TEST(IoTest, BinaryCsrRejectsWrongMagic) {
   std::remove(path.c_str());
 }
 
+// Synthetic overflow: a well-formed header whose section counts claim
+// orders of magnitude more data than the file holds.  Both loaders must
+// bounds-check the declared counts against the file size *before* sizing
+// any allocation — the old path handed the count straight to resize() and
+// died attempting a multi-terabyte vector.
+
+void WriteBinaryCsrHeader(std::ofstream& out, vid_t num_vertices) {
+  const uint64_t magic = 0x4852474441ull;  // "ADGRH"
+  const uint32_t version = 2;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&num_vertices),
+            sizeof(num_vertices));
+}
+
+TEST(IoTest, BinaryCsrRejectsHugeDeclaredCountsWithoutAllocating) {
+  std::string path = TempPath("adgraph_huge.csr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    WriteBinaryCsrHeader(out, 0xFFFFFFFFu);
+    // row_offsets section claiming 2^61 entries (16 EiB) with no payload.
+    const uint64_t huge_count = 1ull << 61;
+    out.write(reinterpret_cast<const char*>(&huge_count),
+              sizeof(huge_count));
+  }
+  auto read = ReadBinaryCsr(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError)
+      << read.status().ToString();
+  auto mapped = MappedCsr::Open(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError)
+      << mapped.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryCsrRejectsOverflowingEdgeCount) {
+  // Structurally complete tiny file whose final row offset claims 2^40
+  // edges: the col_indices section cannot back that claim, and neither
+  // loader may size a buffer from it.
+  std::string path = TempPath("adgraph_overflow.csr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    WriteBinaryCsrHeader(out, 1);
+    const eid_t offsets[2] = {0, 1ull << 40};
+    const uint64_t row_count = 2;
+    const uint64_t empty = 0;
+    out.write(reinterpret_cast<const char*>(&row_count), sizeof(row_count));
+    out.write(reinterpret_cast<const char*>(offsets), sizeof(offsets));
+    out.write(reinterpret_cast<const char*>(&empty), sizeof(empty));  // w
+    out.write(reinterpret_cast<const char*>(&empty), sizeof(empty));  // col
+  }
+  EXPECT_FALSE(ReadBinaryCsr(path).ok());
+  auto mapped = MappedCsr::Open(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError)
+      << mapped.status().ToString();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace adgraph::graph

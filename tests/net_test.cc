@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "graph/csr.h"
 #include "graph/generate.h"
+#include "ooc/ooc_csr.h"
 #include "net/client.h"
 #include "net/json.h"
 #include "net/server.h"
@@ -590,6 +592,174 @@ TEST(ServerTest, MutateCompactFoldsTheDelta) {
       client.Mutate("default", std::move(updates), /*compact=*/true).value();
   EXPECT_TRUE(response.GetBool("compacted", false)) << response.Dump();
   EXPECT_EQ(response.GetNumber("applied", -1), 1);
+}
+
+// --- out-of-core + incremental on the wire ---------------------------------
+
+TEST(ServerTest, OocSubmitStreamsOnWireAndMatchesInMemory) {
+  auto g = TestGraph();
+  // Budget the single device below the whole-graph PageRank working set but
+  // above the streamed one (memory_scale *divides* the arch capacity).
+  serve::JobSpec probe;
+  probe.graph = g;
+  core::PageRankOptions pr;
+  pr.max_iterations = 12;
+  probe.params = pr;
+  const uint64_t full = serve::EstimateJobDeviceBytes(probe);
+  const uint64_t streamed =
+      ooc::EstimateStreamedBytes(serve::Algorithm::kPageRank,
+                                 g->num_vertices(), g->has_weights(), 4096)
+          .value();
+  const uint64_t budget =
+      std::max<uint64_t>(full * 3 / 5, streamed + streamed / 4);
+
+  serve::Scheduler::Options options;
+  serve::Scheduler::DeviceSlot slot;
+  slot.arch = &vgpu::A100Config();
+  slot.options.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      static_cast<double>(budget);
+  options.devices = {slot};
+  options.queue_capacity = 64;
+  LiveServer live;
+  live.scheduler =
+      std::move(serve::Scheduler::Create(std::move(options)).value());
+  Server::GraphMap graphs;
+  graphs["default"] = g;
+  live.server = std::move(
+      Server::Start(live.scheduler.get(), std::move(graphs), {}).value());
+
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+
+  // Without the opt-in, the over-budget job is a hard admission reject.
+  auto plain = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"pagerank","params":{"iters":12}})")
+      .value()).value();
+  ASSERT_TRUE(plain.GetBool("ok", false)) << plain.Dump();
+  auto plain_done = client.WaitJob(
+      static_cast<uint64_t>(plain.GetNumber("job", 0))).value();
+  EXPECT_EQ(plain_done.GetString("status", ""), "resource_exhausted")
+      << plain_done.Dump();
+
+  // With "ooc": the same ask lands in the streamed tier and reports it.
+  auto ooc = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"pagerank","params":{"iters":12},)"
+      R"("ooc":true,"shard_bytes":4096})").value()).value();
+  ASSERT_TRUE(ooc.GetBool("ok", false)) << ooc.Dump();
+  auto done = client.WaitJob(
+      static_cast<uint64_t>(ooc.GetNumber("job", 0))).value();
+  ASSERT_EQ(done.GetString("status", ""), "ok") << done.Dump();
+  EXPECT_TRUE(done.GetBool("streamed", false)) << done.Dump();
+  EXPECT_GE(done.GetNumber("ooc_shards", 0), 2) << done.Dump();
+  EXPECT_GT(done.GetNumber("ooc_staged_bytes", 0), 0) << done.Dump();
+
+  // Byte-identical to the in-memory path on a full-size device.
+  vgpu::Device roomy(vgpu::A100Config());
+  auto payload = serve::GetHandler(serve::Algorithm::kPageRank)
+                     .run(&roomy, probe, nullptr)
+                     .value();
+  EXPECT_EQ(done.GetString("fingerprint", ""),
+            FingerprintHex(serve::FingerprintPayload(payload)));
+}
+
+TEST(ServerTest, IncrementalSubmitReportsPathOnWire) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+  const std::string ask =
+      R"({"op":"SUBMIT","algo":"bfs","params":{"source":3},)"
+      R"("incremental":true})";
+
+  // Cold ask: no previous result of this algorithm exists yet, so a full
+  // run happens and the response says why the warm start didn't.
+  auto cold = client.Call(Json::Parse(ask).value()).value();
+  ASSERT_TRUE(cold.GetBool("ok", false)) << cold.Dump();
+  auto cold_done = client.WaitJob(
+      static_cast<uint64_t>(cold.GetNumber("job", 0))).value();
+  ASSERT_EQ(cold_done.GetString("status", ""), "ok") << cold_done.Dump();
+  EXPECT_FALSE(cold_done.GetBool("incremental", true)) << cold_done.Dump();
+  EXPECT_EQ(cold_done.GetString("fallback_reason", ""),
+            "no previous result to warm-start from");
+  EXPECT_EQ(cold_done.GetNumber("version", -1), 0) << cold_done.Dump();
+
+  // Mutate: a small batch of inserts, well under the incremental
+  // threshold; the cold run above seeded the previous-result store.
+  Json updates = Json::MakeArray();
+  for (uint32_t v = 60; v < 68; ++v) {
+    Json update = Json::MakeObject();
+    update.Set("op", "add");
+    update.Set("u", 0);
+    update.Set("v", static_cast<double>(v));
+    updates.PushBack(std::move(update));
+  }
+  auto mutated = client.Mutate("default", std::move(updates)).value();
+  ASSERT_GT(mutated.GetNumber("applied", 0), 0) << mutated.Dump();
+  const double version = mutated.GetNumber("version", 0);
+
+  // Warm ask: the delta path actually runs and the version advances.
+  auto warm = client.Call(Json::Parse(ask).value()).value();
+  ASSERT_TRUE(warm.GetBool("ok", false)) << warm.Dump();
+  auto warm_done = client.WaitJob(
+      static_cast<uint64_t>(warm.GetNumber("job", 0))).value();
+  ASSERT_EQ(warm_done.GetString("status", ""), "ok") << warm_done.Dump();
+  EXPECT_TRUE(warm_done.GetBool("incremental", false)) << warm_done.Dump();
+  EXPECT_EQ(warm_done.GetString("fallback_reason", ""), "");
+  EXPECT_EQ(warm_done.GetNumber("version", -1), version)
+      << warm_done.Dump();
+
+  // A deletion makes the next warm ask fall back — visibly.
+  Json removal = Json::MakeArray();
+  Json remove = Json::MakeObject();
+  remove.Set("op", "remove");
+  remove.Set("u", 0);
+  remove.Set("v", 60);
+  removal.PushBack(std::move(remove));
+  ASSERT_GT(client.Mutate("default", std::move(removal))
+                .value()
+                .GetNumber("applied", 0),
+            0);
+  auto fell = client.Call(Json::Parse(ask).value()).value();
+  ASSERT_TRUE(fell.GetBool("ok", false)) << fell.Dump();
+  auto fell_done = client.WaitJob(
+      static_cast<uint64_t>(fell.GetNumber("job", 0))).value();
+  ASSERT_EQ(fell_done.GetString("status", ""), "ok") << fell_done.Dump();
+  EXPECT_FALSE(fell_done.GetBool("incremental", true)) << fell_done.Dump();
+  EXPECT_NE(fell_done.GetString("fallback_reason", "").find("deletion"),
+            std::string::npos)
+      << fell_done.Dump();
+}
+
+TEST(ServerTest, IncrementalOnStaticGraphIsFailedPrecondition) {
+  // A base with duplicate adjacency fails delta normal-form validation and
+  // stays static: SUBMIT works, incremental asks are a structured error.
+  graph::CooGraph coo;
+  coo.num_vertices = 3;
+  coo.AddEdge(0, 1);
+  coo.AddEdge(0, 1);
+  coo.AddEdge(1, 2);
+  auto g = std::make_shared<const CsrGraph>(CsrGraph::FromCoo(coo).value());
+  auto live = StartServer(g);
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+
+  auto refused = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"bfs","params":{"source":0},)"
+      R"("incremental":true})").value()).value();
+  EXPECT_FALSE(refused.GetBool("ok", true)) << refused.Dump();
+  EXPECT_EQ(refused.GetString("code", ""), "failed_precondition")
+      << refused.Dump();
+
+  // The session and plain submits on the same graph keep working.
+  auto plain = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"bfs","params":{"source":0}})").value())
+      .value();
+  ASSERT_TRUE(plain.GetBool("ok", false)) << plain.Dump();
+  EXPECT_EQ(client.WaitJob(static_cast<uint64_t>(
+                               plain.GetNumber("job", 0)))
+                .value()
+                .GetString("status", ""),
+            "ok");
 }
 
 TEST(ServerTest, SequenceNumbersEchoInOrder) {

@@ -4,17 +4,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <cmath>
 #include <limits>
+#include <mutex>
 
+#include "core/api.h"
 #include "core/host_ref.h"
 #include "core/residency.h"
 #include "graph/csr.h"
+#include "graph/delta.h"
 #include "graph/generate.h"
+#include "obs/registry.h"
+#include "ooc/ooc_csr.h"
 #include "prof/report.h"
 #include "serve/admission.h"
 #include "serve/graph_cache.h"
@@ -863,6 +870,350 @@ TEST(SchedulerTest, GangLargerThanPoolRejected) {
   auto result = scheduler->Submit(gang);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------- out-of-core streamed serving
+
+/// Sum of every series of one counter family in `registry`.
+double CounterTotal(const obs::Registry& registry, const std::string& name) {
+  double total = 0;
+  for (const auto& family : registry.Scrape()) {
+    if (family.name != name) continue;
+    for (const auto& series : family.series) total += series.value;
+  }
+  return total;
+}
+
+/// A device slot whose capacity is exactly `budget` bytes
+/// (Device::Options::memory_scale *divides* the arch capacity).
+Scheduler::DeviceSlot BudgetedSlot(uint64_t budget) {
+  Scheduler::DeviceSlot slot;
+  slot.arch = &vgpu::A100Config();
+  slot.options.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      static_cast<double>(budget);
+  return slot;
+}
+
+/// A PageRank spec opted into the out-of-core tier, plus the device budget
+/// that makes the whole-graph working set a hard reject while the streamed
+/// working set still fits.
+struct StreamedFixture {
+  JobSpec spec;
+  uint64_t full_bytes = 0;
+  uint64_t budget = 0;
+};
+
+StreamedFixture OverBudgetPageRank(std::shared_ptr<const CsrGraph> g) {
+  StreamedFixture f;
+  core::PageRankOptions pr;
+  pr.max_iterations = 12;
+  f.spec = {.graph = std::move(g), .params = pr, .tag = "pr-ooc"};
+  f.spec.allow_streamed = true;
+  f.spec.ooc_shard_bytes = 4 << 10;
+  f.full_bytes = EstimateJobDeviceBytes(f.spec);
+  const uint64_t streamed =
+      ooc::EstimateStreamedBytes(Algorithm::kPageRank,
+                                 f.spec.graph->num_vertices(),
+                                 f.spec.graph->has_weights(),
+                                 f.spec.ooc_shard_bytes)
+          .value();
+  f.budget = std::max<uint64_t>(f.full_bytes * 3 / 5,
+                                streamed + streamed / 4);
+  return f;
+}
+
+// Satellite regression: with every resident entry pinned by an in-flight
+// job, the evict-to-admit loop used to retry the upload forever (evict
+// frees 0 bytes -> OOM -> evict -> ...).  It must now give up after one
+// bounded pass with a deterministic kResourceExhausted.
+TEST(GraphCacheTest, AllPinnedCacheFailsAcquireDeterministically) {
+  auto a = TestGraph(8, 21);
+  auto b = TestGraph(8, 22);
+  // Room for ~1.3 uploads: `a` fits, `b` only fits if `a` is evicted.
+  vgpu::Device::Options dopt;
+  dopt.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      (1.3 * static_cast<double>(a->DeviceFootprintBytes()));
+  vgpu::Device device(vgpu::A100Config(), dopt);
+  GraphCache::Options copt;
+  copt.capacity_fraction = 1.0;
+  GraphCache cache(&device, copt);
+
+  auto pin = cache.Acquire(&device, *a, core::GraphVariant::kAsIs);
+  ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+
+  auto blocked = cache.Acquire(&device, *b, core::GraphVariant::kAsIs);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsResourceExhausted())
+      << blocked.status().ToString();
+  EXPECT_NE(blocked.status().message().find("pinned"), std::string::npos)
+      << blocked.status().ToString();
+
+  // Dropping the pin turns the same acquire into a successful evict-to-fit.
+  pin = core::ResidentCsr();
+  auto retry = cache.Acquire(&device, *b, core::GraphVariant::kAsIs);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(GraphCacheTest, EmptyCacheOnTinyDeviceFailsAcquireDeterministically) {
+  auto g = TestGraph(8, 23);
+  vgpu::Device::Options dopt;
+  dopt.memory_scale =
+      static_cast<double>(vgpu::A100Config().dram_capacity_bytes) /
+      (0.5 * static_cast<double>(g->DeviceFootprintBytes()));
+  vgpu::Device device(vgpu::A100Config(), dopt);
+  GraphCache cache(&device, {});
+  auto blocked = cache.Acquire(&device, *g, core::GraphVariant::kAsIs);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsResourceExhausted())
+      << blocked.status().ToString();
+  EXPECT_NE(blocked.status().message().find("no cached entries"),
+            std::string::npos)
+      << blocked.status().ToString();
+}
+
+TEST(AdmissionTest, StreamedTierAdmitsOverBudgetJob) {
+  StreamedFixture f = OverBudgetPageRank(TestGraph(8, 24));
+  vgpu::Device device(*BudgetedSlot(f.budget).arch,
+                      BudgetedSlot(f.budget).options);
+
+  JobSpec whole = f.spec;
+  whole.allow_streamed = false;
+  AdmissionDecision rejected = CheckAdmission(device, whole, 1.0, nullptr);
+  ASSERT_FALSE(rejected.admit) << "budget must be below the whole-graph set";
+  EXPECT_FALSE(rejected.reason.empty());
+
+  AdmissionDecision admitted = CheckAdmission(device, f.spec, 1.0, nullptr);
+  EXPECT_TRUE(admitted.admit) << admitted.reason;
+  EXPECT_TRUE(admitted.streamed);
+  EXPECT_GT(admitted.streamed_bytes, 0u);
+  EXPECT_EQ(admitted.charged_bytes, admitted.streamed_bytes);
+  EXPECT_LT(admitted.charged_bytes, admitted.estimated_bytes)
+      << "the streamed tier must be charged less than the whole graph";
+}
+
+TEST(SchedulerTest, OverBudgetJobStreamsWhenAllowedAndMatchesInMemory) {
+  auto g = TestGraph(8, 25);
+  StreamedFixture f = OverBudgetPageRank(g);
+  Scheduler::Options options;
+  options.devices = {BudgetedSlot(f.budget)};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  // Without the opt-in the whole-graph working set is a hard reject.
+  JobSpec whole = f.spec;
+  whole.allow_streamed = false;
+  JobOutcome rejected = scheduler->Submit(whole).value().get();
+  ASSERT_TRUE(rejected.status.IsResourceExhausted())
+      << rejected.status.ToString();
+  EXPECT_FALSE(rejected.streamed);
+
+  // With it, the same job lands in the streamed tier...
+  JobOutcome outcome = scheduler->Submit(f.spec).value().get();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_TRUE(outcome.streamed);
+  EXPECT_GT(outcome.ooc_shards, 1u);
+  EXPECT_GT(outcome.ooc_staged_bytes, 0u);
+  EXPECT_GT(outcome.ooc_overlap_speedup, 1.0);
+
+  // ...and its payload is byte-identical to an in-memory run.
+  vgpu::Device roomy(vgpu::A100Config());
+  auto direct =
+      core::Run(&roomy, {core::Algo::kPageRank}, *g,
+                std::get<core::PageRankOptions>(f.spec.params))
+          .value();
+  EXPECT_EQ(FingerprintPayload(outcome.payload), FingerprintPayload(direct));
+
+  EXPECT_GE(CounterTotal(scheduler->metrics_registry(),
+                         "adgraph_streamed_jobs_total"),
+            1.0);
+}
+
+// Satellite 4 on the serve path: streamed jobs whose shard staging must
+// carve device memory race cached whole-graph jobs whose entries are being
+// evicted and re-uploaded.  Everything must complete with correct payloads
+// regardless of arrival order.
+TEST(SchedulerTest, StreamedJobsRaceCachedJobsUnderMemoryPressure) {
+  auto big = TestGraph(8, 31);
+  auto small = TestGraph(6, 32);
+  StreamedFixture f = OverBudgetPageRank(big);
+  JobSpec cached = BfsJob(small, 0);
+  ASSERT_LE(EstimateJobDeviceBytes(cached), f.budget)
+      << "the cached job must fit the budgeted device";
+
+  Scheduler::Options options;
+  options.devices = {BudgetedSlot(f.budget)};
+  options.cache.capacity_fraction = 1.0;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  constexpr int kThreads = 2;
+  constexpr int kJobsPerThread = 8;
+  std::mutex mu;
+  std::vector<std::pair<bool, std::future<JobOutcome>>> submitted;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        const bool streamed = (t + i) % 2 == 0;
+        auto result = scheduler->Submit(streamed ? f.spec : cached);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        std::lock_guard<std::mutex> lock(mu);
+        submitted.emplace_back(streamed, std::move(*result));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  vgpu::Device roomy(vgpu::A100Config());
+  const uint64_t pr_fingerprint = FingerprintPayload(
+      core::Run(&roomy, {core::Algo::kPageRank}, *big,
+                std::get<core::PageRankOptions>(f.spec.params))
+          .value());
+  const auto bfs_levels = core::host_ref::BfsLevels(*small, 0);
+
+  int streamed_jobs = 0;
+  for (auto& [streamed, future] : submitted) {
+    JobOutcome outcome = future.get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    if (streamed) {
+      EXPECT_TRUE(outcome.streamed);
+      EXPECT_EQ(FingerprintPayload(outcome.payload), pr_fingerprint);
+      ++streamed_jobs;
+    } else {
+      EXPECT_FALSE(outcome.streamed);
+      EXPECT_EQ(std::get<core::BfsResult>(outcome.payload).levels,
+                bfs_levels);
+    }
+  }
+  EXPECT_EQ(streamed_jobs, kThreads * kJobsPerThread / 2);
+  prof::ServerStats stats = scheduler->Snapshot();
+  EXPECT_EQ(stats.jobs_completed,
+            static_cast<uint64_t>(kThreads * kJobsPerThread));
+}
+
+// ------------------------------------------- incremental serving (§2.12)
+
+TEST(SchedulerTest, WarmStartRunsIncrementallyAndFallbackIsObservable) {
+  auto g = TestGraph(8, 41);
+  auto delta = graph::DeltaGraph::Create(*g).value();
+  std::mutex delta_mutex;
+  core::BfsOptions bfs;
+  bfs.source = 0;
+
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  // Full run on the v0 snapshot seeds the warm-start payload.
+  auto snap0 = std::make_shared<const CsrGraph>(delta.Materialize().value());
+  JobOutcome base =
+      scheduler->Submit({.graph = snap0, .params = bfs}).value().get();
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  EXPECT_FALSE(base.incremental_requested);
+  auto previous = std::make_shared<const JobPayload>(base.payload);
+  const uint64_t v0 = delta.version();
+
+  // One inserted edge: well under the full-recompute threshold, and BFS
+  // re-expansion handles inserts, so the delta path must actually run.
+  graph::vid_t u = 0;
+  graph::vid_t v = 1;
+  bool inserted = false;
+  for (; u < g->num_vertices() && !inserted; ++u) {
+    for (v = 0; v < g->num_vertices(); ++v) {
+      if (u == v) continue;
+      auto n = g->neighbors(u);
+      if (std::find(n.begin(), n.end(), v) != n.end()) continue;
+      inserted = delta.AddEdge(u, v).value();
+      break;
+    }
+  }
+  ASSERT_TRUE(inserted);
+
+  auto snap1 = std::make_shared<const CsrGraph>(delta.Materialize().value());
+  JobSpec warm{.graph = snap1, .params = bfs};
+  warm.warm_start = previous;
+  warm.previous_version = v0;
+  warm.delta = &delta;
+  warm.delta_mutex = &delta_mutex;
+  JobOutcome incremental = scheduler->Submit(warm).value().get();
+  ASSERT_TRUE(incremental.status.ok()) << incremental.status.ToString();
+  EXPECT_TRUE(incremental.incremental_requested);
+  EXPECT_TRUE(incremental.incremental) << incremental.fallback_reason;
+  EXPECT_TRUE(incremental.fallback_reason.empty())
+      << incremental.fallback_reason;
+  EXPECT_EQ(incremental.result_version, delta.version());
+
+  // The incremental fixpoint agrees with a cold full recompute.
+  vgpu::Device direct(vgpu::A100Config());
+  auto full = core::RunBfs(&direct, *snap1, bfs).value();
+  EXPECT_EQ(std::get<core::BfsResult>(incremental.payload).levels,
+            full.levels);
+  EXPECT_EQ(CounterTotal(scheduler->metrics_registry(),
+                         "adgraph_incremental_fallbacks_total"),
+            0.0);
+
+  // A deletion forces the fall back to full recompute — and unlike the old
+  // silent path, the outcome says so and the counter moves.
+  auto live = snap1->neighbors(0);
+  ASSERT_FALSE(live.empty());
+  ASSERT_TRUE(delta.RemoveEdge(0, live[0]).value());
+  auto previous2 = std::make_shared<const JobPayload>(incremental.payload);
+  const uint64_t v1 = incremental.result_version;
+  auto snap2 = std::make_shared<const CsrGraph>(delta.Materialize().value());
+  JobSpec fell{.graph = snap2, .params = bfs};
+  fell.warm_start = previous2;
+  fell.previous_version = v1;
+  fell.delta = &delta;
+  fell.delta_mutex = &delta_mutex;
+  JobOutcome fallback = scheduler->Submit(fell).value().get();
+  ASSERT_TRUE(fallback.status.ok()) << fallback.status.ToString();
+  EXPECT_TRUE(fallback.incremental_requested);
+  EXPECT_FALSE(fallback.incremental);
+  EXPECT_NE(fallback.fallback_reason.find("deletion"), std::string::npos)
+      << fallback.fallback_reason;
+  EXPECT_EQ(fallback.result_version, delta.version());
+  auto full2 = core::RunBfs(&direct, *snap2, bfs).value();
+  EXPECT_EQ(std::get<core::BfsResult>(fallback.payload).levels,
+            full2.levels);
+  EXPECT_EQ(CounterTotal(scheduler->metrics_registry(),
+                         "adgraph_incremental_fallbacks_total"),
+            1.0);
+}
+
+TEST(SchedulerTest, WarmStartValidationRejectsIllFormedSpecs) {
+  auto g = TestGraph(7, 42);
+  auto delta = graph::DeltaGraph::Create(*g).value();
+  std::mutex delta_mutex;
+  auto previous = std::make_shared<const JobPayload>(core::BfsResult{});
+
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  // warm_start without a delta has nothing to recompute against.
+  JobSpec no_delta = BfsJob(g, 0);
+  no_delta.warm_start = previous;
+  EXPECT_TRUE(
+      scheduler->Submit(no_delta).status().IsInvalidArgument());
+
+  // The payload must come from the same algorithm as the job.
+  JobSpec wrong_algo{.graph = g, .params = core::PageRankOptions{}};
+  wrong_algo.warm_start = previous;
+  wrong_algo.delta = &delta;
+  wrong_algo.delta_mutex = &delta_mutex;
+  EXPECT_TRUE(
+      scheduler->Submit(wrong_algo).status().IsInvalidArgument());
+
+  // Warm starts do not compose with gang execution.
+  core::BfsOptions bfs;
+  bfs.direction_optimizing = false;
+  JobSpec gang{.graph = g, .params = bfs};
+  gang.warm_start = previous;
+  gang.delta = &delta;
+  gang.delta_mutex = &delta_mutex;
+  gang.gang_devices = 2;
+  EXPECT_TRUE(scheduler->Submit(gang).status().IsInvalidArgument());
 }
 
 TEST(ServerStatsTest, FormatMentionsDevicesAndLatency) {
