@@ -306,6 +306,73 @@ int Main(int argc, char** argv) {
               "bound: 5%%)\n",
               obs_rendered.str().c_str(), overhead_pct);
 
+  // --- per-job profile attribution overhead (DESIGN.md §2.14) -------------
+  //
+  // Same single-worker repeated-graph batch with per-job kernel attribution
+  // plus the flight recorder off vs. on (both default on in production).
+  // "On" folds every job's kernel window into a JobProfile, feeds the
+  // adgraph_job_* histograms, and retains the K-worst records; all of that
+  // is host-side bookkeeping, so the modeled jobs/s (simulated device
+  // time) must agree within noise — the observability tentpole's 5%
+  // acceptance bound.  Wall jobs/s shows the host cost for reference.
+  std::printf("\nper-job profile attribution overhead: %d BFS jobs, "
+              "single worker\n",
+              cache_job_count);
+  TablePrinter prof_table({"profiles", "wall (ms)", "modeled (ms)",
+                           "modeled jobs/s", "profiled", "match"});
+  double prof_modeled_off = 0;
+  double prof_modeled_on = 0;
+  for (bool enabled : {false, true}) {
+    serve::Scheduler::Options options;
+    options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+    options.queue_capacity = repeat_jobs.size();
+    options.job_profiles = enabled;
+    options.flight_recorder.enabled = enabled;
+    auto scheduler = serve::Scheduler::Create(std::move(options)).value();
+    auto start = Clock::now();
+    std::vector<std::future<serve::JobOutcome>> futures;
+    for (const auto& job : repeat_jobs) {
+      futures.push_back(scheduler->Submit(job).value());
+    }
+    double modeled_total_ms = 0;
+    size_t matched = 0;
+    size_t profiled = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      serve::JobOutcome outcome = futures[i].get();
+      modeled_total_ms += outcome.modeled_ms + outcome.modeled_transfer_ms;
+      if (outcome.job_profile.num_kernels > 0) ++profiled;
+      if (outcome.status.ok() &&
+          serve::FingerprintPayload(outcome.payload) == repeat_fp[i]) {
+        ++matched;
+      }
+    }
+    scheduler->Drain();
+    double wall_ms = MsSince(start);
+    double jobs_per_sec = 1e3 * repeat_jobs.size() / modeled_total_ms;
+    (enabled ? prof_modeled_on : prof_modeled_off) = jobs_per_sec;
+    prof_table.AddRow({enabled ? "on" : "off", FormatFixed(wall_ms, 1),
+                       FormatFixed(modeled_total_ms, 2),
+                       FormatFixed(jobs_per_sec, 1),
+                       std::to_string(profiled) + "/" +
+                           std::to_string(futures.size()),
+                       std::to_string(matched) + "/" +
+                           std::to_string(futures.size())});
+  }
+  std::ostringstream prof_rendered;
+  prof_table.Print(prof_rendered);
+  double prof_overhead_pct =
+      prof_modeled_off > 0
+          ? 100.0 * (prof_modeled_off - prof_modeled_on) / prof_modeled_off
+          : 0;
+  std::printf("%sprofile overhead on modeled jobs/s: %.2f%% (acceptance "
+              "bound: 5%%)\n",
+              prof_rendered.str().c_str(), prof_overhead_pct);
+  if (prof_overhead_pct > 5.0) {
+    std::printf("FAIL: profile attribution overhead exceeds the 5%% "
+                "acceptance bound\n");
+    return 1;
+  }
+
   // --- TCP front door (DESIGN.md §2.10) -----------------------------------
   //
   // A high-frequency mixed-tenant workload replayed two ways: straight into

@@ -7,6 +7,7 @@
 #include "core/api.h"
 #include "graph/csr.h"
 #include "graph/delta.h"
+#include "prof/metrics.h"
 #include "trace/trace.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
@@ -21,6 +22,10 @@ struct adgraphContext {
   /// Non-empty while this handle holds the global trace window open; the
   /// JSON is flushed at adgraphDestroy if the caller never closed it.
   std::string trace_path;
+  /// Kernel-log position when the most recent algorithm call started; the
+  /// window [last_run_start, log.size()) is what adgraphGetJobProfile
+  /// attributes (v2.4).
+  size_t last_run_start = 0;
 };
 
 struct adgraphGraphDescrStruct {
@@ -107,6 +112,13 @@ adgraphStatus_t NoStructure(adgraphHandle_t handle, const char* op) {
               std::string(op) +
                   ": graph descriptor has no structure "
                   "(call adgraphSetGraphStructure first)");
+}
+
+/// Opens the attribution window of adgraphGetJobProfile: every algorithm
+/// entry point calls this once its arguments validate, so the window covers
+/// exactly the launches of the most recent run.
+void BeginRun(adgraphHandle_t handle) {
+  handle->last_run_start = handle->device->kernel_log().size();
 }
 
 }  // namespace
@@ -357,6 +369,7 @@ adgraphStatus_t adgraphTraversalBfs(adgraphHandle_t handle,
                     " >= num_vertices " +
                     std::to_string(descr->graph.num_vertices()));
   }
+  BeginRun(handle);
   adgraph::core::BfsOptions options;
   options.source = source;
   options.assume_symmetric = assume_symmetric != 0;
@@ -378,6 +391,7 @@ adgraphStatus_t adgraphTriangleCount(adgraphHandle_t handle,
     return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
                 "adgraphTriangleCount: triangles_out is NULL");
   }
+  BeginRun(handle);
   auto result = adgraph::core::Run(
       handle->device.get(), {adgraph::core::Algo::kTriangleCount},
       descr->graph, adgraph::core::Params(adgraph::core::TcOptions{}));
@@ -395,6 +409,7 @@ adgraphStatus_t adgraphPagerank(adgraphHandle_t handle,
     return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
                 "adgraphPagerank: ranks_out is NULL");
   }
+  BeginRun(handle);
   adgraph::core::PageRankOptions options;
   options.alpha = alpha;
   options.max_iterations = max_iterations;
@@ -421,6 +436,7 @@ adgraphStatus_t adgraphSssp(adgraphHandle_t handle, adgraphGraphDescr_t descr,
                     " >= num_vertices " +
                     std::to_string(descr->graph.num_vertices()));
   }
+  BeginRun(handle);
   adgraph::core::SsspOptions options;
   options.source = source;
   auto result = adgraph::core::Run(
@@ -447,6 +463,7 @@ adgraphStatus_t adgraphWidestPath(adgraphHandle_t handle,
                     " >= num_vertices " +
                     std::to_string(descr->graph.num_vertices()));
   }
+  BeginRun(handle);
   adgraph::core::WidestPathOptions options;
   options.source = source;
   auto result = adgraph::core::Run(
@@ -477,6 +494,7 @@ adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
                 "adgraphExtractSubgraphByVertex: extraction requires edge "
                 "weights (call adgraphSetEdgeWeights first)");
   }
+  BeginRun(handle);
   adgraph::core::EsbvOptions options;
   options.vertices.assign(vertices, vertices + num_vertices);
   auto result = adgraph::core::Run(
@@ -487,6 +505,39 @@ adgraphStatus_t adgraphExtractSubgraphByVertex(adgraphHandle_t handle,
       std::move(std::get<adgraph::core::EsbvResult>(*result).subgraph);
   subgraph->has_structure = true;
   subgraph->delta.reset();
+  return Succeed(handle);
+}
+
+adgraphStatus_t adgraphGetJobProfile(adgraphHandle_t handle,
+                                     adgraphJobProfile_t* profile_out) {
+  if (!Ready(handle)) return ADGRAPH_STATUS_NOT_INITIALIZED;
+  if (profile_out == nullptr) {
+    return Fail(handle, ADGRAPH_STATUS_INVALID_VALUE,
+                "adgraphGetJobProfile: profile_out is NULL");
+  }
+  const auto& log = handle->device->kernel_log();
+  size_t start = handle->last_run_start;
+  if (start > log.size()) start = log.size();  // log was reset since the run
+  adgraph::prof::AlgoProfile merged;
+  for (size_t i = start; i < log.size(); ++i) merged.Add(log[i]);
+  adgraph::prof::JobProfile profile =
+      adgraph::prof::BuildJobProfile(merged, log, start);
+  adgraphJobProfile_t out{};
+  out.num_kernels = profile.num_kernels;
+  out.total_ms = profile.total_ms;
+  out.total_cycles = profile.total_cycles;
+  out.warp_inst_issued = profile.warp_inst_issued;
+  out.branches = profile.branches;
+  out.divergent_branches = profile.divergent_branches;
+  out.dram_bytes = profile.dram_bytes;
+  out.divergent_branch_ratio = profile.divergent_branch_ratio;
+  out.gld_efficiency = profile.gld_efficiency;
+  out.gst_efficiency = profile.gst_efficiency;
+  out.l1_hit_rate = profile.l1_hit_rate;
+  out.l2_hit_rate = profile.l2_hit_rate;
+  out.achieved_occupancy = profile.achieved_occupancy;
+  out.exposed_latency_cycles = profile.exposed_latency_cycles;
+  *profile_out = out;
   return Succeed(handle);
 }
 

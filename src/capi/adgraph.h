@@ -42,7 +42,7 @@
 /// Library version, bumped with the v2 error-surface redesign.  Additions
 /// bump MINOR; existing symbols and enum values stay stable within MAJOR 2.
 #define ADGRAPH_VERSION_MAJOR 2
-#define ADGRAPH_VERSION_MINOR 3
+#define ADGRAPH_VERSION_MINOR 4
 #define ADGRAPH_VERSION_PATCH 0
 
 #ifdef __cplusplus
@@ -199,6 +199,34 @@ adgraphStatus_t adgraphApplyEdgeUpdates(adgraphHandle_t handle,
                                         const adgraphEdgeUpdate_t* updates,
                                         size_t num_updates,
                                         uint64_t* version_out);
+
+/// Per-run kernel attribution (v2.4): the counters and Table 6–style
+/// derived ratios of the kernel launches made by the most recent algorithm
+/// call on this handle — the C-surface view of the serving layer's
+/// per-job "profile" object (DESIGN.md §2.14).
+typedef struct {
+  uint64_t num_kernels;           /**< launches in the last run's window */
+  double total_ms;                /**< modeled device time of the window */
+  double total_cycles;
+  uint64_t warp_inst_issued;
+  uint64_t branches;
+  uint64_t divergent_branches;
+  uint64_t dram_bytes;            /**< modeled DRAM read+write traffic */
+  double divergent_branch_ratio;  /**< divergent / executed branches */
+  double gld_efficiency;          /**< requested / transferred load bytes */
+  double gst_efficiency;          /**< requested / transferred store bytes */
+  double l1_hit_rate;
+  double l2_hit_rate;
+  double achieved_occupancy;      /**< time-weighted, [0,1] */
+  double exposed_latency_cycles;  /**< unhidden memory latency */
+} adgraphJobProfile_t;
+
+/// Fills `profile_out` with the attribution of the most recent algorithm
+/// call on this handle (v2.4).  Before any algorithm ran — or after a
+/// failed call that launched nothing — the window is empty and every
+/// field is zero except the efficiency ratios, which default to 1.
+adgraphStatus_t adgraphGetJobProfile(adgraphHandle_t handle,
+                                     adgraphJobProfile_t* profile_out);
 
 /// Reads back a descriptor's shape (any pointer may be NULL).
 adgraphStatus_t adgraphGetGraphStructure(adgraphHandle_t handle,

@@ -296,6 +296,9 @@ Result<core::PageRankResult> RunPageRankDelta(
     ADGRAPH_ASSIGN_OR_RETURN(
         result.l1_delta,
         core::primitives::GetElement<double>(device, scalars.ptr(), 1));
+    // Convergence trajectory on the span tree: an inspected warm-start job
+    // shows how close the previous ranks already were.
+    sweep.ArgNum("l1_delta", result.l1_delta);
 
     std::swap(ranks, next);
     result.iterations = iter + 1;

@@ -188,4 +188,22 @@ Result<Json> Client::Mutate(const std::string& graph, Json updates,
   return response;
 }
 
+Result<Json> Client::Inspect(uint64_t wire_job_id,
+                             const std::string& trace_id_hex,
+                             double timeout_ms) {
+  Json request = Json::MakeObject();
+  request.Set("op", "INSPECT");
+  if (wire_job_id != 0) {
+    request.Set("job", wire_job_id);
+  } else if (!trace_id_hex.empty()) {
+    request.Set("trace_id", trace_id_hex);
+  }
+  ADGRAPH_ASSIGN_OR_RETURN(Json response, Call(request, timeout_ms));
+  if (!response.GetBool("ok", false)) {
+    return Status::NotFound("INSPECT failed: " +
+                            response.GetString("error", "(no error field)"));
+  }
+  return response;
+}
+
 }  // namespace adgraph::net

@@ -61,6 +61,14 @@ class Client {
   Result<Json> Mutate(const std::string& graph, Json updates,
                       bool compact = false, double timeout_ms = 5000);
 
+  /// INSPECT round trip against the pool's flight recorder (DESIGN.md
+  /// §2.14).  With `wire_job_id` != 0 or a non-empty `trace_id_hex`,
+  /// fetches that job's full record (span tree + profile) under "record";
+  /// with neither, lists every retained record under "records".
+  Result<Json> Inspect(uint64_t wire_job_id = 0,
+                       const std::string& trace_id_hex = "",
+                       double timeout_ms = 5000);
+
  private:
   int fd_ = -1;
   std::string inbuf_;

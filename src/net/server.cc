@@ -465,6 +465,8 @@ Json Server::HandleRequest(Connection* conn, const std::string& line) {
     response = HandleMutate(conn, request);
   } else if (op == "STATS") {
     response = HandleStats(conn, request);
+  } else if (op == "INSPECT") {
+    response = HandleInspect(conn, request);
   } else {
     protocol_errors_.fetch_add(1);
     metric_protocol_errors_->Increment();
@@ -592,6 +594,25 @@ Json Server::HandleSubmit(Connection* conn, const Json& request) {
   const size_t algo_index = spec.params.index();
   const uint64_t estimate = serve::EstimateJobDeviceBytes(spec);
 
+  // Trace-context propagation (DESIGN.md §2.14).  The wire job id is
+  // minted *before* Submit — it used to be minted after, so the id on the
+  // wire could never be correlated with the spans the scheduler had
+  // already emitted for the job.  A client-supplied "trace_id" (hex) is
+  // adopted; otherwise the server is the outermost layer and mints one.
+  const uint64_t job_id = conn->next_job_id++;
+  uint64_t trace_id = trace::ParseTraceIdHex(request.GetString("trace_id", ""));
+  if (trace_id == 0) trace_id = trace::MintTraceId();
+  spec.trace_id = trace_id;
+  spec.wire_job_id = job_id;
+  if (scheduler_->flight_recorder()->enabled()) {
+    spec.capture = std::make_shared<trace::SpanCapture>();
+  }
+  // Installed for the rest of this handler: the admit span below is
+  // stamped with the job's identity and lands in its capture, putting the
+  // wire layer at the head of the span tree INSPECT returns.
+  trace::ScopedTraceContext trace_scope(
+      trace::TraceContext{trace_id, job_id, 0, spec.capture});
+
   trace::Span admit_span(conn->trace_track, "admit", "net");
   admit_span.ArgNum("estimated_bytes", estimate);
   if (conn->quotas_enforced) {
@@ -612,7 +633,6 @@ Json Server::HandleSubmit(Connection* conn, const Json& request) {
     submits_rejected_scheduler_.fetch_add(1);
     return ErrorResponse(submitted.status());
   }
-  const uint64_t job_id = conn->next_job_id++;
   PendingJob pending;
   pending.future = std::move(*submitted);
   pending.charged = conn->quotas_enforced;
@@ -629,6 +649,7 @@ Json Server::HandleSubmit(Connection* conn, const Json& request) {
   Json response = Json::MakeObject();
   response.Set("ok", true);
   response.Set("job", job_id);
+  response.Set("trace_id", trace::TraceIdHex(trace_id));
   response.Set("estimated_bytes", estimate);
   std::string tag = request.GetString("tag", "");
   if (!tag.empty()) response.Set("tag", tag);
@@ -899,6 +920,56 @@ Json Server::HandleStats(Connection* conn, const Json& request) {
   response.Set("jobs", std::move(jobs));
   response.Set("server", std::move(server));
   response.Set("tenants", std::move(tenants));
+  return response;
+}
+
+Json Server::HandleInspect(Connection* conn, const Json& request) {
+  (void)conn;
+  const serve::FlightRecorder* recorder = scheduler_->flight_recorder();
+  if (!recorder->enabled()) {
+    return ErrorResponse("unavailable",
+                         "the flight recorder is disabled on this pool");
+  }
+  // Lookup forms (any one of): "job" = the SUBMIT-returned wire id,
+  // "sched_job_id" = the scheduler's id, "trace_id" = the hex trace id.
+  // With none of them, list every retained record (without span trees —
+  // a follow-up INSPECT with an id fetches one tree).
+  const uint64_t wire_id = static_cast<uint64_t>(request.GetNumber("job", 0));
+  const uint64_t sched_id =
+      static_cast<uint64_t>(request.GetNumber("sched_job_id", 0));
+  const std::string trace_hex = request.GetString("trace_id", "");
+  if (wire_id == 0 && sched_id == 0 && trace_hex.empty()) {
+    Json records = Json::MakeArray();
+    for (const auto& record : recorder->Records()) {
+      records.PushBack(JobRecordToJson(*record, /*with_spans=*/false));
+    }
+    Json response = Json::MakeObject();
+    response.Set("ok", true);
+    response.Set("records", std::move(records));
+    return response;
+  }
+  std::shared_ptr<const serve::FlightRecorder::JobRecord> record;
+  if (wire_id != 0) {
+    record = recorder->FindByWireId(wire_id);
+  } else if (sched_id != 0) {
+    record = recorder->FindBySchedId(sched_id);
+  } else {
+    const uint64_t trace_id = trace::ParseTraceIdHex(trace_hex);
+    if (trace_id == 0) {
+      return ErrorResponse("invalid_argument",
+                           "malformed trace_id '" + trace_hex + "'");
+    }
+    record = recorder->FindByTraceId(trace_id);
+  }
+  if (record == nullptr) {
+    return ErrorResponse(
+        "not_found",
+        "no retained flight record for that id (not among the worst, or "
+        "already evicted)");
+  }
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("record", JobRecordToJson(*record, /*with_spans=*/true));
   return response;
 }
 

@@ -195,6 +195,7 @@ class Server {
   Json HandleCancel(Connection* conn, const Json& request);
   Json HandleMutate(Connection* conn, const Json& request);
   Json HandleStats(Connection* conn, const Json& request);
+  Json HandleInspect(Connection* conn, const Json& request);
 
   /// Checks a pending job's future without blocking; moves the outcome in
   /// and releases the quota charge once, the first time it is ready.

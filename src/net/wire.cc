@@ -160,6 +160,13 @@ Json OutcomeToJson(const serve::JobOutcome& outcome) {
   response.Set("device", outcome.device_name);
   response.Set("queue_ms", outcome.queue_wall_ms);
   response.Set("exec_ms", outcome.exec_wall_ms);
+  // Trace identity (DESIGN.md §2.14): the propagated end-to-end id plus
+  // the scheduler's job id, so a caller holding either can INSPECT.  The
+  // wire job id ("job") is stamped by the POLL handler, which owns it.
+  if (outcome.trace_id != 0) {
+    response.Set("trace_id", trace::TraceIdHex(outcome.trace_id));
+  }
+  response.Set("sched_job_id", outcome.job_id);
   if (outcome.status.ok()) {
     response.Set("algo",
                  std::string(serve::AlgorithmName(static_cast<serve::Algorithm>(
@@ -181,6 +188,9 @@ Json OutcomeToJson(const serve::JobOutcome& outcome) {
       response.Set("ooc_staged_bytes", outcome.ooc_staged_bytes);
       response.Set("ooc_overlap_speedup", outcome.ooc_overlap_speedup);
     }
+    if (outcome.job_profile.num_kernels > 0) {
+      response.Set("profile", JobProfileToJson(outcome.job_profile));
+    }
   }
   if (outcome.incremental_requested) {
     // Incremental recompute (submit field "incremental": true): whether
@@ -193,6 +203,91 @@ Json OutcomeToJson(const serve::JobOutcome& outcome) {
     response.Set("version", outcome.result_version);
   }
   return response;
+}
+
+Json JobProfileToJson(const prof::JobProfile& profile) {
+  Json p = Json::MakeObject();
+  p.Set("num_kernels", profile.num_kernels);
+  p.Set("total_ms", profile.total_ms);
+  p.Set("total_cycles", profile.total_cycles);
+  p.Set("warp_inst_issued", profile.warp_inst_issued);
+  p.Set("branches", profile.branches);
+  p.Set("divergent_branches", profile.divergent_branches);
+  p.Set("dram_bytes", profile.dram_bytes);
+  p.Set("divergent_branch_ratio", profile.divergent_branch_ratio);
+  p.Set("gld_efficiency", profile.gld_efficiency);
+  p.Set("gst_efficiency", profile.gst_efficiency);
+  p.Set("l1_hit_rate", profile.l1_hit_rate);
+  p.Set("l2_hit_rate", profile.l2_hit_rate);
+  p.Set("achieved_occupancy", profile.achieved_occupancy);
+  p.Set("exposed_latency_cycles", profile.exposed_latency_cycles);
+  Json top = Json::MakeArray();
+  for (const prof::JobKernelEntry& entry : profile.top_kernels) {
+    Json row = Json::MakeObject();
+    row.Set("kernel", entry.kernel_name);
+    row.Set("launches", entry.launches);
+    row.Set("cycles", entry.cycles);
+    row.Set("time_ms", entry.time_ms);
+    top.PushBack(std::move(row));
+  }
+  p.Set("top_kernels", std::move(top));
+  return p;
+}
+
+Json TraceEventToJson(const trace::TraceEvent& event) {
+  Json e = Json::MakeObject();
+  e.Set("name", event.name);
+  e.Set("cat", event.category);
+  e.Set("track", event.track);
+  e.Set("ts_us", event.ts_us);
+  e.Set("dur_us", event.dur_us);
+  e.Set("ph", std::string(1, event.phase));
+  if (!event.args.empty()) {
+    Json args = Json::MakeObject();
+    for (const trace::TraceArg& arg : event.args) {
+      if (arg.is_number) {
+        char* end = nullptr;
+        args.Set(arg.key, std::strtod(arg.value.c_str(), &end));
+      } else {
+        args.Set(arg.key, arg.value);
+      }
+    }
+    e.Set("args", std::move(args));
+  }
+  return e;
+}
+
+Json JobRecordToJson(const serve::FlightRecorder::JobRecord& record,
+                     bool with_spans) {
+  Json r = Json::MakeObject();
+  r.Set("trace_id", trace::TraceIdHex(record.trace_id));
+  if (record.wire_job_id != 0) r.Set("job", record.wire_job_id);
+  r.Set("sched_job_id", record.sched_job_id);
+  if (!record.tag.empty()) r.Set("tag", record.tag);
+  r.Set("tenant", record.tenant.empty() ? "-" : record.tenant);
+  r.Set("algo", record.algorithm);
+  r.Set("device", record.device);
+  r.Set("status", std::string(WireStatusName(record.status.code())));
+  if (!record.status.ok()) r.Set("error", record.status.message());
+  r.Set("queue_ms", record.queue_wall_ms);
+  r.Set("exec_ms", record.exec_wall_ms);
+  r.Set("wall_ms", record.wall_ms());
+  r.Set("modeled_ms", record.modeled_ms);
+  Json triggers = Json::MakeArray();
+  for (const std::string& trigger : record.triggers) triggers.PushBack(trigger);
+  r.Set("triggers", std::move(triggers));
+  if (record.profile.num_kernels > 0) {
+    r.Set("profile", JobProfileToJson(record.profile));
+  }
+  if (with_spans) {
+    Json spans = Json::MakeArray();
+    for (const trace::TraceEvent& event : record.spans) {
+      spans.PushBack(TraceEventToJson(event));
+    }
+    r.Set("spans", std::move(spans));
+    r.Set("spans_dropped", record.spans_dropped);
+  }
+  return r;
 }
 
 Json ErrorResponse(const Status& status) {

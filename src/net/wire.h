@@ -17,7 +17,10 @@
 
 #include "graph/csr.h"
 #include "net/json.h"
+#include "prof/metrics.h"
+#include "serve/flight_recorder.h"
 #include "serve/job.h"
+#include "trace/trace.h"
 #include "util/status.h"
 
 namespace adgraph::net {
@@ -52,8 +55,25 @@ Result<serve::JobParams> JobParamsFromJson(serve::Algorithm algo,
                                            graph::vid_t num_vertices);
 
 /// Serializes a finished job outcome into the POLL done-response fields
-/// (status/code, device, modeled/queue/exec timings, fingerprint, ...).
+/// (status/code, device, modeled/queue/exec timings, fingerprint, ...),
+/// including the job's trace identity ("trace_id"/"sched_job_id", §2.14)
+/// and — when per-job profiling ran — the "profile" object.
 Json OutcomeToJson(const serve::JobOutcome& outcome);
+
+/// The "profile" object of a POLL/INSPECT response: the JobProfile's raw
+/// counts, Table 6–style derived ratios, and the top-kernels array.
+Json JobProfileToJson(const prof::JobProfile& profile);
+
+/// One span as an INSPECT response array element: name, cat, track (id and
+/// registered name), ts/dur microseconds, phase, and the args object
+/// (numeric args as numbers).
+Json TraceEventToJson(const trace::TraceEvent& event);
+
+/// One flight-recorder record: identity (trace_id hex, wire/sched job
+/// ids), classification, timings, the "profile" object and — when
+/// `with_spans` — the captured span tree under "spans".
+Json JobRecordToJson(const serve::FlightRecorder::JobRecord& record,
+                     bool with_spans);
 
 /// Builds the uniform error response: {"ok":false,"code":...,"error":...}.
 Json ErrorResponse(const Status& status);

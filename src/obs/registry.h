@@ -78,6 +78,18 @@ struct HistogramOptions {
   size_t num_buckets = 26;     ///< finite buckets (excludes +Inf)
 };
 
+/// Bucket layout for [0,1]-valued ratio observations (divergence,
+/// efficiency, hit-rate, occupancy — the adgraph_job_* series): 1/64 to 1
+/// in doubling buckets, fine enough to tell a divergence-bound kernel mix
+/// from a coalesced one at a glance.
+inline HistogramOptions RatioBuckets() {
+  HistogramOptions options;
+  options.first_bound = 1.0 / 64;
+  options.growth = 2.0;
+  options.num_buckets = 7;
+  return options;
+}
+
 /// Point-in-time copy of a histogram's state.  Also the merge unit: two
 /// snapshots with identical bounds (e.g. per-worker latency histograms)
 /// add together into a pool-wide distribution.

@@ -289,6 +289,7 @@ Result<core::BfsResult> RunStreamedBfs(vgpu::Device* device,
       return Status::OK();
     }));
     result.top_down_iterations += 1;
+    sweep.ArgNum("produced", static_cast<uint64_t>(produced));
     if (produced == 0) break;
     result.depth = level;
     level += 1;
@@ -299,7 +300,14 @@ Result<core::BfsResult> RunStreamedBfs(vgpu::Device* device,
   for (uint32_t lvl : result.levels) {
     if (lvl != core::kUnreachedLevel) result.vertices_visited += 1;
   }
-  pipe.FillStats(stats);
+  // Staging summary on the root span, so an inspected streamed job shows
+  // its transfer burden without a separate stats query.
+  StreamedStats span_stats;
+  pipe.FillStats(&span_stats);
+  algo_span.ArgNum("shards_staged",
+                   static_cast<uint64_t>(span_stats.shards_staged));
+  algo_span.ArgNum("staged_bytes", span_stats.staged_bytes);
+  if (stats != nullptr) *stats = span_stats;
   return result;
 }
 
@@ -412,7 +420,12 @@ Result<core::PageRankResult> RunStreamedPageRank(
 
   result.time_ms = timer.ElapsedMs();
   ADGRAPH_ASSIGN_OR_RETURN(result.ranks, ranks.ToHost());
-  pipe.FillStats(stats);
+  StreamedStats span_stats;
+  pipe.FillStats(&span_stats);
+  algo_span.ArgNum("shards_staged",
+                   static_cast<uint64_t>(span_stats.shards_staged));
+  algo_span.ArgNum("staged_bytes", span_stats.staged_bytes);
+  if (stats != nullptr) *stats = span_stats;
   return result;
 }
 

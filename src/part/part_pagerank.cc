@@ -267,6 +267,7 @@ Result<PartPageRankResult> RunPartitionedPageRank(
     result.time_ms += round_compute + exchange.modeled_ms;
 
     result.l1_delta = l1_delta;
+    sweep.ArgNum("l1_delta", l1_delta);
     result.iterations = iter + 1;
     if (options.tolerance > 0 && result.l1_delta < options.tolerance) break;
   }

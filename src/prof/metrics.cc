@@ -19,6 +19,55 @@ void AlgoProfile::Add(const vgpu::KernelStats& stats) {
   occupancy_weighted += stats.achieved_occupancy * stats.cycles;
 }
 
+JobProfile BuildJobProfile(const AlgoProfile& profile,
+                           const std::vector<vgpu::KernelStats>& kernel_log,
+                           size_t start_index, size_t top_n) {
+  JobProfile job;
+  job.num_kernels = profile.num_kernels;
+  job.total_ms = profile.total_ms;
+  job.total_cycles = profile.total_cycles;
+  const vgpu::KernelCounters& c = profile.counters;
+  job.warp_inst_issued = c.warp_inst_issued;
+  job.branches = c.branches;
+  job.divergent_branches = c.divergent_branches;
+  job.dram_bytes = c.dram_read_bytes + c.dram_write_bytes;
+  job.divergent_branch_ratio = c.divergent_branch_ratio();
+  job.gld_efficiency = c.gld_efficiency();
+  job.gst_efficiency = c.gst_efficiency();
+  job.l1_hit_rate = c.l1_hit_rate();
+  job.l2_hit_rate = c.l2_hit_rate();
+  job.achieved_occupancy = profile.achieved_occupancy();
+  job.exposed_latency_cycles = profile.exposed_cycles;
+
+  // Fold the window's launches by kernel name (first-seen order), then
+  // rank by cycles for the top-N table.
+  std::vector<JobKernelEntry> folded;
+  for (size_t i = start_index; i < kernel_log.size(); ++i) {
+    const vgpu::KernelStats& stats = kernel_log[i];
+    JobKernelEntry* entry = nullptr;
+    for (JobKernelEntry& existing : folded) {
+      if (existing.kernel_name == stats.kernel_name) {
+        entry = &existing;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      folded.push_back(JobKernelEntry{stats.kernel_name, 0, 0, 0});
+      entry = &folded.back();
+    }
+    entry->launches += 1;
+    entry->cycles += stats.cycles;
+    entry->time_ms += stats.time_ms;
+  }
+  std::stable_sort(folded.begin(), folded.end(),
+                   [](const JobKernelEntry& a, const JobKernelEntry& b) {
+                     return a.cycles > b.cycles;
+                   });
+  if (folded.size() > top_n) folded.resize(top_n);
+  job.top_kernels = std::move(folded);
+  return job;
+}
+
 FineGrainedCounts ComputeFineGrained(const AlgoProfile& profile,
                                      rt::Platform platform) {
   const vgpu::KernelCounters& c = profile.counters;

@@ -32,6 +32,50 @@ struct AlgoProfile {
   }
 };
 
+/// One row of a JobProfile's per-kernel breakdown: all launches of one
+/// kernel name inside the job's window, folded.
+struct JobKernelEntry {
+  std::string kernel_name;
+  uint64_t launches = 0;
+  double cycles = 0;
+  double time_ms = 0;
+};
+
+/// \brief Compact per-job architectural attribution (DESIGN.md §2.14):
+/// the Table 6–style derived ratios of one job's kernel window, plus the
+/// top-N kernels by cycles.  Carried on serve::JobOutcome, serialized in
+/// POLL under "profile", rolled into the adgraph_job_* histograms, and
+/// retained by the flight recorder.  Every ratio is derivable from the
+/// merged vgpu::KernelCounters, so wire consumers and in-process callers
+/// agree by construction.
+struct JobProfile {
+  uint64_t num_kernels = 0;
+  double total_ms = 0;
+  double total_cycles = 0;
+  // Raw counts the ratios derive from (kept for cross-checking).
+  uint64_t warp_inst_issued = 0;
+  uint64_t branches = 0;
+  uint64_t divergent_branches = 0;
+  uint64_t dram_bytes = 0;
+  // Table 6–style derived ratios.
+  double divergent_branch_ratio = 0;  ///< divergent_branches / branches
+  double gld_efficiency = 1;          ///< requested / transferred load bytes
+  double gst_efficiency = 1;          ///< requested / transferred store bytes
+  double l1_hit_rate = 0;
+  double l2_hit_rate = 0;
+  double achieved_occupancy = 0;      ///< time-weighted
+  double exposed_latency_cycles = 0;  ///< unhidden memory latency
+  std::vector<JobKernelEntry> top_kernels;  ///< by cycles, descending
+};
+
+/// Builds the per-job attribution from a Session window: `profile` is the
+/// window's merged AlgoProfile, `kernel_log` the device's full launch log,
+/// `start_index` the window start (Session::start_index()).  The top-N
+/// table folds launches by kernel name before ranking.
+JobProfile BuildJobProfile(const AlgoProfile& profile,
+                           const std::vector<vgpu::KernelStats>& kernel_log,
+                           size_t start_index, size_t top_n = 5);
+
 /// The four fine-grained metric rows of paper Table 6 ("Type 1..4").
 /// Values are instruction counts; the Table 6 bench divides by runtime to
 /// print rates, as the paper does.

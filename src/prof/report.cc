@@ -198,9 +198,19 @@ std::string FormatServerStats(const ServerStats& stats) {
 
 std::string FormatTraceSummary(
     const std::vector<trace::TraceEvent>& events) {
+  return FormatTraceSummary(events, /*dropped_spans=*/0);
+}
+
+std::string FormatTraceSummary(const std::vector<trace::TraceEvent>& events,
+                               uint64_t dropped_spans) {
   std::ostringstream out;
   if (events.empty()) {
     out << "Trace summary: no spans recorded\n";
+    if (dropped_spans > 0) {
+      out << "WARNING: " << dropped_spans
+          << " spans were dropped from the trace ring — the summary is "
+             "incomplete (see adgraph_trace_dropped_spans_total)\n";
+    }
     return out.str();
   }
 
@@ -268,6 +278,63 @@ std::string FormatTraceSummary(
                 FormatFixed(ranked[i].p99_us / 1000.0, 3)});
   }
   top.Print(out);
+  if (dropped_spans > 0) {
+    out << "WARNING: " << dropped_spans
+        << " spans were dropped from the trace ring — the summary is "
+           "incomplete (see adgraph_trace_dropped_spans_total)\n";
+  }
+  return out.str();
+}
+
+std::string FormatJobProfile(const JobProfile& profile) {
+  std::ostringstream out;
+  out << "Job profile: " << profile.num_kernels << " kernels, modeled "
+      << FormatFixed(profile.total_ms, 4) << " ms, "
+      << FormatWithCommas(static_cast<uint64_t>(profile.total_cycles))
+      << " cycles\n";
+  TablePrinter metrics_table({"metric", "value"});
+  metrics_table.AddRow(
+      {"divergent_branch_ratio",
+       FormatFixed(100 * profile.divergent_branch_ratio, 1) + "% (" +
+           FormatWithCommas(profile.divergent_branches) + " / " +
+           FormatWithCommas(profile.branches) + " branches)"});
+  metrics_table.AddRow(
+      {"gld_efficiency", FormatFixed(100 * profile.gld_efficiency, 1) + "%"});
+  metrics_table.AddRow(
+      {"gst_efficiency", FormatFixed(100 * profile.gst_efficiency, 1) + "%"});
+  metrics_table.AddRow(
+      {"l1_hit_rate", FormatFixed(100 * profile.l1_hit_rate, 1) + "%"});
+  metrics_table.AddRow(
+      {"l2_hit_rate", FormatFixed(100 * profile.l2_hit_rate, 1) + "%"});
+  metrics_table.AddRow({"achieved_occupancy",
+                        FormatFixed(100 * profile.achieved_occupancy, 1) +
+                            "%"});
+  metrics_table.AddRow(
+      {"exposed_latency_cycles",
+       FormatWithCommas(
+           static_cast<uint64_t>(profile.exposed_latency_cycles))});
+  metrics_table.AddRow(
+      {"warp_inst_issued", FormatWithCommas(profile.warp_inst_issued)});
+  metrics_table.AddRow(
+      {"dram_bytes", FormatWithCommas(profile.dram_bytes)});
+  metrics_table.Print(out);
+  if (!profile.top_kernels.empty()) {
+    out << "Top kernels by cycles:\n";
+    TablePrinter kernels({"kernel", "launches", "cycles", "time (ms)",
+                          "share"});
+    for (const JobKernelEntry& k : profile.top_kernels) {
+      kernels.AddRow(
+          {k.kernel_name, std::to_string(k.launches),
+           FormatWithCommas(static_cast<uint64_t>(k.cycles)),
+           FormatFixed(k.time_ms, 4),
+           FormatFixed(profile.total_cycles > 0
+                           ? 100 * k.cycles / profile.total_cycles
+                           : 0,
+                       1) +
+               "%"});
+    }
+    kernels.Print(out);
+  }
   return out.str();
 }
 

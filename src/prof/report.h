@@ -6,6 +6,7 @@
 
 #include "obs/alerts.h"
 #include "obs/export.h"
+#include "prof/metrics.h"
 #include "prof/server_stats.h"
 #include "trace/trace.h"
 #include "util/status.h"
@@ -39,6 +40,18 @@ std::string FormatServerStats(const ServerStats& stats);
 /// by total duration — a readable answer to "where did the time go"
 /// without loading Perfetto.
 std::string FormatTraceSummary(const std::vector<trace::TraceEvent>& events);
+
+/// Same, plus a trailing WARNING line when `dropped_spans` > 0 — the
+/// human-readable face of `adgraph_trace_dropped_spans_total`: a summary
+/// over a ring that silently overwrote events is not the whole story.
+std::string FormatTraceSummary(const std::vector<trace::TraceEvent>& events,
+                               uint64_t dropped_spans);
+
+/// Table 6–style per-job attribution report (DESIGN.md §2.14): the
+/// JobProfile's derived ratios — divergence, coalescing, cache hit rates,
+/// occupancy, exposed latency — followed by the top-kernels-by-cycles
+/// table.  What `adgraph_cli inspect` prints under a job's span tree.
+std::string FormatJobProfile(const JobProfile& profile);
 
 /// Human-readable tail of a metrics sampling session (DESIGN.md §2.9):
 /// sample/drop counts, the latest batch's headline series (jobs, queue,

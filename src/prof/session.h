@@ -32,6 +32,10 @@ class Session {
     return profile;
   }
 
+  /// First kernel-log index inside this window — the start of the slice
+  /// BuildJobProfile aggregates for per-job attribution.
+  size_t start_index() const { return start_index_; }
+
  private:
   const vgpu::Device* device_;
   size_t start_index_;

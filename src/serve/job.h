@@ -13,6 +13,7 @@
 #include "graph/delta.h"
 #include "part/partition.h"
 #include "prof/metrics.h"
+#include "trace/trace.h"
 #include "util/status.h"
 #include "vgpu/interconnect.h"
 
@@ -104,6 +105,22 @@ struct JobSpec {
   /// so warm-started jobs serialize against concurrent MUTATEs.  May be
   /// null when the caller guarantees no concurrent mutation.
   std::mutex* delta_mutex = nullptr;
+  // --- Trace context (DESIGN.md §2.14) ----------------------------------
+  /// One id per submission, minted at the outermost layer (client/CLI, or
+  /// the net server for requests that did not carry one).  Stamped on
+  /// every span the job emits, echoed on the outcome and the wire.
+  /// 0 = the scheduler mints one at Submit().
+  uint64_t trace_id = 0;
+  /// The id the *front door* handed the caller (the net server's
+  /// per-connection counter).  Distinct from the scheduler's job_id —
+  /// both are stamped on spans so either can be correlated.  0 = none
+  /// (in-process submission).
+  uint64_t wire_job_id = 0;
+  /// When set, every span the job emits (wire, queue, admission, engine
+  /// rounds, kernels) is also appended here — the flight recorder's and
+  /// INSPECT's source of the per-job span tree.  Capturing works even
+  /// when no global trace window is open.
+  std::shared_ptr<trace::SpanCapture> capture;
 
   Algorithm algorithm() const {
     return static_cast<Algorithm>(params.index());
@@ -116,6 +133,11 @@ struct JobSpec {
 /// instead of breaking the pool.
 struct JobOutcome {
   uint64_t job_id = 0;
+  /// Trace context the job ran under (DESIGN.md §2.14): the propagated (or
+  /// scheduler-minted) trace id and the front door's wire job id (0 for
+  /// in-process submissions).  job_id above is the scheduler's id.
+  uint64_t trace_id = 0;
+  uint64_t wire_job_id = 0;
   std::string tag;
   /// OK, or why the job did not produce a payload: kResourceExhausted from
   /// admission control (estimated working set exceeds device RAM) or a
@@ -137,6 +159,11 @@ struct JobOutcome {
   bool cache_hit = false;
   /// Aggregated kernel profile of exactly this job's launches.
   prof::AlgoProfile profile;
+  /// Compact Table 6–style attribution of the same window (derived ratios
+  /// plus top kernels by cycles) — what POLL serializes under "profile"
+  /// and the adgraph_job_* histograms observe.  Populated iff status.ok()
+  /// and the pool's job_profiles option is on (the default).
+  prof::JobProfile job_profile;
   // --- Gang execution (gang_devices > 1 in the spec) --------------------
   uint32_t gang_devices = 1;      ///< devices the job actually ran on
   uint64_t exchange_bytes = 0;    ///< peer bytes moved over the interconnect

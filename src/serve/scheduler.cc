@@ -52,6 +52,7 @@ double MsBetween(std::chrono::steady_clock::time_point a,
 
 Scheduler::Scheduler(Options options) : options_(std::move(options)) {
   started_at_ = Clock::now();
+  flight_recorder_ = std::make_unique<FlightRecorder>(options_.flight_recorder);
 }
 
 Result<std::unique_ptr<Scheduler>> Scheduler::Create(Options options) {
@@ -93,6 +94,11 @@ Result<std::unique_ptr<Scheduler>> Scheduler::Create(Options options) {
         &scheduler->registry_, scheduler->options_.metrics,
         [s] { return s->PollMetrics(); },
         [s](const obs::AlertEvent& event) {
+          // The flight recorder tracks firing rules regardless of tracing:
+          // jobs completing under a firing alert qualify for its "alert"
+          // class even when no trace sink is attached.
+          s->flight_recorder_->NoteAlert(event.state ==
+                                         obs::AlertEvent::State::kFiring);
           if (!trace::Enabled()) return;
           uint64_t track = s->alerts_track_.load(std::memory_order_relaxed);
           if (track == 0) {
@@ -151,6 +157,21 @@ void Scheduler::RegisterMetrics() {
       registry_.GetGauge("adgraph_uptime_ms", "Pool uptime, milliseconds.");
   metric_jobs_per_sec_ = registry_.GetGauge(
       "adgraph_jobs_per_sec", "Completed-job throughput over the lifetime.");
+  // One series per span sink: the global ring, the scheduler's session
+  // collector, and the per-job SpanCaptures.  A nonzero value means a
+  // trace summary / flight record is missing events (DESIGN.md §2.14).
+  metric_trace_dropped_global_ = registry_.GetCounter(
+      "adgraph_trace_dropped_spans_total",
+      "Spans evicted from a trace sink before being read.",
+      {{"track", "global"}});
+  metric_trace_dropped_session_ = registry_.GetCounter(
+      "adgraph_trace_dropped_spans_total",
+      "Spans evicted from a trace sink before being read.",
+      {{"track", "session"}});
+  metric_trace_dropped_capture_ = registry_.GetCounter(
+      "adgraph_trace_dropped_spans_total",
+      "Spans evicted from a trace sink before being read.",
+      {{"track", "capture"}});
   for (size_t i = 0; i < workers_.size(); ++i) {
     Worker& worker = *workers_[i];
     const obs::LabelSet id = {{"worker", std::to_string(i)},
@@ -282,6 +303,14 @@ Result<std::future<JobOutcome>> Scheduler::Submit(JobSpec spec) {
   PendingJob job;
   job.id = next_job_id_++;
   job.spec = std::move(spec);
+  // Trace-context propagation (DESIGN.md §2.14): a submission that arrived
+  // without an id (in-process callers) gets one here — the scheduler is
+  // the outermost layer it ever crossed.  The flight recorder needs each
+  // job's span tree, so give recorder-eligible jobs a capture too.
+  if (job.spec.trace_id == 0) job.spec.trace_id = trace::MintTraceId();
+  if (job.spec.capture == nullptr && options_.flight_recorder.enabled) {
+    job.spec.capture = std::make_shared<trace::SpanCapture>();
+  }
   job.enqueued_at = Clock::now();
   job.tenant = TenantStateLocked(job.spec);
   job.tenant->submitted += 1;
@@ -394,6 +423,17 @@ void Scheduler::WorkerLoop(Worker* worker) {
   // registered lazily on first sight of each algorithm; the handle is then
   // memoized here so steady state never touches the registry lock.
   std::map<Algorithm, obs::Counter*> by_algo;
+  // Per-job attribution histograms (DESIGN.md §2.14), one family per
+  // JobProfile ratio with {algo, device, tenant} identity — registered
+  // lazily per (algorithm, tenant) pair seen on this worker, memoized the
+  // same way.
+  struct JobProfileHandles {
+    obs::Histogram* divergence = nullptr;
+    obs::Histogram* gld_efficiency = nullptr;
+    obs::Histogram* l2_hit = nullptr;
+    obs::Histogram* occupancy = nullptr;
+  };
+  std::map<std::pair<Algorithm, std::string>, JobProfileHandles> by_profile;
   size_t worker_index = 0;
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (workers_[i].get() == worker) worker_index = i;
@@ -435,6 +475,16 @@ void Scheduler::WorkerLoop(Worker* worker) {
     const Algorithm algo = job.spec.algorithm();
     std::promise<JobOutcome> promise = std::move(job.promise);
     TenantState* tenant = job.tenant;
+    // Job identity, saved before the spec is consumed: the trace context
+    // installed below stamps these onto every span this thread emits for
+    // the job, and the flight recorder files the job under them.
+    const uint64_t trace_id = job.spec.trace_id;
+    const uint64_t wire_job_id = job.spec.wire_job_id;
+    const uint64_t sched_job_id = job.id;
+    const std::string tenant_name = job.spec.tenant;
+    std::shared_ptr<trace::SpanCapture> capture = job.spec.capture;
+    trace::ScopedTraceContext trace_scope(
+        trace::TraceContext{trace_id, wire_job_id, sched_job_id, capture});
     JobOutcome outcome;
     const double queue_wait_ms = MsBetween(job.enqueued_at, Clock::now());
     if (job.spec.deadline_ms > 0 && queue_wait_ms > job.spec.deadline_ms) {
@@ -464,6 +514,8 @@ void Scheduler::WorkerLoop(Worker* worker) {
     } else {
       outcome = Execute(worker, &device, &cache, std::move(job));
     }
+    outcome.trace_id = trace_id;
+    outcome.wire_job_id = wire_job_id;
 
     // Registry updates first — lock-free, and outside mutex_ so a
     // concurrent scrape never waits on the stats bookkeeping below.
@@ -492,6 +544,39 @@ void Scheduler::WorkerLoop(Worker* worker) {
         it = by_algo.emplace(algo, counter).first;
       }
       it->second->Increment();
+      if (options_.job_profiles && outcome.job_profile.num_kernels > 0) {
+        auto key = std::make_pair(algo, tenant_name);
+        auto pit = by_profile.find(key);
+        if (pit == by_profile.end()) {
+          const obs::LabelSet id = {
+              {"algo", std::string(AlgorithmName(algo))},
+              {"device", worker->arch_name},
+              {"tenant", tenant_name.empty() ? "-" : tenant_name}};
+          JobProfileHandles handles;
+          handles.divergence = registry_.GetHistogram(
+              "adgraph_job_divergent_branch_ratio",
+              "Per-job divergent/executed branch ratio (Table 6).", id,
+              obs::RatioBuckets());
+          handles.gld_efficiency = registry_.GetHistogram(
+              "adgraph_job_gld_efficiency",
+              "Per-job global-load coalescing efficiency (requested / "
+              "transferred bytes).",
+              id, obs::RatioBuckets());
+          handles.l2_hit = registry_.GetHistogram(
+              "adgraph_job_l2_hit_rate", "Per-job L2 hit rate.", id,
+              obs::RatioBuckets());
+          handles.occupancy = registry_.GetHistogram(
+              "adgraph_job_achieved_occupancy",
+              "Per-job time-weighted achieved occupancy.", id,
+              obs::RatioBuckets());
+          pit = by_profile.emplace(key, handles).first;
+        }
+        const prof::JobProfile& jp = outcome.job_profile;
+        pit->second.divergence->Observe(jp.divergent_branch_ratio);
+        pit->second.gld_efficiency->Observe(jp.gld_efficiency);
+        pit->second.l2_hit->Observe(jp.l2_hit_rate);
+        pit->second.occupancy->Observe(jp.achieved_occupancy);
+      }
     } else if (outcome.status.IsResourceExhausted()) {
       m.jobs_rejected->Increment();
     } else if (outcome.status.IsDeadlineExceeded()) {
@@ -522,6 +607,34 @@ void Scheduler::WorkerLoop(Worker* worker) {
       m.cache_evictions->Increment(cs.evictions - published_cache.evictions);
       m.cache_resident_bytes->Set(static_cast<double>(cs.resident_bytes));
       published_cache = cs;
+    }
+
+    // Flight-recorder candidacy (DESIGN.md §2.14): hand over the span tree
+    // and profile; the recorder decides which trigger classes (if any)
+    // retain the job.  Done outside mutex_ — the recorder has its own lock.
+    if (flight_recorder_->enabled()) {
+      FlightRecorder::JobRecord record;
+      record.trace_id = trace_id;
+      record.wire_job_id = wire_job_id;
+      record.sched_job_id = sched_job_id;
+      record.tag = outcome.tag;
+      record.tenant = tenant_name;
+      record.algorithm = std::string(AlgorithmName(algo));
+      record.device = worker->arch_name;
+      record.status = outcome.status;
+      record.queue_wall_ms = outcome.queue_wall_ms;
+      record.exec_wall_ms = outcome.exec_wall_ms;
+      record.modeled_ms = outcome.modeled_ms;
+      record.profile = outcome.job_profile;
+      if (capture != nullptr) {
+        record.spans = capture->Events();
+        record.spans_dropped = capture->dropped();
+      }
+      flight_recorder_->Record(std::move(record));
+    }
+    if (capture != nullptr && capture->dropped() > 0) {
+      capture_dropped_total_.fetch_add(capture->dropped(),
+                                       std::memory_order_relaxed);
     }
 
     {
@@ -733,6 +846,14 @@ JobOutcome Scheduler::Execute(Worker* worker, vgpu::Device* device,
     outcome.status = payload.status();
   }
 
+  // Per-job attribution (DESIGN.md §2.14): fold this job's kernel window
+  // into the compact JobProfile *before* the counter reset below wipes the
+  // log.  The window is exactly [session.start_index(), log.size()).
+  if (options_.job_profiles && outcome.status.ok()) {
+    outcome.job_profile = prof::BuildJobProfile(
+        outcome.profile, device->kernel_log(), session.start_index());
+  }
+
   // Fresh profiling state for the next request; live allocations were
   // already released by the algorithm's RAII buffers.
   device->ResetCounters();
@@ -840,6 +961,13 @@ void Scheduler::Shutdown() {
     }
     trace_collector_.reset();
   }
+  if (flight_recorder_->enabled() && !options_.flight_recorder.path.empty()) {
+    // Best-effort, like the session trace above: the retained worst-job
+    // span trees go out as one Chrome trace for post-mortem loading.
+    Status dump_status =
+        flight_recorder_->WriteChromeTrace(options_.flight_recorder.path);
+    (void)dump_status;
+  }
   for (PendingJob& job : orphans) {
     JobOutcome outcome;
     outcome.job_id = job.id;
@@ -895,6 +1023,30 @@ prof::ServerStats Scheduler::Snapshot() const {
   metric_jobs_running_->Set(static_cast<double>(stats.jobs_running));
   metric_uptime_ms_->Set(stats.uptime_ms);
   metric_jobs_per_sec_->Set(stats.jobs_per_sec);
+  // Dropped-span totals per sink.  The sources are absolute (and the
+  // global ring's resets on every trace::Start()), so publish deltas
+  // against the last-seen mirrors — counters must only ever go up.
+  {
+    const uint64_t global_now = trace::GlobalDropped();
+    if (global_now < published_trace_dropped_global_) {
+      published_trace_dropped_global_ = 0;  // ring restarted
+    }
+    metric_trace_dropped_global_->Increment(global_now -
+                                            published_trace_dropped_global_);
+    published_trace_dropped_global_ = global_now;
+    const uint64_t session_now =
+        trace_collector_ ? trace_collector_->dropped() : 0;
+    if (session_now >= published_trace_dropped_session_) {
+      metric_trace_dropped_session_->Increment(
+          session_now - published_trace_dropped_session_);
+      published_trace_dropped_session_ = session_now;
+    }
+    const uint64_t capture_now =
+        capture_dropped_total_.load(std::memory_order_relaxed);
+    metric_trace_dropped_capture_->Increment(capture_now -
+                                             published_trace_dropped_capture_);
+    published_trace_dropped_capture_ = capture_now;
+  }
   for (const auto& worker : workers_) {
     prof::DeviceStats d;
     d.name = worker->arch_name;
@@ -964,6 +1116,12 @@ std::map<std::string, double> Scheduler::PollMetrics() {
   values["jobs_shed"] = static_cast<double>(stats.jobs_shed_deadline);
   values["p95_latency_ms"] = stats.p95_wall_ms;
   values["p95_modeled_ms"] = stats.p95_modeled_ms;
+  // Alert-rule input for trace-drop monitoring (see the sample rule in
+  // README.md): total spans lost across all sinks so far.
+  values["trace_dropped_spans"] =
+      static_cast<double>(trace::GlobalDropped() +
+                          (trace_collector_ ? trace_collector_->dropped() : 0) +
+                          capture_dropped_total_.load(std::memory_order_relaxed));
   double utilization = 0;
   for (const prof::DeviceStats& d : stats.devices) {
     utilization += d.utilization;

@@ -17,6 +17,7 @@
 #include "obs/registry.h"
 #include "obs/sampler.h"
 #include "prof/server_stats.h"
+#include "serve/flight_recorder.h"
 #include "serve/graph_cache.h"
 #include "serve/job.h"
 #include "trace/trace.h"
@@ -87,6 +88,16 @@ class Scheduler {
     /// sampler thread, its time-series ring, the alert-rule engine and the
     /// shutdown export only exist when `metrics.enabled`.
     obs::SamplerOptions metrics;
+    /// Per-job deep observability (DESIGN.md §2.14).  When on (the
+    /// default), every completed job's kernel window is aggregated into a
+    /// compact prof::JobProfile on its JobOutcome and rolled into the
+    /// adgraph_job_* histograms.  The off switch exists for the throughput
+    /// bench's overhead gate, not for production.
+    bool job_profiles = true;
+    /// Slow-job flight recorder: retains the K worst jobs per trigger
+    /// class (latency / non-OK status / alert firing) with their full span
+    /// tree and JobProfile — see FlightRecorder::Options.
+    FlightRecorder::Options flight_recorder;
   };
 
   /// Builds the pool and starts one worker per device.  Fails on an empty
@@ -156,6 +167,11 @@ class Scheduler {
   size_t num_workers() const { return workers_.size(); }
   /// Arch names of the pooled devices, worker order.
   std::vector<std::string> device_names() const;
+
+  /// The slow-job flight recorder (always constructed; inert when
+  /// Options::flight_recorder.enabled is false).  Thread-safe — the net
+  /// front door's INSPECT handler reads it while workers record.
+  FlightRecorder* flight_recorder() const { return flight_recorder_.get(); }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -322,6 +338,18 @@ class Scheduler {
   /// Trace track carrying alert instant events; registered lazily with the
   /// first alert transition.
   std::atomic<uint64_t> alerts_track_{0};
+  /// Slow-job flight recorder (DESIGN.md §2.14); always non-null.
+  std::unique_ptr<FlightRecorder> flight_recorder_;
+  /// Spans dropped by per-job SpanCaptures (bounded buffers), summed over
+  /// all finished jobs; feeds adgraph_trace_dropped_spans_total{track=
+  /// "capture"}.
+  std::atomic<uint64_t> capture_dropped_total_{0};
+  // Dropped-span counters per sink ("track" label: global / session /
+  // capture).  The sources are absolute totals, so Snapshot() publishes
+  // deltas against the mirrors below (owned by mutex_).
+  obs::Counter* metric_trace_dropped_global_ = nullptr;
+  obs::Counter* metric_trace_dropped_session_ = nullptr;
+  obs::Counter* metric_trace_dropped_capture_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< workers: work available/shutdown
@@ -331,6 +359,12 @@ class Scheduler {
   bool shutdown_ = false;
   uint64_t next_job_id_ = 1;
   Clock::time_point started_at_;
+  // Last-published dropped-span totals (owned by mutex_, see the counter
+  // handles above).  Mutable for the same reason the gauges are settable
+  // from Snapshot(): publishing is observable side bookkeeping, not state.
+  mutable uint64_t published_trace_dropped_global_ = 0;
+  mutable uint64_t published_trace_dropped_session_ = 0;
+  mutable uint64_t published_trace_dropped_capture_ = 0;
 
   // Aggregate stats (owned by mutex_).
   uint64_t submitted_ = 0;

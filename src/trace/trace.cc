@@ -91,9 +91,28 @@ std::string JsonNumber(double v) {
   return buf;
 }
 
+/// The calling thread's installed job context.  Read on every emission;
+/// written only by ScopedTraceContext on the same thread, so no atomics.
+TraceContext& ThreadContext() {
+  thread_local TraceContext context;
+  return context;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
 }  // namespace
 
-double NowUs() { return ToUs(std::chrono::steady_clock::now()); }
+double NowUs() {
+  // Touch the epoch before sampling the clock: on the very first call the
+  // epoch's static initializer would otherwise run *after* the sample was
+  // taken, handing the first span of the process a negative timestamp.
+  (void)Epoch();
+  return ToUs(std::chrono::steady_clock::now());
+}
 
 double ToUs(std::chrono::steady_clock::time_point tp) {
   return std::chrono::duration<double, std::micro>(tp - Epoch()).count();
@@ -117,10 +136,29 @@ std::vector<std::string> TrackNames() {
   return state.tracks;
 }
 
-bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed) ||
+         ThreadContext().capture != nullptr;
+}
 
 void Emit(TraceEvent event) {
   if (!Enabled()) return;
+  const TraceContext& context = ThreadContext();
+  if (context.trace_id != 0) {
+    // Stamp the job identity so every span the job touches — wire, queue,
+    // admission, engine rounds, kernels — joins on one id (§2.14).
+    event.args.push_back({"trace_id", TraceIdHex(context.trace_id), false});
+    if (context.wire_job_id != 0) {
+      event.args.push_back(
+          {"wire_job_id", FormatU64(context.wire_job_id), true});
+    }
+    if (context.sched_job_id != 0) {
+      event.args.push_back(
+          {"sched_job_id", FormatU64(context.sched_job_id), true});
+    }
+  }
+  if (context.capture != nullptr) context.capture->Append(event);
+  if (!EnabledFlag().load(std::memory_order_relaxed)) return;
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   for (Collector* collector : state.collectors) collector->Accept(event);
@@ -148,6 +186,10 @@ void EmitInstant(uint64_t track, std::string name, std::string category,
 }
 
 Status Start(TraceOptions options) {
+  // Pin the epoch no later than the window opens: timestamps captured
+  // after this point (e.g. Scheduler's enqueued_at, converted retroactively
+  // via ToUs) can then never precede it and go negative.
+  (void)Epoch();
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   if (state.global_active) {
@@ -269,6 +311,7 @@ void WriteChromeTraceJson(std::ostream& out,
 
 Collector::Collector(size_t ring_capacity)
     : capacity_(std::max<size_t>(ring_capacity, 1)) {
+  (void)Epoch();  // see Start(): no sink may outrun the epoch
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.collectors.push_back(this);
@@ -318,6 +361,83 @@ Status Collector::WriteChromeTrace(const std::string& path) const {
   out.flush();
   if (!out) return Status::IOError("failed writing trace file '" + path + "'");
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Per-job trace context
+// ---------------------------------------------------------------------------
+
+SpanCapture::SpanCapture(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void SpanCapture::Append(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+  } else {
+    // Keep the head of the job's story (wire/queue/admission), drop the
+    // tail; a truncated kernel storm is recoverable from counters, a lost
+    // submission path is not.
+    dropped_ += 1;
+  }
+}
+
+std::vector<TraceEvent> SpanCapture::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+uint64_t SpanCapture::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+uint64_t MintTraceId() {
+  static std::atomic<uint64_t> next{1};
+  // splitmix64 finalizer: spreads the counter over the id space so ids
+  // minted by different submission paths are visually distinct, while
+  // staying deterministic per process (no wall-clock dependence).
+  uint64_t z = next.fetch_add(1, std::memory_order_relaxed);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id);
+  return buf;
+}
+
+uint64_t ParseTraceIdHex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  uint64_t value = 0;
+  for (char ch : hex) {
+    value <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      value |= static_cast<uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      value |= static_cast<uint64_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      value |= static_cast<uint64_t>(ch - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return value;
+}
+
+TraceContext CurrentContext() { return ThreadContext(); }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : previous_(std::move(ThreadContext())) {
+  ThreadContext() = std::move(context);
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  ThreadContext() = std::move(previous_);
 }
 
 // ---------------------------------------------------------------------------

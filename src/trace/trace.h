@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -95,11 +96,17 @@ uint64_t RegisterTrack(const std::string& name);
 /// Names of all registered tracks, indexed by track id.
 std::vector<std::string> TrackNames();
 
-/// True iff at least one sink (global window or Collector) is active.
-/// One relaxed atomic load — the fast-path guard of every emission site.
+/// True iff at least one sink is active for the calling thread: a global
+/// window, a Collector, or a per-job SpanCapture installed via
+/// ScopedTraceContext.  One relaxed atomic load plus one thread-local read
+/// — the fast-path guard of every emission site.
 bool Enabled();
 
-/// Routes one event to every active sink.  No-op when nothing is active.
+/// Routes one event to every active sink.  When the calling thread carries
+/// a trace context (ScopedTraceContext), the job's identity args
+/// (`trace_id`, `wire_job_id`, `sched_job_id`) are stamped onto the event
+/// first and the event is also appended to the context's SpanCapture.
+/// No-op when nothing is active.
 void Emit(TraceEvent event);
 
 /// Emits an instant marker ("ph":"i") at the current time on `track`; the
@@ -165,6 +172,76 @@ class Collector {
 /// trace-event JSON format to `out`.
 void WriteChromeTraceJson(std::ostream& out,
                           const std::vector<TraceEvent>& events);
+
+// ---------------------------------------------------------------------------
+// Per-job trace context (DESIGN.md §2.14)
+// ---------------------------------------------------------------------------
+
+/// \brief Bounded thread-safe span buffer owned by one job: every event a
+/// thread emits while a ScopedTraceContext referencing it is installed
+/// lands here, in addition to the regular sinks.  This is what survives
+/// after the global ring has overwritten a slow job's spans — the flight
+/// recorder retains the capture, not ring indices.
+class SpanCapture {
+ public:
+  explicit SpanCapture(size_t capacity = 2048);
+  SpanCapture(const SpanCapture&) = delete;
+  SpanCapture& operator=(const SpanCapture&) = delete;
+
+  void Append(const TraceEvent& event);
+  std::vector<TraceEvent> Events() const;
+  /// Events not retained because the capture was full (newest dropped:
+  /// the head of a job's story — wire, queue, admission — is the part an
+  /// operator can least afford to lose).
+  uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  size_t capacity_;
+  uint64_t dropped_ = 0;
+};
+
+/// \brief Identity of the job the calling thread is currently working for.
+/// Propagated explicitly across thread hops (net handler -> scheduler
+/// worker) by copying it into the JobSpec and re-installing it with
+/// ScopedTraceContext on the far side.
+struct TraceContext {
+  uint64_t trace_id = 0;      ///< end-to-end id; 0 = no context
+  uint64_t wire_job_id = 0;   ///< net-server-minted job id (0 off the wire)
+  uint64_t sched_job_id = 0;  ///< scheduler-minted job id
+  std::shared_ptr<SpanCapture> capture;
+};
+
+/// Mints a process-unique nonzero trace id (counter-seeded, bit-mixed so
+/// ids from concurrent sessions do not collide visually).
+uint64_t MintTraceId();
+
+/// 16-digit lowercase hex spelling of a trace id — the wire/CLI form.
+std::string TraceIdHex(uint64_t trace_id);
+
+/// Parses the hex spelling back; 0 on malformed input (0 is never minted).
+uint64_t ParseTraceIdHex(const std::string& hex);
+
+/// Copy of the calling thread's installed context (all-zero when none).
+TraceContext CurrentContext();
+
+/// \brief RAII: installs `context` as the calling thread's trace context,
+/// restoring the previous one on destruction.  While installed, every
+/// Emit() on this thread stamps the job identity args and feeds the
+/// context's SpanCapture — which also makes Enabled() true on this thread
+/// even when no global sink is attached, so per-job capture works with
+/// process-wide tracing off.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
 
 // ---------------------------------------------------------------------------
 // Span RAII

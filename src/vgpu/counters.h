@@ -83,6 +83,16 @@ struct KernelCounters {
            static_cast<double>(loop_lane_iters_possible);
   }
 
+  /// Fraction of executed branches where both paths kept active lanes —
+  /// the paper's divergence signal (Table 6 discussion); what the per-job
+  /// profile and the serve-path histograms report.
+  double divergent_branch_ratio() const {
+    return branches == 0
+               ? 0.0
+               : static_cast<double>(divergent_branches) /
+                     static_cast<double>(branches);
+  }
+
   double l1_hit_rate() const {
     uint64_t total = l1_hits + l1_misses;
     return total == 0 ? 0.0 : static_cast<double>(l1_hits) / total;

@@ -286,6 +286,51 @@ TEST(CApiTest, EsbvWithoutWeightsIsGraphTypeMismatch) {
   adgraphDestroyGraphDescr(fx.handle, sub);
 }
 
+TEST(CApiTest, GetJobProfileWindowsTheLastRun) {
+  auto g = TestGraph(210, false);
+  CApiFixture fx("A100", g);
+
+  adgraphJobProfile_t profile;
+  EXPECT_EQ(adgraphGetJobProfile(nullptr, &profile),
+            ADGRAPH_STATUS_NOT_INITIALIZED);
+  EXPECT_EQ(adgraphGetJobProfile(fx.handle, nullptr),
+            ADGRAPH_STATUS_INVALID_VALUE);
+
+  // Before any run: a neutral profile, not garbage.
+  ASSERT_EQ(adgraphGetJobProfile(fx.handle, &profile),
+            ADGRAPH_STATUS_SUCCESS);
+  EXPECT_EQ(profile.num_kernels, 0u);
+  EXPECT_EQ(profile.total_cycles, 0.0);
+  EXPECT_EQ(profile.gld_efficiency, 1.0);
+  EXPECT_EQ(profile.gst_efficiency, 1.0);
+
+  std::vector<uint32_t> levels(g.num_vertices());
+  ASSERT_EQ(adgraphTraversalBfs(fx.handle, fx.descr, 0, 0, levels.data()),
+            ADGRAPH_STATUS_SUCCESS);
+  ASSERT_EQ(adgraphGetJobProfile(fx.handle, &profile),
+            ADGRAPH_STATUS_SUCCESS);
+  EXPECT_GT(profile.num_kernels, 0u);
+  EXPECT_GT(profile.total_cycles, 0.0);
+  EXPECT_GT(profile.warp_inst_issued, 0u);
+  EXPECT_GE(profile.divergent_branch_ratio, 0.0);
+  EXPECT_LE(profile.divergent_branch_ratio, 1.0);
+  EXPECT_GT(profile.achieved_occupancy, 0.0);
+  EXPECT_LE(profile.achieved_occupancy, 1.0);
+  const uint64_t bfs_kernels = profile.num_kernels;
+
+  // The window covers the *last* run only: a second algorithm replaces the
+  // attribution instead of accumulating the device's whole history.
+  uint64_t triangles = 0;
+  ASSERT_EQ(adgraphTriangleCount(fx.handle, fx.descr, &triangles),
+            ADGRAPH_STATUS_SUCCESS);
+  adgraphJobProfile_t second;
+  ASSERT_EQ(adgraphGetJobProfile(fx.handle, &second),
+            ADGRAPH_STATUS_SUCCESS);
+  EXPECT_GT(second.num_kernels, 0u);
+  EXPECT_LT(second.num_kernels, bfs_kernels + second.num_kernels)
+      << "profile accumulated across runs instead of windowing the last";
+}
+
 TEST(CApiTest, AllFourGpusSelectable) {
   auto g = TestGraph(207, false);
   uint64_t expected = adgraph::core::host_ref::TriangleCount(g);

@@ -24,6 +24,7 @@
 #include "net/wire.h"
 #include "serve/registry.h"
 #include "serve/scheduler.h"
+#include "trace/trace.h"
 #include "vgpu/arch.h"
 #include "vgpu/device.h"
 
@@ -777,6 +778,199 @@ TEST(ServerTest, SequenceNumbersEchoInOrder) {
     auto response = Json::Parse(client.ReadLine().value()).value();
     EXPECT_EQ(response.GetNumber("seq", -1), seq);
   }
+}
+
+// --- trace identity + INSPECT (§2.14) --------------------------------------
+
+std::vector<std::string> Keys(const Json& object) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : object.members()) keys.push_back(key);
+  return keys;
+}
+
+// Golden key sets: the exact wire surface, in insertion order.  A key
+// appearing, vanishing, or moving is a protocol change and must be a
+// conscious one (update this test *and* DESIGN.md §2.10/§2.14).
+TEST(ServerTest, GoldenSubmitPollAndStatsKeySets) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+
+  // The client is the outermost layer here, so it mints the trace id; the
+  // server must adopt it verbatim rather than minting its own.
+  const std::string trace_hex = trace::TraceIdHex(trace::MintTraceId());
+  auto request = Json::Parse(
+      R"({"op":"SUBMIT","algo":"bfs","params":{"source":3},"tag":"t"})")
+      .value();
+  request.Set("trace_id", trace_hex);
+  auto submitted = client.Call(request).value();
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  // Every response gains a trailing "op" echo from the dispatcher.
+  EXPECT_EQ(Keys(submitted),
+            (std::vector<std::string>{"ok", "job", "trace_id",
+                                      "estimated_bytes", "tag", "op"}));
+  EXPECT_EQ(submitted.GetString("trace_id", ""), trace_hex);
+
+  auto done = client.WaitJob(
+      static_cast<uint64_t>(submitted.GetNumber("job", 0))).value();
+  ASSERT_EQ(done.GetString("status", ""), "ok") << done.Dump();
+  EXPECT_EQ(Keys(done),
+            (std::vector<std::string>{
+                "ok", "done", "status", "tag", "device", "queue_ms",
+                "exec_ms", "trace_id", "sched_job_id", "algo", "modeled_ms",
+                "transfer_ms", "cache_hit", "fingerprint", "profile",
+                "job", "op"}));
+  EXPECT_EQ(done.GetString("trace_id", ""), trace_hex)
+      << "the propagated id must survive SUBMIT -> scheduler -> POLL";
+  const Json* profile = done.Find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(Keys(*profile),
+            (std::vector<std::string>{
+                "num_kernels", "total_ms", "total_cycles",
+                "warp_inst_issued", "branches", "divergent_branches",
+                "dram_bytes", "divergent_branch_ratio", "gld_efficiency",
+                "gst_efficiency", "l1_hit_rate", "l2_hit_rate",
+                "achieved_occupancy", "exposed_latency_cycles",
+                "top_kernels"}));
+  EXPECT_GT(profile->GetNumber("num_kernels", 0), 0);
+  ASSERT_NE(profile->Find("top_kernels"), nullptr);
+  ASSERT_GT(profile->Find("top_kernels")->size(), 0u);
+  EXPECT_EQ(Keys(profile->Find("top_kernels")->items()[0]),
+            (std::vector<std::string>{"kernel", "launches", "cycles",
+                                      "time_ms"}));
+
+  auto stats = client.Call(Json::Parse(R"({"op":"STATS"})").value()).value();
+  ASSERT_TRUE(stats.GetBool("ok", false)) << stats.Dump();
+  EXPECT_EQ(Keys(stats),
+            (std::vector<std::string>{"ok", "jobs", "server", "tenants",
+                                      "op"}));
+  EXPECT_EQ(Keys(*stats.Find("jobs")),
+            (std::vector<std::string>{
+                "submitted", "completed", "failed", "rejected_admission",
+                "rejected_backpressure", "shed_deadline", "queued",
+                "running", "jobs_per_sec"}));
+  EXPECT_EQ(Keys(*stats.Find("server")),
+            (std::vector<std::string>{
+                "sessions_open", "sessions_opened", "requests",
+                "protocol_errors", "submits_accepted",
+                "submits_rejected_quota", "mutations_applied"}));
+}
+
+// Regression: the wire job id used to be minted *after* Scheduler::Submit,
+// so the id a client polled could never be matched to the spans already
+// emitted for the job.  Both ids now ride the outcome, and INSPECT by the
+// wire id must land on the record carrying the scheduler's id.
+TEST(ServerTest, WireAndSchedulerJobIdsCorrelate) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+  auto submitted = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"bfs","params":{"source":0}})").value())
+      .value();
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  const uint64_t wire_id =
+      static_cast<uint64_t>(submitted.GetNumber("job", 0));
+  const std::string trace_hex = submitted.GetString("trace_id", "");
+  ASSERT_NE(trace_hex, "");
+
+  auto done = client.WaitJob(wire_id).value();
+  ASSERT_EQ(done.GetString("status", ""), "ok") << done.Dump();
+  EXPECT_EQ(done.GetNumber("job", 0), static_cast<double>(wire_id));
+  const uint64_t sched_id =
+      static_cast<uint64_t>(done.GetNumber("sched_job_id", 0));
+  EXPECT_NE(sched_id, 0u);
+
+  auto inspected = client.Inspect(wire_id).value();
+  const Json* record = inspected.Find("record");
+  ASSERT_NE(record, nullptr) << inspected.Dump();
+  EXPECT_EQ(record->GetNumber("job", 0), static_cast<double>(wire_id));
+  EXPECT_EQ(record->GetNumber("sched_job_id", 0),
+            static_cast<double>(sched_id));
+  EXPECT_EQ(record->GetString("trace_id", ""), trace_hex);
+}
+
+TEST(ServerTest, InspectReturnsSpanTreeProfileAndList) {
+  auto live = StartServer(TestGraph());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  ASSERT_TRUE(client.Hello("x").ok());
+  auto submitted = client.Call(Json::Parse(
+      R"({"op":"SUBMIT","algo":"pagerank","params":{"iters":8}})").value())
+      .value();
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  auto done = client.WaitJob(
+      static_cast<uint64_t>(submitted.GetNumber("job", 0))).value();
+  ASSERT_EQ(done.GetString("status", ""), "ok") << done.Dump();
+  const std::string trace_hex = done.GetString("trace_id", "");
+
+  // By trace id (INSPECT needs no HELLO, but an existing session is fine):
+  // the full tree — the wire-layer admit span at the head, the engine's
+  // algo span, kernel spans — every one stamped with the job's identity.
+  auto inspected = client.Inspect(0, trace_hex).value();
+  const Json* record = inspected.Find("record");
+  ASSERT_NE(record, nullptr) << inspected.Dump();
+  EXPECT_EQ(record->GetString("status", ""), "ok");
+  ASSERT_NE(record->Find("profile"), nullptr);
+  EXPECT_GT(record->Find("profile")->GetNumber("num_kernels", 0), 0);
+  const Json* spans = record->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_GT(spans->size(), 0u);
+  bool saw_admit = false, saw_algo = false, saw_kernel = false;
+  for (const Json& span : spans->items()) {
+    const std::string name = span.GetString("name", "");
+    saw_admit |= name == "admit";
+    saw_algo |= name.rfind("algo:", 0) == 0;
+    saw_kernel |= span.GetString("cat", "") == "kernel";
+    const Json* args = span.Find("args");
+    ASSERT_NE(args, nullptr) << name;
+    EXPECT_EQ(args->GetString("trace_id", ""), trace_hex) << name;
+  }
+  EXPECT_TRUE(saw_admit) << "the wire layer heads the span tree";
+  EXPECT_TRUE(saw_algo);
+  EXPECT_TRUE(saw_kernel);
+
+  // The no-selector list form carries summaries without span trees.
+  auto listed = client.Inspect().value();
+  const Json* records = listed.Find("records");
+  ASSERT_NE(records, nullptr) << listed.Dump();
+  ASSERT_GT(records->size(), 0u);
+  bool found = false;
+  for (const Json& entry : records->items()) {
+    found |= entry.GetString("trace_id", "") == trace_hex;
+    EXPECT_EQ(entry.Find("spans"), nullptr) << "list form omits span trees";
+  }
+  EXPECT_TRUE(found);
+
+  // Unknown ids and malformed hex are structured errors, session survives.
+  EXPECT_TRUE(client.Inspect(999999).status().IsNotFound());
+  Json bad = Json::MakeObject();
+  bad.Set("op", "INSPECT");
+  bad.Set("trace_id", "not-hex!");
+  auto error = client.Call(bad).value();
+  EXPECT_FALSE(error.GetBool("ok", true));
+  EXPECT_EQ(error.GetString("code", ""), "invalid_argument");
+  EXPECT_TRUE(client.Call(Json::Parse(R"({"op":"STATS"})").value())
+                  .value()
+                  .GetBool("ok", false));
+}
+
+TEST(ServerTest, InspectWithoutFlightRecorderIsUnavailable) {
+  serve::Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.flight_recorder.enabled = false;
+  LiveServer live;
+  live.scheduler =
+      std::move(serve::Scheduler::Create(std::move(options)).value());
+  Server::GraphMap graphs;
+  graphs["default"] = TestGraph();
+  live.server = std::move(
+      Server::Start(live.scheduler.get(), std::move(graphs), {}).value());
+  auto client = Client::Connect("127.0.0.1", live.server->port()).value();
+  // Like STATS, INSPECT needs no HELLO handshake.
+  Json request = Json::MakeObject();
+  request.Set("op", "INSPECT");
+  auto response = client.Call(request).value();
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code", ""), "unavailable");
 }
 
 TEST(ServerTest, ShutdownWithLiveSessionsReleasesEverything) {

@@ -192,6 +192,99 @@ TEST(SessionTest, WindowsTheKernelLog) {
   EXPECT_EQ(dev.kernel_log().size(), 3u);
 }
 
+// ------------------------------------------------- JobProfile (§2.14)
+
+TEST(JobProfileTest, BuildFoldsAndRanksTheWindow) {
+  Device dev(A100Config());
+  auto noop = [](Ctx& c) -> KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  // One pre-window launch that must not leak into the job's attribution.
+  ASSERT_TRUE(dev.Launch("outside", {1, 32}, noop).ok());
+  const size_t start = dev.kernel_log().size();
+  ASSERT_TRUE(dev.Launch("hot", {8, 256}, noop).ok());
+  ASSERT_TRUE(dev.Launch("hot", {8, 256}, noop).ok());
+  ASSERT_TRUE(dev.Launch("cold", {1, 32}, noop).ok());
+  AlgoProfile merged;
+  for (size_t i = start; i < dev.kernel_log().size(); ++i) {
+    merged.Add(dev.kernel_log()[i]);
+  }
+
+  JobProfile job = BuildJobProfile(merged, dev.kernel_log(), start);
+  EXPECT_EQ(job.num_kernels, 3u);
+  EXPECT_GT(job.total_cycles, 0.0);
+  ASSERT_EQ(job.top_kernels.size(), 2u) << "launches fold by kernel name";
+  EXPECT_EQ(job.top_kernels[0].kernel_name, "hot");
+  EXPECT_EQ(job.top_kernels[0].launches, 2u);
+  EXPECT_EQ(job.top_kernels[1].kernel_name, "cold");
+  EXPECT_GE(job.top_kernels[0].cycles, job.top_kernels[1].cycles);
+  for (const JobKernelEntry& entry : job.top_kernels) {
+    EXPECT_NE(entry.kernel_name, "outside");
+  }
+  // Ratios stay ratios.
+  EXPECT_GE(job.divergent_branch_ratio, 0.0);
+  EXPECT_LE(job.divergent_branch_ratio, 1.0);
+  EXPECT_GE(job.l2_hit_rate, 0.0);
+  EXPECT_LE(job.l2_hit_rate, 1.0);
+  EXPECT_GT(job.achieved_occupancy, 0.0);
+  EXPECT_LE(job.achieved_occupancy, 1.0);
+
+  // Top-N truncation: ask for one row, get the heaviest.
+  JobProfile top1 = BuildJobProfile(merged, dev.kernel_log(), start, 1);
+  ASSERT_EQ(top1.top_kernels.size(), 1u);
+  EXPECT_EQ(top1.top_kernels[0].kernel_name, "hot");
+}
+
+TEST(JobProfileTest, EmptyWindowIsNeutral) {
+  JobProfile job = BuildJobProfile(AlgoProfile{}, {}, 0);
+  EXPECT_EQ(job.num_kernels, 0u);
+  EXPECT_TRUE(job.top_kernels.empty());
+  // The efficiency ratios default to 1 (nothing transferred is nothing
+  // wasted) so downstream histograms are not polluted with zeros.
+  EXPECT_DOUBLE_EQ(job.gld_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(job.gst_efficiency, 1.0);
+}
+
+TEST(ReportTest, FormatJobProfileRendersTable6Metrics) {
+  Device dev(A100Config());
+  auto noop = [](Ctx& c) -> KernelTask {
+    c.Add(c.GlobalThreadId(), 1u);
+    co_return;
+  };
+  ASSERT_TRUE(dev.Launch("alpha", {2, 64}, noop).ok());
+  AlgoProfile merged;
+  for (const KernelStats& stats : dev.kernel_log()) merged.Add(stats);
+  std::string report =
+      FormatJobProfile(BuildJobProfile(merged, dev.kernel_log(), 0));
+  EXPECT_NE(report.find("Job profile: 1 kernels"), std::string::npos)
+      << report;
+  for (const char* metric :
+       {"divergent_branch_ratio", "gld_efficiency", "gst_efficiency",
+        "l1_hit_rate", "l2_hit_rate", "achieved_occupancy",
+        "exposed_latency_cycles"}) {
+    EXPECT_NE(report.find(metric), std::string::npos) << metric;
+  }
+  EXPECT_NE(report.find("alpha"), std::string::npos) << report;
+}
+
+TEST(ReportTest, TraceSummaryWarnsOnDroppedSpans) {
+  std::vector<trace::TraceEvent> events;
+  trace::TraceEvent event;
+  event.name = "algo:bfs";
+  event.category = "engine";
+  event.phase = 'X';
+  event.dur_us = 10;
+  events.push_back(event);
+  std::string clean = FormatTraceSummary(events, 0);
+  EXPECT_EQ(clean.find("WARNING"), std::string::npos) << clean;
+  std::string lossy = FormatTraceSummary(events, 7);
+  EXPECT_NE(lossy.find("WARNING: 7"), std::string::npos) << lossy;
+  EXPECT_NE(lossy.find("adgraph_trace_dropped_spans_total"),
+            std::string::npos)
+      << "the warning must name the counter to alert on";
+}
+
 // ---------------------------------------------------------- Percentile
 //
 // Pins the nearest-rank definition: the value at 1-based sorted rank

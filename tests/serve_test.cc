@@ -1216,6 +1216,208 @@ TEST(SchedulerTest, WarmStartValidationRejectsIllFormedSpecs) {
   EXPECT_TRUE(scheduler->Submit(gang).status().IsInvalidArgument());
 }
 
+// --- per-job observability (§2.14) -----------------------------------------
+
+TEST(JobProfileTest, OutcomeCarriesKernelAttribution) {
+  auto g = TestGraph();
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  JobOutcome outcome = scheduler->Submit(BfsJob(g, 0)).value().get();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+
+  EXPECT_NE(outcome.trace_id, 0u) << "scheduler mints ids for in-process "
+                                     "submits";
+  const prof::JobProfile& p = outcome.job_profile;
+  ASSERT_GT(p.num_kernels, 0u);
+  EXPECT_GT(p.total_cycles, 0.0);
+  EXPECT_GT(p.total_ms, 0.0);
+  EXPECT_GT(p.warp_inst_issued, 0u);
+  // Ratios are ratios.
+  EXPECT_GE(p.divergent_branch_ratio, 0.0);
+  EXPECT_LE(p.divergent_branch_ratio, 1.0);
+  EXPECT_GE(p.l2_hit_rate, 0.0);
+  EXPECT_LE(p.l2_hit_rate, 1.0);
+  EXPECT_GT(p.achieved_occupancy, 0.0);
+  EXPECT_LE(p.achieved_occupancy, 1.0);
+  // The top-N table is by cycles, descending, and never exceeds the
+  // kernel-name population.
+  ASSERT_FALSE(p.top_kernels.empty());
+  EXPECT_LE(p.top_kernels.size(), 5u);
+  uint64_t launches = 0;
+  for (size_t i = 0; i < p.top_kernels.size(); ++i) {
+    launches += p.top_kernels[i].launches;
+    if (i > 0) {
+      EXPECT_LE(p.top_kernels[i].cycles, p.top_kernels[i - 1].cycles);
+    }
+  }
+  EXPECT_LE(launches, p.num_kernels);
+}
+
+TEST(JobProfileTest, DisabledOptionYieldsEmptyProfile) {
+  auto g = TestGraph();
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.job_profiles = false;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+  JobOutcome outcome = scheduler->Submit(BfsJob(g, 0)).value().get();
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.job_profile.num_kernels, 0u);
+}
+
+namespace {
+FlightRecorder::JobRecord MakeRecord(uint64_t id, double exec_ms,
+                                     Status status = Status::OK()) {
+  FlightRecorder::JobRecord record;
+  record.trace_id = id;
+  record.sched_job_id = id;
+  record.wire_job_id = id + 1000;
+  record.algorithm = "bfs";
+  record.device = "A100";
+  record.status = std::move(status);
+  record.exec_wall_ms = exec_ms;
+  return record;
+}
+}  // namespace
+
+TEST(FlightRecorderTest, KeepsKWorstPerClassAfterOverflow) {
+  FlightRecorder::Options options;
+  options.per_class_capacity = 2;
+  FlightRecorder recorder(options);
+  // Five jobs, walls 10..50: only the two slowest survive the latency ring.
+  for (uint64_t i = 1; i <= 5; ++i) {
+    recorder.Record(MakeRecord(i, 10.0 * i));
+  }
+  auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]->trace_id, 5u) << "worst first";
+  EXPECT_EQ(records[1]->trace_id, 4u);
+  EXPECT_EQ(records[0]->triggers, std::vector<std::string>{"latency"});
+
+  // A failed fast job still lands via the status class...
+  recorder.Record(MakeRecord(6, 0.001, Status::DeadlineExceeded("shed")));
+  EXPECT_NE(recorder.FindByTraceId(6), nullptr);
+  // ...and one retained record is findable by every id it carries.
+  EXPECT_NE(recorder.FindBySchedId(5), nullptr);
+  EXPECT_NE(recorder.FindByWireId(1005), nullptr);
+  EXPECT_EQ(recorder.FindByTraceId(3), nullptr) << "evicted";
+  EXPECT_EQ(recorder.FindByTraceId(0), nullptr) << "0 never matches";
+}
+
+TEST(FlightRecorderTest, AlertClassFollowsFiringRules) {
+  FlightRecorder::Options options;
+  options.per_class_capacity = 4;
+  // A huge latency threshold: nothing qualifies by latency alone.
+  options.latency_threshold_ms = 1e9;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(1, 5.0));
+  EXPECT_TRUE(recorder.Records().empty()) << "no trigger, no retention";
+
+  recorder.NoteAlert(true);
+  recorder.Record(MakeRecord(2, 5.0));
+  recorder.NoteAlert(false);
+  recorder.Record(MakeRecord(3, 5.0));
+  auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]->trace_id, 2u);
+  EXPECT_EQ(records[0]->triggers, std::vector<std::string>{"alert"});
+  EXPECT_EQ(recorder.alerts_active(), 0u);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRetainsNothing) {
+  FlightRecorder::Options options;
+  options.enabled = false;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(1, 100.0));
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_TRUE(recorder.Records().empty());
+}
+
+// The TSan target: 8 writer threads race Record/NoteAlert against readers
+// walking Records()/FindBy* — the INSPECT handler's exact access pattern.
+TEST(FlightRecorderTest, ConcurrentRecordAndInspectHammer) {
+  FlightRecorder::Options options;
+  options.per_class_capacity = 4;
+  FlightRecorder recorder(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * kPerThread + i + 1;
+        if (i % 7 == 0) recorder.NoteAlert(true);
+        recorder.Record(MakeRecord(id, static_cast<double>(id % 97)));
+        if (i % 7 == 0) recorder.NoteAlert(false);
+        if (i % 3 == 0) {
+          for (const auto& r : recorder.Records()) {
+            ASSERT_NE(r, nullptr);
+            ASSERT_NE(r->trace_id, 0u);
+          }
+          (void)recorder.FindByTraceId(id);
+          (void)recorder.FindBySchedId(id / 2);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto records = recorder.Records();
+  EXPECT_FALSE(records.empty());
+  EXPECT_LE(records.size(), 12u) << "at most 3 classes x capacity 4";
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i]->wall_ms(), records[i - 1]->wall_ms());
+  }
+}
+
+TEST(FlightRecorderTest, SchedulerRetainsSpanTreeAfterGlobalRingWrap) {
+  auto g = TestGraph();
+  Scheduler::Options options;
+  options.devices = {{.arch = &vgpu::A100Config(), .options = {}}};
+  options.trace.enabled = true;
+  // A session ring far too small for even one job's kernel spans: the
+  // collector overwrites, the per-job captures must not.
+  options.trace.ring_capacity = 4;
+  options.flight_recorder.per_class_capacity = 3;
+  auto scheduler = Scheduler::Create(std::move(options)).value();
+
+  std::vector<JobOutcome> outcomes;
+  for (int i = 0; i < 5; ++i) {
+    outcomes.push_back(scheduler->Submit(BfsJob(g, 0)).value().get());
+    ASSERT_TRUE(outcomes.back().status.ok());
+  }
+  scheduler->Drain();
+  EXPECT_LE(scheduler->TraceEvents().size(), 4u) << "session ring wrapped";
+
+  auto records = scheduler->flight_recorder()->Records();
+  ASSERT_EQ(records.size(), 3u) << "K worst retained";
+  for (const auto& record : records) {
+    EXPECT_NE(record->trace_id, 0u);
+    ASSERT_FALSE(record->spans.empty())
+        << "full span tree survives the ring wrap";
+    bool saw_algo = false, saw_kernel = false;
+    for (const auto& span : record->spans) {
+      saw_algo |= span.name.rfind("algo:", 0) == 0;
+      saw_kernel |= span.category == "kernel";
+      // Every captured span is stamped with the owning job's identity.
+      bool stamped = false;
+      for (const auto& arg : span.args) {
+        stamped |= arg.key == "trace_id" &&
+                   arg.value == trace::TraceIdHex(record->trace_id);
+      }
+      EXPECT_TRUE(stamped) << span.name;
+    }
+    EXPECT_TRUE(saw_algo);
+    EXPECT_TRUE(saw_kernel);
+    EXPECT_GT(record->profile.num_kernels, 0u);
+  }
+  // The retained record is the one the outcome's ids point at.
+  auto found =
+      scheduler->flight_recorder()->FindByTraceId(records[0]->trace_id);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->sched_job_id, records[0]->sched_job_id);
+}
+
 TEST(ServerStatsTest, FormatMentionsDevicesAndLatency) {
   auto g = TestGraph(6);
   Scheduler::Options options;

@@ -363,6 +363,66 @@ TEST(TraceTest, ServeTraceNestsJobAlgoKernelWithPerDeviceTracks) {
   EXPECT_EQ(queue_waits, 2u);
 }
 
+// --- per-job trace context (§2.14) -----------------------------------------
+
+TEST(TraceTest, TraceIdMintAndHexRoundTrip) {
+  const uint64_t id = adgraph::trace::MintTraceId();
+  EXPECT_NE(id, 0u);
+  EXPECT_NE(adgraph::trace::MintTraceId(), id) << "ids are unique";
+  const std::string hex = adgraph::trace::TraceIdHex(id);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(adgraph::trace::ParseTraceIdHex(hex), id);
+  // Malformed spellings parse to 0, which is never minted.
+  EXPECT_EQ(adgraph::trace::ParseTraceIdHex(""), 0u);
+  EXPECT_EQ(adgraph::trace::ParseTraceIdHex("not-hex!"), 0u);
+  EXPECT_EQ(adgraph::trace::ParseTraceIdHex("00112233445566778"), 0u)
+      << "17 digits overflow";
+}
+
+TEST(TraceTest, ScopedContextStampsIdentityAndFeedsCapture) {
+  ASSERT_FALSE(adgraph::trace::GlobalActive());
+  auto capture = std::make_shared<adgraph::trace::SpanCapture>();
+  const uint64_t id = adgraph::trace::MintTraceId();
+  EXPECT_FALSE(adgraph::trace::Enabled());
+  {
+    adgraph::trace::ScopedTraceContext scope(
+        adgraph::trace::TraceContext{id, 7, 9, capture});
+    EXPECT_TRUE(adgraph::trace::Enabled())
+        << "a per-job capture is a sink even with global tracing off";
+    Span span(0, "ctx_span", "test");
+    span.End();
+  }
+  EXPECT_FALSE(adgraph::trace::Enabled()) << "context restored on exit";
+  EXPECT_EQ(adgraph::trace::CurrentContext().trace_id, 0u);
+
+  auto events = capture->Events();
+  ASSERT_EQ(events.size(), 1u);
+  std::map<std::string, std::string> args;
+  for (const auto& arg : events[0].args) args[arg.key] = arg.value;
+  EXPECT_EQ(args.at("trace_id"), adgraph::trace::TraceIdHex(id));
+  EXPECT_EQ(args.at("wire_job_id"), "7");
+  EXPECT_EQ(args.at("sched_job_id"), "9");
+}
+
+TEST(TraceTest, SpanCaptureDropsNewestWhenFull) {
+  auto capture = std::make_shared<adgraph::trace::SpanCapture>(2);
+  {
+    adgraph::trace::ScopedTraceContext scope(adgraph::trace::TraceContext{
+        adgraph::trace::MintTraceId(), 0, 1, capture});
+    for (int i = 0; i < 4; ++i) {
+      Span span(0, "span" + std::to_string(i), "test");
+      span.End();
+    }
+  }
+  auto events = capture->Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(capture->dropped(), 2u);
+  // The *oldest* spans survive: a job's opening spans (wire, queue,
+  // admission) are the part an operator can least afford to lose.
+  EXPECT_EQ(events[0].name, "span0");
+  EXPECT_EQ(events[1].name, "span1");
+}
+
 TEST(TraceTest, TraceSummaryRanksSpans) {
   Collector collector;
   {

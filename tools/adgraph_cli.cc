@@ -112,6 +112,10 @@ int Usage() {
                "or:    adgraph_cli mutate --connect=HOST:PORT [--graph=NAME]\n"
                "           [--add=U:V[:W],...] [--del=U:V,...] [--compact]\n"
                "           [--tenant=NAME]\n"
+               "or:    adgraph_cli inspect --connect=HOST:PORT\n"
+               "           [--job=N | --trace-id=HEX] [--timeout-ms=F]\n"
+               "           (no selector: list the flight recorder's retained\n"
+               "            worst jobs; with one: full span tree + profile)\n"
                "or:    adgraph_cli --version\n",
                ADGRAPH_VERSION_MAJOR, ADGRAPH_VERSION_MINOR,
                ADGRAPH_VERSION_PATCH);
@@ -1053,6 +1057,7 @@ int ClientMain(const Flags& flags) {
     uint64_t job_id = 0;
     std::string tag;
     std::string algo;
+    std::string trace_id;  ///< hex, client-minted (DESIGN.md §2.14)
   };
   std::vector<Submitted> submitted;
   int failures = 0;
@@ -1122,6 +1127,10 @@ int ClientMain(const Flags& flags) {
                           ? tag_it->second
                           : "line" + std::to_string(line.line_number);
     request.Set("tag", tag);
+    // The client is the outermost layer, so it mints the trace id; the
+    // server adopts it and every span of the job carries it end to end.
+    const std::string trace_hex = trace::TraceIdHex(trace::MintTraceId());
+    request.Set("trace_id", trace_hex);
 
     auto response = client.Call(request, timeout_ms);
     if (!response.ok()) {
@@ -1139,7 +1148,8 @@ int ClientMain(const Flags& flags) {
     }
     submitted.push_back(
         {static_cast<uint64_t>(response->GetNumber("job", 0)), tag,
-         std::string(serve::AlgorithmName(line.algo))});
+         std::string(serve::AlgorithmName(line.algo)),
+         response->GetString("trace_id", trace_hex)});
   }
 
   for (const Submitted& job : submitted) {
@@ -1157,18 +1167,21 @@ int ClientMain(const Flags& flags) {
       std::string suffix;
       if (done->GetBool("cache_hit", false)) suffix += "   [cached graph]";
       std::printf("%-12s %-8s %-6s ok      modeled %9.4f ms   queued %7.2f "
-                  "ms   fp %s%s\n",
+                  "ms   fp %s   trace %s%s\n",
                   ("[" + job.tag + "]").c_str(), job.algo.c_str(),
                   done->GetString("device", "-").c_str(),
                   done->GetNumber("modeled_ms", 0),
                   done->GetNumber("queue_ms", 0),
                   done->GetString("fingerprint", "-").c_str(),
+                  done->GetString("trace_id", job.trace_id.c_str()).c_str(),
                   suffix.c_str());
     } else {
       ++failures;
-      std::printf("%-12s %-15s %s: %s\n", ("[" + job.tag + "]").c_str(),
+      std::printf("%-12s %-15s %s: %s   trace %s\n",
+                  ("[" + job.tag + "]").c_str(),
                   done->GetString("device", "-").c_str(), status.c_str(),
-                  done->GetString("error", "").c_str());
+                  done->GetString("error", "").c_str(),
+                  done->GetString("trace_id", job.trace_id.c_str()).c_str());
     }
   }
 
@@ -1259,6 +1272,155 @@ int MutateMain(const Flags& flags) {
   return 0;
 }
 
+// --- inspect ---------------------------------------------------------------
+
+/// Renders an INSPECT record's "profile" object as an indented block.
+void PrintProfileJson(const net::Json& p) {
+  std::printf("  profile: %.0f kernel(s), modeled %.4f ms, %.0f cycles\n",
+              p.GetNumber("num_kernels", 0), p.GetNumber("total_ms", 0),
+              p.GetNumber("total_cycles", 0));
+  std::printf("    divergent-branch ratio %.3f   gld eff %.3f   "
+              "gst eff %.3f\n",
+              p.GetNumber("divergent_branch_ratio", 0),
+              p.GetNumber("gld_efficiency", 0),
+              p.GetNumber("gst_efficiency", 0));
+  std::printf("    L1 hit %.3f   L2 hit %.3f   occupancy %.3f   "
+              "exposed %.0f cycles\n",
+              p.GetNumber("l1_hit_rate", 0), p.GetNumber("l2_hit_rate", 0),
+              p.GetNumber("achieved_occupancy", 0),
+              p.GetNumber("exposed_latency_cycles", 0));
+  const net::Json* top = p.Find("top_kernels");
+  if (top != nullptr && top->size() > 0) {
+    std::printf("    top kernels by cycles:\n");
+    for (const net::Json& row : top->items()) {
+      std::printf("      %-32s x%-4.0f %14.0f cycles %11.4f ms\n",
+                  row.GetString("kernel", "?").c_str(),
+                  row.GetNumber("launches", 0), row.GetNumber("cycles", 0),
+                  row.GetNumber("time_ms", 0));
+    }
+  }
+}
+
+/// One retained job in full: identity, trigger classes, timings, profile
+/// and the captured span tree.
+void PrintRecordJson(const net::Json& r) {
+  std::printf("trace %s   job %.0f   sched %.0f   [%s]\n",
+              r.GetString("trace_id", "-").c_str(), r.GetNumber("job", 0),
+              r.GetNumber("sched_job_id", 0),
+              r.GetString("tag", "-").c_str());
+  std::string status = r.GetString("status", "?");
+  std::string error = r.GetString("error", "");
+  std::printf("  %s on %s, tenant %s: %s%s%s\n",
+              r.GetString("algo", "?").c_str(),
+              r.GetString("device", "-").c_str(),
+              r.GetString("tenant", "-").c_str(), status.c_str(),
+              error.empty() ? "" : " — ", error.c_str());
+  std::printf("  queued %.2f ms   exec %.2f ms   wall %.2f ms   "
+              "modeled %.4f ms\n",
+              r.GetNumber("queue_ms", 0), r.GetNumber("exec_ms", 0),
+              r.GetNumber("wall_ms", 0), r.GetNumber("modeled_ms", 0));
+  const net::Json* triggers = r.Find("triggers");
+  if (triggers != nullptr && triggers->size() > 0) {
+    std::printf("  retained for:");
+    for (const net::Json& t : triggers->items()) {
+      std::printf(" %s", t.AsString().c_str());
+    }
+    std::printf("\n");
+  }
+  const net::Json* profile = r.Find("profile");
+  if (profile != nullptr) PrintProfileJson(*profile);
+  const net::Json* spans = r.Find("spans");
+  if (spans != nullptr) {
+    std::printf("  spans (%zu captured, %.0f dropped):\n", spans->size(),
+                r.GetNumber("spans_dropped", 0));
+    std::printf("    %12s %10s  %-6s %s\n", "ts_us", "dur_us", "track",
+                "name");
+    for (const net::Json& span : spans->items()) {
+      std::printf("    %12.1f %10.1f  %-6.0f %s (%s)\n",
+                  span.GetNumber("ts_us", 0), span.GetNumber("dur_us", 0),
+                  span.GetNumber("track", 0),
+                  span.GetString("name", "?").c_str(),
+                  span.GetString("cat", "-").c_str());
+    }
+  }
+}
+
+/// `adgraph_cli inspect --connect=HOST:PORT [--job=N | --trace-id=HEX]`:
+/// reads the serve pool's slow-job flight recorder over the INSPECT verb
+/// (DESIGN.md §2.14).  Without a selector, lists the retained worst jobs;
+/// with one, prints that job's full record — span tree included.
+int InspectMain(const Flags& flags) {
+  if (!flags.Has("connect")) {
+    std::fprintf(stderr, "inspect: --connect=HOST:PORT is required\n");
+    return Usage();
+  }
+  std::string endpoint = flags.GetString("connect", "");
+  auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "inspect: --connect wants HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "inspect: bad port in '%s'\n", endpoint.c_str());
+    return 1;
+  }
+  const double timeout_ms = flags.GetDouble("timeout-ms", 5000.0);
+  auto client_result = net::Client::Connect(endpoint.substr(0, colon),
+                                            static_cast<uint16_t>(port));
+  if (!client_result.ok()) {
+    std::fprintf(stderr, "%s\n", client_result.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client = std::move(*client_result);
+  // INSPECT is a diagnostic verb; like STATS it needs no HELLO handshake.
+  const uint64_t job = static_cast<uint64_t>(flags.GetInt("job", 0));
+  const std::string trace_hex = flags.GetString("trace-id", "");
+  auto response = client.Inspect(job, trace_hex, timeout_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (job != 0 || !trace_hex.empty()) {
+    const net::Json* record = response->Find("record");
+    if (record == nullptr) {
+      std::fprintf(stderr, "inspect: response carries no record\n");
+      return 1;
+    }
+    PrintRecordJson(*record);
+    return 0;
+  }
+  const net::Json* records = response->Find("records");
+  const size_t count = records != nullptr ? records->size() : 0;
+  std::printf("flight recorder: %zu retained record(s)\n", count);
+  if (count == 0) {
+    std::printf("(no job crossed a retention trigger yet — latency "
+                "threshold, non-ok status, or a firing alert)\n");
+    return 0;
+  }
+  for (const net::Json& r : records->items()) {
+    std::string triggers;
+    const net::Json* t = r.Find("triggers");
+    if (t != nullptr) {
+      for (const net::Json& item : t->items()) {
+        triggers += (triggers.empty() ? "" : ",") + item.AsString();
+      }
+    }
+    std::printf("  trace %s  job %-5.0f %-8s %-6s %-20s wall %9.2f ms  "
+                "[%s]\n",
+                r.GetString("trace_id", "-").c_str(), r.GetNumber("job", 0),
+                r.GetString("algo", "?").c_str(),
+                r.GetString("device", "-").c_str(),
+                r.GetString("status", "?").c_str(),
+                r.GetNumber("wall_ms", 0), triggers.c_str());
+  }
+  std::printf("(re-run with --job=N or --trace-id=HEX for the span tree "
+              "and kernel profile)\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto flags_result = Flags::Parse(argc, argv);
   if (!flags_result.ok()) return Usage();
@@ -1281,6 +1443,9 @@ int Main(int argc, char** argv) {
   if (!flags.positional().empty() && flags.positional()[0] == "mutate") {
     return MutateMain(flags);
   }
+  if (!flags.positional().empty() && flags.positional()[0] == "inspect") {
+    return InspectMain(flags);
+  }
   if (!flags.Has("algo")) return Usage();
 
   auto graph_result = LoadGraph(flags);
@@ -1291,10 +1456,10 @@ int Main(int argc, char** argv) {
   }
   const graph::CsrGraph& g = *graph_result;
   auto stats = graph::ComputeDegreeStats(g);
-  std::printf("graph: %u vertices, %llu edges, max degree %u\n",
+  std::printf("graph: %u vertices, %llu edges, max degree %llu\n",
               stats.num_vertices,
               static_cast<unsigned long long>(stats.num_edges),
-              stats.max_degree);
+              static_cast<unsigned long long>(stats.max_degree));
 
   const vgpu::ArchConfig* arch = &vgpu::A100Config();
   std::string gpu_name = flags.GetString("gpu", "A100");
